@@ -1,0 +1,304 @@
+//! Convergence detection and windowed slot statistics (Sec. 6.4).
+//!
+//! The evaluation defines *first convergence time* as the number of slots
+//! until the reader observes 32 consecutive non-collision slots after a
+//! RESET, and tracks two long-run metrics over a sliding window of 32
+//! slots: the **non-empty ratio** (slots with ≥1 transmission) and the
+//! **collision ratio** (slots with >1 transmission).
+
+use crate::mac::SlotOutcome;
+
+/// Number of consecutive collision-free slots that defines convergence.
+pub const CONVERGENCE_STREAK: u32 = 32;
+
+/// Detects the paper's convergence criterion.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    needed: u32,
+    streak: u32,
+    slots_seen: u64,
+    converged_at: Option<u64>,
+}
+
+impl ConvergenceDetector {
+    /// Detector with the paper's streak length (32).
+    pub fn new() -> Self {
+        Self::with_streak(CONVERGENCE_STREAK)
+    }
+
+    /// Detector with a custom streak length.
+    pub fn with_streak(needed: u32) -> Self {
+        assert!(needed > 0);
+        Self {
+            needed,
+            streak: 0,
+            slots_seen: 0,
+            converged_at: None,
+        }
+    }
+
+    /// Feeds one slot outcome; returns `Some(slot_count)` the first time the
+    /// streak completes, where `slot_count` is the total number of slots
+    /// observed since the detector (i.e. the RESET) started.
+    pub fn push(&mut self, outcome: SlotOutcome) -> Option<u64> {
+        self.slots_seen += 1;
+        if matches!(outcome, SlotOutcome::Collision) {
+            self.streak = 0;
+        } else {
+            self.streak += 1;
+            if self.streak == self.needed && self.converged_at.is_none() {
+                self.converged_at = Some(self.slots_seen);
+                return Some(self.slots_seen);
+            }
+        }
+        None
+    }
+
+    /// Slot count at which convergence was first detected, if ever.
+    pub fn converged_at(&self) -> Option<u64> {
+        self.converged_at
+    }
+
+    /// Total slots pushed.
+    pub fn slots_seen(&self) -> u64 {
+        self.slots_seen
+    }
+
+    /// Restarts the detector (e.g. after another RESET).
+    pub fn reset(&mut self) {
+        self.streak = 0;
+        self.slots_seen = 0;
+        self.converged_at = None;
+    }
+}
+
+impl Default for ConvergenceDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sliding-window ratios of Sec. 6.4 / Fig. 16.
+#[derive(Debug, Clone)]
+pub struct SlotStats {
+    window: usize,
+    ring: Vec<SlotOutcome>,
+    head: usize,
+    filled: usize,
+    non_empty_in_window: usize,
+    collisions_in_window: usize,
+    // Cumulative (whole-run) counters for the reported averages.
+    total_slots: u64,
+    total_non_empty: u64,
+    total_collisions: u64,
+}
+
+impl SlotStats {
+    /// Stats over the paper's 32-slot window.
+    pub fn new() -> Self {
+        Self::with_window(32)
+    }
+
+    /// Stats over a custom window size.
+    pub fn with_window(window: usize) -> Self {
+        assert!(window > 0);
+        Self {
+            window,
+            ring: vec![SlotOutcome::Empty; window],
+            head: 0,
+            filled: 0,
+            non_empty_in_window: 0,
+            collisions_in_window: 0,
+            total_slots: 0,
+            total_non_empty: 0,
+            total_collisions: 0,
+        }
+    }
+
+    fn is_non_empty(o: SlotOutcome) -> bool {
+        !matches!(o, SlotOutcome::Empty)
+    }
+
+    fn is_collision(o: SlotOutcome) -> bool {
+        matches!(o, SlotOutcome::Collision)
+    }
+
+    /// Feeds one slot outcome.
+    pub fn push(&mut self, outcome: SlotOutcome) {
+        if self.filled == self.window {
+            let old = self.ring[self.head];
+            if Self::is_non_empty(old) {
+                self.non_empty_in_window -= 1;
+            }
+            if Self::is_collision(old) {
+                self.collisions_in_window -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.head] = outcome;
+        self.head = (self.head + 1) % self.window;
+        if Self::is_non_empty(outcome) {
+            self.non_empty_in_window += 1;
+            self.total_non_empty += 1;
+        }
+        if Self::is_collision(outcome) {
+            self.collisions_in_window += 1;
+            self.total_collisions += 1;
+        }
+        self.total_slots += 1;
+    }
+
+    /// Non-empty ratio over the current window.
+    pub fn non_empty_ratio(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        self.non_empty_in_window as f64 / self.filled as f64
+    }
+
+    /// Collision ratio over the current window.
+    pub fn collision_ratio(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        self.collisions_in_window as f64 / self.filled as f64
+    }
+
+    /// Whole-run average non-empty ratio (the paper's "average 81.2 %").
+    pub fn avg_non_empty_ratio(&self) -> f64 {
+        if self.total_slots == 0 {
+            return 0.0;
+        }
+        self.total_non_empty as f64 / self.total_slots as f64
+    }
+
+    /// Whole-run average collision ratio (the paper's "0.056").
+    pub fn avg_collision_ratio(&self) -> f64 {
+        if self.total_slots == 0 {
+            return 0.0;
+        }
+        self.total_collisions as f64 / self.total_slots as f64
+    }
+
+    /// Total slots pushed.
+    pub fn total_slots(&self) -> u64 {
+        self.total_slots
+    }
+}
+
+impl Default for SlotStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::SlotOutcome::{Collision, Empty, Received};
+
+    #[test]
+    fn detector_fires_after_exact_streak() {
+        let mut d = ConvergenceDetector::with_streak(4);
+        assert_eq!(d.push(Received(1)), None);
+        assert_eq!(d.push(Empty), None);
+        assert_eq!(d.push(Received(2)), None);
+        assert_eq!(d.push(Received(1)), Some(4));
+        assert_eq!(d.converged_at(), Some(4));
+    }
+
+    #[test]
+    fn collision_resets_streak() {
+        let mut d = ConvergenceDetector::with_streak(3);
+        d.push(Received(1));
+        d.push(Received(1));
+        assert_eq!(d.push(Collision), None);
+        d.push(Received(1));
+        d.push(Received(1));
+        assert_eq!(d.push(Received(1)), Some(6));
+    }
+
+    #[test]
+    fn detector_fires_only_once() {
+        let mut d = ConvergenceDetector::with_streak(2);
+        assert_eq!(d.push(Empty), None);
+        assert_eq!(d.push(Empty), Some(2));
+        assert_eq!(d.push(Empty), None);
+        assert_eq!(d.converged_at(), Some(2));
+    }
+
+    #[test]
+    fn empty_slots_count_as_non_collision() {
+        // The criterion is "non-collision", not "successful": an idle
+        // network converges trivially.
+        let mut d = ConvergenceDetector::with_streak(32);
+        let mut fired = None;
+        for _ in 0..32 {
+            fired = fired.or(d.push(Empty));
+        }
+        assert_eq!(fired, Some(32));
+    }
+
+    #[test]
+    fn detector_reset_restarts() {
+        let mut d = ConvergenceDetector::with_streak(2);
+        d.push(Empty);
+        d.push(Empty);
+        d.reset();
+        assert_eq!(d.converged_at(), None);
+        assert_eq!(d.push(Empty), None);
+        assert_eq!(d.push(Empty), Some(2));
+    }
+
+    #[test]
+    fn stats_windowed_ratios() {
+        let mut s = SlotStats::with_window(4);
+        s.push(Received(1));
+        s.push(Collision);
+        s.push(Empty);
+        s.push(Received(2));
+        assert!((s.non_empty_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.collision_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_window_slides() {
+        let mut s = SlotStats::with_window(2);
+        s.push(Collision);
+        s.push(Collision);
+        assert!((s.collision_ratio() - 1.0).abs() < 1e-12);
+        s.push(Empty);
+        s.push(Empty);
+        assert!((s.collision_ratio() - 0.0).abs() < 1e-12);
+        assert!((s.non_empty_ratio() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_partial_window() {
+        let mut s = SlotStats::with_window(32);
+        s.push(Received(1));
+        assert!((s.non_empty_ratio() - 1.0).abs() < 1e-12);
+        s.push(Empty);
+        assert!((s.non_empty_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_averages_track_whole_run() {
+        let mut s = SlotStats::with_window(2);
+        for i in 0..100u64 {
+            s.push(if i % 10 == 0 { Collision } else { Received(1) });
+        }
+        assert_eq!(s.total_slots(), 100);
+        assert!((s.avg_collision_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.avg_non_empty_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SlotStats::new();
+        assert_eq!(s.non_empty_ratio(), 0.0);
+        assert_eq!(s.collision_ratio(), 0.0);
+        assert_eq!(s.avg_non_empty_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! FM0 line coding for the uplink (Sec. 4.1).
+//!
+//! The tag backscatters data by toggling its PZT between the reflective and
+//! absorptive state once per *raw bit* interval (Fig. 6b). FM0 maps each data
+//! bit onto a pair of raw bits:
+//!
+//! * data bit **0** → the two raw bits *differ* (`10` or `01`) — a mid-symbol
+//!   transition;
+//! * data bit **1** → the two raw bits are *equal* (`00` or `11`) — no
+//!   mid-symbol transition.
+//!
+//! (The paper states this convention explicitly; it is the inverse of the
+//! EPC-Gen2 naming but identical on the wire up to relabeling.)
+//!
+//! As in classic FM0 the line level always inverts at a symbol *boundary*,
+//! which keeps the waveform DC-balanced and gives the decoder a transition to
+//! lock onto at every symbol edge regardless of data.
+
+use crate::bits::BitBuf;
+
+/// Symbol-pair encoder. Tracks the current line level so that consecutive
+/// [`Fm0Encoder::encode`] calls produce a phase-continuous waveform.
+#[derive(Debug, Clone)]
+pub struct Fm0Encoder {
+    /// Level of the *last emitted raw bit*; the next symbol starts inverted.
+    level: bool,
+}
+
+impl Default for Fm0Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fm0Encoder {
+    /// New encoder; the first symbol starts at a high level.
+    pub fn new() -> Self {
+        Self { level: false }
+    }
+
+    /// Encodes data bits into raw line bits (2 raw bits per data bit).
+    pub fn encode<I: Iterator<Item = bool>>(&mut self, data: I) -> BitBuf {
+        let mut out = BitBuf::new();
+        for bit in data {
+            // Boundary inversion: first half is the inverse of the last level.
+            let first = !self.level;
+            // Data bit 0 → halves differ; data bit 1 → halves equal.
+            let second = if bit { first } else { !first };
+            out.push(first);
+            out.push(second);
+            self.level = second;
+        }
+        out
+    }
+
+    /// Current line level (level of the last raw bit emitted).
+    pub fn level(&self) -> bool {
+        self.level
+    }
+}
+
+/// Errors from FM0 decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fm0Error {
+    /// Raw bit count is odd — symbols are pairs.
+    OddLength,
+    /// A symbol boundary lacked the mandatory level inversion at `symbol`.
+    MissingBoundaryTransition {
+        /// Index of the offending data symbol.
+        symbol: usize,
+    },
+}
+
+impl std::fmt::Display for Fm0Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fm0Error::OddLength => write!(f, "FM0 raw stream has odd length"),
+            Fm0Error::MissingBoundaryTransition { symbol } => {
+                write!(f, "missing FM0 boundary transition before symbol {symbol}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fm0Error {}
+
+/// Decodes raw line bits back into data bits.
+///
+/// `check_boundaries` additionally verifies the FM0 boundary-inversion
+/// invariant, which catches symbol slips; the plain pair rule (equal = 1,
+/// differ = 0) is applied either way.
+pub fn decode(raw: &BitBuf, check_boundaries: bool) -> Result<BitBuf, Fm0Error> {
+    if raw.len() % 2 != 0 {
+        return Err(Fm0Error::OddLength);
+    }
+    let mut out = BitBuf::with_capacity(raw.len() / 2);
+    let mut prev_last: Option<bool> = None;
+    for s in 0..raw.len() / 2 {
+        let a = raw.get(2 * s).unwrap();
+        let b = raw.get(2 * s + 1).unwrap();
+        if check_boundaries {
+            if let Some(p) = prev_last {
+                if p == a {
+                    return Err(Fm0Error::MissingBoundaryTransition { symbol: s });
+                }
+            }
+        }
+        out.push(a == b);
+        prev_last = Some(b);
+    }
+    Ok(out)
+}
+
+/// Decodes while tolerating boundary violations (used after hard-decision
+/// slicing of noisy waveforms, where we prefer to let the CRC catch errors).
+pub fn decode_lenient(raw: &BitBuf) -> Result<BitBuf, Fm0Error> {
+    decode(raw, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[bool]) {
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode(data.iter().copied());
+        assert_eq!(raw.len(), data.len() * 2);
+        let dec = decode(&raw, true).unwrap();
+        assert_eq!(dec.to_bools(), data);
+    }
+
+    #[test]
+    fn encodes_zero_as_differing_pair() {
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode([false].into_iter());
+        let (a, b) = (raw.get(0).unwrap(), raw.get(1).unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn encodes_one_as_equal_pair() {
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode([true].into_iter());
+        let (a, b) = (raw.get(0).unwrap(), raw.get(1).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boundary_always_inverts() {
+        let mut enc = Fm0Encoder::new();
+        let data = [true, true, false, false, true, false, true];
+        let raw = enc.encode(data.into_iter());
+        for s in 1..data.len() {
+            let prev_last = raw.get(2 * s - 1).unwrap();
+            let first = raw.get(2 * s).unwrap();
+            assert_ne!(prev_last, first, "no inversion at symbol {s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_4bit_patterns() {
+        for v in 0u8..16 {
+            let data: Vec<bool> = (0..4).rev().map(|i| v >> i & 1 == 1).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_long_random_like_pattern() {
+        let data: Vec<bool> = (0..256).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        let raw = BitBuf::from_u32(0b101, 3);
+        assert_eq!(decode(&raw, true), Err(Fm0Error::OddLength));
+    }
+
+    #[test]
+    fn boundary_violation_detected() {
+        // Symbol 0 = "10" (bit 0), symbol 1 starting with 0 repeats the
+        // previous level — invalid FM0.
+        let raw = BitBuf::from_bools(&[true, false, false, false]);
+        assert_eq!(
+            decode(&raw, true),
+            Err(Fm0Error::MissingBoundaryTransition { symbol: 1 })
+        );
+        // Lenient decode still yields the pair rule result.
+        let dec = decode_lenient(&raw).unwrap();
+        assert_eq!(dec.to_bools(), vec![false, true]);
+    }
+
+    #[test]
+    fn phase_continuity_across_calls() {
+        let mut enc = Fm0Encoder::new();
+        let first = enc.encode([true, false].into_iter());
+        let second = enc.encode([false, true].into_iter());
+        let mut joined = first.clone();
+        joined.extend(&second);
+        // The concatenation must still be a valid FM0 stream.
+        let dec = decode(&joined, true).unwrap();
+        assert_eq!(dec.to_bools(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn level_tracks_last_raw_bit() {
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode([true, true, false].into_iter());
+        assert_eq!(enc.level(), raw.get(raw.len() - 1).unwrap());
+    }
+
+    #[test]
+    fn dc_balance_of_alternating_data() {
+        // All-zero data (every symbol has a mid transition) must be perfectly
+        // DC balanced.
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode(std::iter::repeat(false).take(64));
+        let ones = raw.iter().filter(|&b| b).count();
+        assert_eq!(ones, 64);
+    }
+}

@@ -1,0 +1,63 @@
+//! # arachnet-core — protocol core of the ARACHNET acoustic backscatter network
+//!
+//! This crate implements everything that is *protocol* in the paper
+//! "Acoustic Backscatter Network for Vehicle Body-in-White" (SIGCOMM 2025):
+//!
+//! * bit-level primitives ([`bits`]) and the CRC-8 used by uplink packets
+//!   ([`crc`]);
+//! * the two line codes: FM0 for the uplink ([`fm0`]) and pulse-interval
+//!   encoding (PIE) for the downlink ([`pie`]);
+//! * the compact packet formats of Fig. 5 ([`packet`]) — a 32-bit uplink
+//!   packet (preamble / TID / payload / CRC) and a 10-bit downlink beacon
+//!   (preamble / CMD);
+//! * the bit-rate / clock-divider table of Sec. 6.3 ([`rates`]);
+//! * the distributed slot-allocation MAC of Sec. 5 ([`mac`]): the tag state
+//!   machine (MIGRATE / SETTLE), the reader feedback mechanism
+//!   (ACK / NACK / EMPTY / RESET), beacon-loss handling, late-arrival
+//!   accommodation and future-collision avoidance;
+//! * slot arithmetic and the vanilla centralized allocator of Sec. 5.2
+//!   ([`slot`]);
+//! * the convergence detector used by the evaluation ([`convergence`]) and an
+//!   exact absorbing-Markov-chain analysis of the protocol for small
+//!   configurations ([`markov`]), mirroring the proof in Appendix C.
+//!
+//! The crate is deliberately dependency-free: the tag-side code mirrors what
+//! would run on a 12 kHz MSP430, so it avoids allocation-heavy idioms in the
+//! per-bit hot paths and uses a tiny self-contained PRNG ([`rng`]) instead of
+//! an external randomness crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use arachnet_core::packet::{UlPacket, DlBeacon, DlCmd};
+//! use arachnet_core::fm0::Fm0Encoder;
+//!
+//! // A tag builds an uplink packet carrying a 12-bit sensor reading…
+//! let pkt = UlPacket::new(3, 0x5A7).unwrap();
+//! let bits = pkt.to_bits();
+//! // …and modulates it with FM0 for backscatter.
+//! let line = Fm0Encoder::new().encode(bits.iter());
+//! assert_eq!(line.len(), 2 * bits.len());
+//!
+//! // The reader answers with a compact beacon.
+//! let beacon = DlBeacon::new(DlCmd::ack());
+//! assert_eq!(beacon.to_bits().len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod convergence;
+pub mod crc;
+pub mod fm0;
+pub mod mac;
+pub mod markov;
+pub mod packet;
+pub mod pie;
+pub mod rates;
+pub mod rng;
+pub mod slot;
+
+pub use bits::BitBuf;
+pub use packet::{DlBeacon, DlCmd, UlPacket};

@@ -1,0 +1,157 @@
+//! Tiny deterministic PRNG for tag-side randomness.
+//!
+//! The MIGRATE state of the tag state machine (Sec. 5.3) needs uniformly
+//! random slot offsets. A real tag would seed a cheap generator from its TID
+//! and ADC noise; we model that with a self-contained xorshift64* generator
+//! so `arachnet-core` stays dependency-free and every simulation is exactly
+//! reproducible from its seed.
+
+/// xorshift64* generator — 8 bytes of state, passes BigCrush for our needs
+/// (uniform slot offsets), and costs a handful of MCU instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagRng {
+    state: u64,
+}
+
+impl TagRng {
+    /// Creates a generator from a nonzero seed. A zero seed is remapped to a
+    /// fixed odd constant (xorshift state must be nonzero).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Derives a per-tag generator from a shared experiment seed and a tag
+    /// identifier, using a splitmix64 finalizer so nearby TIDs do not yield
+    /// correlated streams.
+    pub fn for_tag(experiment_seed: u64, tid: u8) -> Self {
+        let mut z = experiment_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(u64::from(tid) + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::new(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[0, bound)` via rejection sampling (unbiased).
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TagRng::new(42);
+        let mut b = TagRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = TagRng::new(0);
+        // Must not get stuck at zero forever.
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TagRng::new(7);
+        for bound in [1u64, 2, 3, 5, 7, 8, 16, 31, 32, 100] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_all_values() {
+        let mut r = TagRng::new(99);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all offsets in [0,8) should occur");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = TagRng::new(123);
+        let mut counts = [0u32; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[r.below(4) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 4.0;
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.05,
+                "{counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = TagRng::new(5);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn per_tag_streams_differ() {
+        let mut a = TagRng::for_tag(1, 1);
+        let mut b = TagRng::for_tag(1, 2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = TagRng::new(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Preamble correlation and symbol-timing recovery.
+//!
+//! The reader finds uplink packets by sliding the FM0-coded preamble over
+//! the sliced raw-bit stream (hard decision) or over the soft envelope
+//! (normalized cross-correlation). Soft correlation also yields the symbol
+//! timing: the lag of the correlation peak pins the first raw-bit boundary.
+
+/// Sliding hard-decision correlator over a bit stream.
+///
+/// Reports positions where the last `pattern.len()` bits match the pattern
+/// with at most `max_errors` mismatches.
+#[derive(Debug, Clone)]
+pub struct BitCorrelator {
+    pattern: Vec<bool>,
+    window: Vec<bool>,
+    max_errors: usize,
+    fed: usize,
+}
+
+impl BitCorrelator {
+    /// Exact-match correlator.
+    pub fn exact(pattern: &[bool]) -> Self {
+        Self::with_tolerance(pattern, 0)
+    }
+
+    /// Correlator tolerating up to `max_errors` bit errors.
+    pub fn with_tolerance(pattern: &[bool], max_errors: usize) -> Self {
+        assert!(!pattern.is_empty());
+        Self {
+            pattern: pattern.to_vec(),
+            window: Vec::with_capacity(pattern.len()),
+            max_errors,
+            fed: 0,
+        }
+    }
+
+    /// Feeds one bit; returns `true` when the pattern just completed at this
+    /// position (within tolerance).
+    pub fn push(&mut self, bit: bool) -> bool {
+        if self.window.len() == self.pattern.len() {
+            self.window.remove(0);
+        }
+        self.window.push(bit);
+        self.fed += 1;
+        if self.window.len() < self.pattern.len() {
+            return false;
+        }
+        let errors = self
+            .window
+            .iter()
+            .zip(&self.pattern)
+            .filter(|(a, b)| a != b)
+            .count();
+        errors <= self.max_errors
+    }
+
+    /// Total bits fed.
+    pub fn position(&self) -> usize {
+        self.fed
+    }
+
+    /// Clears the window.
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Normalized cross-correlation of a ±1 template against a real signal.
+/// Returns per-lag scores in [-1, 1]; lag `k` aligns `template[0]` with
+/// `signal[k]`.
+pub fn normalized_correlation(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    let n = template.len();
+    if signal.len() < n {
+        return Vec::new();
+    }
+    let t_mean = template.iter().sum::<f64>() / n as f64;
+    let t_centered: Vec<f64> = template.iter().map(|&t| t - t_mean).collect();
+    let t_norm = t_centered.iter().map(|t| t * t).sum::<f64>().sqrt();
+    let mut out = Vec::with_capacity(signal.len() - n + 1);
+    for k in 0..=signal.len() - n {
+        let seg = &signal[k..k + n];
+        let s_mean = seg.iter().sum::<f64>() / n as f64;
+        let mut dot = 0.0;
+        let mut s_norm = 0.0;
+        for (s, t) in seg.iter().zip(&t_centered) {
+            let sc = s - s_mean;
+            dot += sc * t;
+            s_norm += sc * sc;
+        }
+        let denom = t_norm * s_norm.sqrt();
+        out.push(if denom < 1e-30 { 0.0 } else { dot / denom });
+    }
+    out
+}
+
+/// Finds the lag of the maximum correlation above `threshold`, if any.
+pub fn best_lag(scores: &[f64], threshold: f64) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &s) in scores.iter().enumerate() {
+        if s >= threshold && best.map_or(true, |(_, b)| s > b) {
+            best = Some((i, s));
+        }
+    }
+    best
+}
+
+/// Expands a raw-bit pattern to a ±1 sample template at `samples_per_bit`.
+pub fn bits_to_template(bits: &[bool], samples_per_bit: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(bits.len() * samples_per_bit);
+    for &b in bits {
+        let v = if b { 1.0 } else { -1.0 };
+        out.extend(std::iter::repeat(v).take(samples_per_bit));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAT: [bool; 6] = [true, true, false, true, false, false];
+
+    #[test]
+    fn exact_correlator_finds_pattern() {
+        let mut c = BitCorrelator::exact(&PAT);
+        let mut stream = vec![false, true];
+        stream.extend_from_slice(&PAT);
+        stream.push(true);
+        let mut hits = Vec::new();
+        for (i, &b) in stream.iter().enumerate() {
+            if c.push(b) {
+                hits.push(i);
+            }
+        }
+        assert_eq!(hits, vec![7]); // pattern ends at index 7
+    }
+
+    #[test]
+    fn exact_correlator_rejects_single_error() {
+        let mut c = BitCorrelator::exact(&PAT);
+        let mut corrupted = PAT;
+        corrupted[2] = !corrupted[2];
+        let hit = corrupted.iter().map(|&b| c.push(b)).any(|h| h);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn tolerant_correlator_accepts_within_budget() {
+        let mut c = BitCorrelator::with_tolerance(&PAT, 1);
+        let mut corrupted = PAT;
+        corrupted[2] = !corrupted[2];
+        let hit = corrupted.iter().map(|&b| c.push(b)).any(|h| h);
+        assert!(hit);
+        // But two errors still fail.
+        let mut c2 = BitCorrelator::with_tolerance(&PAT, 1);
+        let mut twice = PAT;
+        twice[0] = !twice[0];
+        twice[3] = !twice[3];
+        let hit2 = twice.iter().map(|&b| c2.push(b)).any(|h| h);
+        assert!(!hit2);
+    }
+
+    #[test]
+    fn ncc_peaks_at_true_lag() {
+        let template = bits_to_template(&PAT, 4);
+        let mut signal = vec![0.1; 20];
+        signal.extend(template.iter().map(|&t| t * 0.7 + 0.05));
+        signal.extend(vec![-0.1; 15]);
+        let scores = normalized_correlation(&signal, &template);
+        let (lag, score) = best_lag(&scores, 0.8).unwrap();
+        assert_eq!(lag, 20);
+        assert!(score > 0.95);
+    }
+
+    #[test]
+    fn ncc_is_amplitude_invariant() {
+        let template = bits_to_template(&PAT, 4);
+        for amp in [0.01, 1.0, 100.0] {
+            let signal: Vec<f64> = template.iter().map(|&t| t * amp).collect();
+            let scores = normalized_correlation(&signal, &template);
+            assert!((scores[0] - 1.0).abs() < 1e-9, "amp {amp}: {}", scores[0]);
+        }
+    }
+
+    #[test]
+    fn ncc_of_noise_is_low() {
+        let template = bits_to_template(&PAT, 4);
+        let signal: Vec<f64> = (0..200)
+            .map(|i| ((i * 37) % 17) as f64 / 17.0 - 0.5)
+            .collect();
+        let scores = normalized_correlation(&signal, &template);
+        assert!(best_lag(&scores, 0.9).is_none());
+    }
+
+    #[test]
+    fn ncc_handles_short_signal() {
+        let template = bits_to_template(&PAT, 4);
+        assert!(normalized_correlation(&[1.0; 3], &template).is_empty());
+    }
+
+    #[test]
+    fn template_expansion() {
+        let t = bits_to_template(&[true, false], 3);
+        assert_eq!(t, vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn correlator_reset_clears_window() {
+        let mut c = BitCorrelator::exact(&PAT);
+        for &b in &PAT[..5] {
+            c.push(b);
+        }
+        c.reset();
+        assert!(!c.push(PAT[5]));
+    }
+}

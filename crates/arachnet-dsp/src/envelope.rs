@@ -1,0 +1,162 @@
+//! Diode + RC envelope detector model.
+//!
+//! The tag's downlink front end (Fig. 3) is an envelope detector feeding a
+//! comparator: the PZT's 90 kHz output is rectified by a diode and smoothed
+//! by an RC so that the MCU sees the OOK envelope, not the carrier. This
+//! model captures the two behaviours that matter for DL decoding:
+//!
+//! * asymmetric attack/decay — the capacitor charges through the diode
+//!   (fast, when the input peak exceeds the stored value) but discharges
+//!   through the load resistor (slow exponential decay);
+//! * the diode drop — inputs below `v_on` contribute nothing.
+
+/// Streaming envelope detector.
+#[derive(Debug, Clone)]
+pub struct EnvelopeDetector {
+    /// Per-sample decay factor `e^{-1/(fs·RC)}`.
+    decay: f64,
+    /// Diode forward drop (volts).
+    v_on: f64,
+    state: f64,
+}
+
+impl EnvelopeDetector {
+    /// Detector with time constant `rc` seconds at sample rate `fs`, with a
+    /// diode drop of `v_on` volts.
+    pub fn new(fs: f64, rc: f64, v_on: f64) -> Self {
+        assert!(fs > 0.0 && rc > 0.0);
+        Self {
+            decay: (-1.0 / (fs * rc)).exp(),
+            v_on,
+            state: 0.0,
+        }
+    }
+
+    /// A detector tuned for ARACHNET's numbers: 90 kHz carrier at a 500 kHz
+    /// sample rate with a 0.15 V Schottky drop; RC spans ~20 carrier cycles
+    /// so the envelope tracks PIE symbols at ≤ 2 kbps cleanly.
+    pub fn arachnet_default(fs: f64) -> Self {
+        Self::new(fs, 20.0 / 90_000.0, 0.15)
+    }
+
+    /// Current envelope value.
+    pub fn value(&self) -> f64 {
+        self.state
+    }
+
+    /// Feeds one input sample, returns the envelope.
+    pub fn process(&mut self, x: f64) -> f64 {
+        let rectified = (x - self.v_on).max(0.0);
+        if rectified > self.state {
+            // Diode conducts: capacitor charges to the peak (fast attack).
+            self.state = rectified;
+        } else {
+            // Diode blocks: RC decay.
+            self.state *= self.decay;
+        }
+        self.state
+    }
+
+    /// Processes a block.
+    pub fn process_block(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Clears state.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn ook_burst(fs: f64, fc: f64, amp: f64, n_on: usize, n_off: usize) -> Vec<f64> {
+        (0..n_on + n_off)
+            .map(|i| {
+                if i < n_on {
+                    amp * (2.0 * PI * fc * i as f64 / fs).sin()
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_carrier_amplitude() {
+        let fs = 500_000.0;
+        let mut det = EnvelopeDetector::arachnet_default(fs);
+        let sig = ook_burst(fs, 90_000.0, 1.0, 5_000, 0);
+        let env = det.process_block(&sig);
+        let settled = env[2_000..].iter().sum::<f64>() / 3_000.0;
+        // Envelope ≈ amplitude − diode drop.
+        assert!((settled - 0.85).abs() < 0.05, "envelope {settled}");
+    }
+
+    #[test]
+    fn decays_when_carrier_stops() {
+        let fs = 500_000.0;
+        let mut det = EnvelopeDetector::arachnet_default(fs);
+        let sig = ook_burst(fs, 90_000.0, 1.0, 2_000, 3_000);
+        let env = det.process_block(&sig);
+        assert!(env[1_999] > 0.7);
+        assert!(
+            env[4_999] < 0.05,
+            "envelope failed to decay: {}",
+            env[4_999]
+        );
+    }
+
+    #[test]
+    fn small_signals_below_diode_drop_are_invisible() {
+        let fs = 500_000.0;
+        let mut det = EnvelopeDetector::arachnet_default(fs);
+        let sig = ook_burst(fs, 90_000.0, 0.1, 5_000, 0); // below 0.15 V drop
+        let env = det.process_block(&sig);
+        assert!(env.iter().all(|&e| e < 1e-9));
+    }
+
+    #[test]
+    fn attack_is_faster_than_decay() {
+        let fs = 500_000.0;
+        let mut det = EnvelopeDetector::arachnet_default(fs);
+        let sig = ook_burst(fs, 90_000.0, 1.0, 1_000, 1_000);
+        let env = det.process_block(&sig);
+        // Attack: within ~1 carrier cycle (≈6 samples) the envelope is near
+        // peak. Count samples to reach 50% going up vs going down.
+        let up = env.iter().position(|&e| e > 0.42).unwrap();
+        let down = env[1_000..].iter().position(|&e| e < 0.42).unwrap();
+        assert!(up < 10, "attack too slow: {up}");
+        assert!(
+            down > 3 * up,
+            "decay should be slower: up {up}, down {down}"
+        );
+    }
+
+    #[test]
+    fn envelope_is_nonnegative_and_bounded() {
+        let fs = 500_000.0;
+        let mut det = EnvelopeDetector::arachnet_default(fs);
+        let sig: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64 * 1.13).sin() + (i as f64 * 0.071).cos()) * 0.8)
+            .collect();
+        for &x in &sig {
+            let e = det.process(x);
+            assert!(e >= 0.0);
+            assert!(e <= 1.6);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let fs = 500_000.0;
+        let mut det = EnvelopeDetector::arachnet_default(fs);
+        det.process(2.0);
+        assert!(det.value() > 0.0);
+        det.reset();
+        assert_eq!(det.value(), 0.0);
+    }
+}

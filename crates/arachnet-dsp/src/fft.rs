@@ -1,0 +1,157 @@
+//! Iterative radix-2 FFT.
+//!
+//! Used by the Welch PSD estimator ([`crate::psd`]) that computes the
+//! uplink SNR of Fig. 12(a). Power-of-two sizes only — the evaluation uses
+//! segment lengths we control, so no need for mixed-radix machinery.
+
+use crate::cplx::Cplx;
+use std::f64::consts::PI;
+
+/// In-place forward FFT. `data.len()` must be a power of two.
+pub fn fft_in_place(data: &mut [Cplx]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the 1/N normalization).
+pub fn ifft_in_place(data: &mut [Cplx]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z / n;
+    }
+}
+
+fn transform(data: &mut [Cplx], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT size {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Danielson–Lanczos butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Cplx::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cplx::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, returning the complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Cplx> {
+    let mut data: Vec<Cplx> = signal.iter().map(|&x| Cplx::new(x, 0.0)).collect();
+    fft_in_place(&mut data);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let spec = fft_real(&[1.0; 16]);
+        assert!(close(spec[0].re, 16.0, 1e-9));
+        for bin in &spec[1..] {
+            assert!(bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        // cos splits into bins k and n-k with magnitude n/2 each.
+        assert!(close(spec[k].abs(), n as f64 / 2.0, 1e-6));
+        assert!(close(spec[n - k].abs(), n as f64 / 2.0, 1e-6));
+        for (i, bin) in spec.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(bin.abs() < 1e-6, "leakage in bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let mut data: Vec<Cplx> = (0..128)
+            .map(|i| Cplx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let orig = data.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!(close(a.re, b.re, 1e-9) && close(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let signal: Vec<f64> = (0..256).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / 256.0;
+        assert!(close(time_energy, freq_energy, 1e-6));
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let sa = fft_real(&a);
+        let sb = fft_real(&b);
+        let ss = fft_real(&sum);
+        for i in 0..32 {
+            let expect = sa[i] * 2.0 + sb[i] * 3.0;
+            assert!(close(ss[i].re, expect.re, 1e-9));
+            assert!(close(ss[i].im, expect.im, 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Cplx::ZERO; 12];
+        fft_in_place(&mut data);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let mut data = vec![Cplx::new(3.0, 4.0)];
+        fft_in_place(&mut data);
+        assert_eq!(data[0], Cplx::new(3.0, 4.0));
+    }
+
+    use std::f64::consts::PI;
+}

@@ -1,0 +1,202 @@
+//! Windowed-sinc FIR design and streaming filtering.
+//!
+//! The decimation stage of the RX chain needs a linear-phase anti-alias
+//! filter: FM0 symbol edges carry the timing information, so phase
+//! distortion directly hurts the decoder. Windowed-sinc low-pass FIRs give
+//! exactly linear phase at a known group delay of `(taps − 1) / 2` samples.
+
+use std::collections::VecDeque;
+use std::f64::consts::PI;
+
+use crate::window::Window;
+
+/// Designs a low-pass FIR: cutoff `fc` Hz at sample rate `fs`, `taps`
+/// coefficients (odd count recommended), shaped by `window`, normalized to
+/// unity DC gain.
+pub fn design_lowpass(fs: f64, fc: f64, taps: usize, window: Window) -> Vec<f64> {
+    assert!(taps >= 3, "need at least 3 taps");
+    assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, fs/2)");
+    let wc = 2.0 * PI * fc / fs;
+    let mid = (taps - 1) as f64 / 2.0;
+    let win = window.coefficients(taps);
+    let mut h: Vec<f64> = (0..taps)
+        .map(|i| {
+            let n = i as f64 - mid;
+            let sinc = if n.abs() < 1e-12 {
+                wc / PI
+            } else {
+                (wc * n).sin() / (PI * n)
+            };
+            sinc * win[i]
+        })
+        .collect();
+    let sum: f64 = h.iter().sum();
+    for c in &mut h {
+        *c /= sum;
+    }
+    h
+}
+
+/// A streaming FIR filter.
+#[derive(Debug, Clone)]
+pub struct Fir {
+    taps: Vec<f64>,
+    delay: VecDeque<f64>,
+}
+
+impl Fir {
+    /// Builds the filter from designed coefficients.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty());
+        let n = taps.len();
+        Self {
+            taps,
+            delay: VecDeque::from(vec![0.0; n]),
+        }
+    }
+
+    /// Convenience: streaming windowed-sinc low-pass.
+    pub fn lowpass(fs: f64, fc: f64, taps: usize) -> Self {
+        Self::new(design_lowpass(fs, fc, taps, Window::Hamming))
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// True if the filter has no taps (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Group delay in samples (exact for the symmetric designs used here).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.delay.pop_back();
+        self.delay.push_front(x);
+        self.taps
+            .iter()
+            .zip(self.delay.iter())
+            .map(|(t, d)| t * d)
+            .sum()
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        for d in &mut self.delay {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Offline convolution with 'same' output length (used by analysis code).
+pub fn filter_same(taps: &[f64], signal: &[f64]) -> Vec<f64> {
+    let delay = (taps.len() - 1) / 2;
+    let mut out = vec![0.0; signal.len()];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &t) in taps.iter().enumerate() {
+            let j = i as isize + delay as isize - k as isize;
+            if j >= 0 && (j as usize) < signal.len() {
+                acc += t * signal[j as usize];
+            }
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steady_amplitude(fir: &mut Fir, fs: f64, f: f64) -> f64 {
+        let n = 20_000;
+        let mut peak: f64 = 0.0;
+        for i in 0..n {
+            let y = fir.process((2.0 * PI * f * i as f64 / fs).sin());
+            if i > n / 2 {
+                peak = peak.max(y.abs());
+            }
+        }
+        peak
+    }
+
+    #[test]
+    fn design_is_symmetric_linear_phase() {
+        let h = design_lowpass(48_000.0, 4_000.0, 63, Window::Hamming);
+        for i in 0..31 {
+            assert!((h[i] - h[62 - i]).abs() < 1e-12, "asymmetric at {i}");
+        }
+    }
+
+    #[test]
+    fn design_has_unity_dc_gain() {
+        let h = design_lowpass(48_000.0, 4_000.0, 63, Window::Hann);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_passband_and_stopband() {
+        let fs = 48_000.0;
+        let mut f = Fir::lowpass(fs, 2_000.0, 101);
+        let pass = steady_amplitude(&mut f, fs, 500.0);
+        f.reset();
+        let stop = steady_amplitude(&mut f, fs, 10_000.0);
+        assert!(pass > 0.98, "passband droop {pass}");
+        assert!(stop < 0.01, "stopband leak {stop}");
+    }
+
+    #[test]
+    fn group_delay_is_center_tap() {
+        let f = Fir::lowpass(1_000.0, 100.0, 41);
+        assert_eq!(f.group_delay(), 20.0);
+    }
+
+    #[test]
+    fn impulse_response_replays_taps() {
+        let taps = vec![0.25, 0.5, 0.25];
+        let mut f = Fir::new(taps.clone());
+        let mut out = Vec::new();
+        out.push(f.process(1.0));
+        out.push(f.process(0.0));
+        out.push(f.process(0.0));
+        for (o, t) in out.iter().zip(&taps) {
+            assert!((o - t).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn filter_same_preserves_length_and_dc() {
+        let taps = design_lowpass(1_000.0, 100.0, 31, Window::Hamming);
+        let signal = vec![1.0; 200];
+        let out = filter_same(&taps, &signal);
+        assert_eq!(out.len(), 200);
+        // Away from the edges the DC level passes at unity gain.
+        assert!((out[100] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = Fir::lowpass(1_000.0, 100.0, 21);
+        for i in 0..50 {
+            f.process(i as f64);
+        }
+        f.reset();
+        assert_eq!(f.process(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be in")]
+    fn bad_cutoff_panics() {
+        design_lowpass(1_000.0, 500.0, 31, Window::Hamming);
+    }
+
+    use std::f64::consts::PI;
+}

@@ -1,0 +1,170 @@
+//! Carrier frequency-offset estimation.
+//!
+//! The reader's TX clock and the model of the resonant BiW never agree
+//! exactly, so after down-conversion the carrier sits at a small offset
+//! from DC and the IQ constellation spins. The "frequency offset
+//! calibration" block (Sec. 6.1) estimates the residual and retunes the
+//! mixer. The estimator is the standard phase-increment average:
+//! `f̂ = fs/(2π) · arg( Σ z[n+1]·conj(z[n]) )` — unbiased for offsets below
+//! fs/2 and robust to amplitude modulation (OOK!) because only the phase of
+//! the lag-1 product matters.
+
+use crate::cplx::Cplx;
+use std::f64::consts::PI;
+
+/// Estimates the residual carrier offset (Hz) from baseband IQ samples.
+///
+/// Returns `None` when the input is too short or has no energy.
+pub fn estimate_offset(iq: &[Cplx], fs: f64) -> Option<f64> {
+    if iq.len() < 8 {
+        return None;
+    }
+    let mut acc = Cplx::ZERO;
+    for w in iq.windows(2) {
+        acc += w[1] * w[0].conj();
+    }
+    if acc.abs() < 1e-30 {
+        return None;
+    }
+    Some(acc.arg() / (2.0 * PI) * fs)
+}
+
+/// Streaming offset tracker with exponential averaging — the form the
+/// real-time pipeline uses so a single noisy block can't yank the mixer.
+#[derive(Debug, Clone)]
+pub struct OffsetTracker {
+    fs: f64,
+    alpha: f64,
+    estimate: f64,
+    prev: Option<Cplx>,
+    acc: Cplx,
+    count: usize,
+    block: usize,
+}
+
+impl OffsetTracker {
+    /// Tracker updating its estimate every `block` samples, smoothing with
+    /// factor `alpha` in (0, 1]; larger alpha = faster adaptation.
+    pub fn new(fs: f64, block: usize, alpha: f64) -> Self {
+        assert!(block >= 2);
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Self {
+            fs,
+            alpha,
+            estimate: 0.0,
+            prev: None,
+            acc: Cplx::ZERO,
+            count: 0,
+            block,
+        }
+    }
+
+    /// Current offset estimate in Hz.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Feeds one IQ sample; returns `Some(new_estimate)` at block ends.
+    pub fn push(&mut self, z: Cplx) -> Option<f64> {
+        if let Some(p) = self.prev {
+            self.acc += z * p.conj();
+        }
+        self.prev = Some(z);
+        self.count += 1;
+        if self.count >= self.block {
+            self.count = 0;
+            let raw = if self.acc.abs() < 1e-30 {
+                self.estimate
+            } else {
+                self.acc.arg() / (2.0 * PI) * self.fs
+            };
+            self.acc = Cplx::ZERO;
+            self.estimate += self.alpha * (raw - self.estimate);
+            return Some(self.estimate);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spinning(fs: f64, offset: f64, n: usize, amp: f64) -> Vec<Cplx> {
+        (0..n)
+            .map(|i| Cplx::from_polar(amp, 2.0 * PI * offset * i as f64 / fs))
+            .collect()
+    }
+
+    #[test]
+    fn estimates_positive_offset() {
+        let iq = spinning(500_000.0, 350.0, 10_000, 1.0);
+        let f = estimate_offset(&iq, 500_000.0).unwrap();
+        assert!((f - 350.0).abs() < 1.0, "estimate {f}");
+    }
+
+    #[test]
+    fn estimates_negative_offset() {
+        let iq = spinning(500_000.0, -1_200.0, 10_000, 1.0);
+        let f = estimate_offset(&iq, 500_000.0).unwrap();
+        assert!((f + 1_200.0).abs() < 1.0, "estimate {f}");
+    }
+
+    #[test]
+    fn amplitude_modulation_does_not_bias() {
+        // OOK: half the samples near zero amplitude.
+        let fs = 500_000.0;
+        let mut iq = spinning(fs, 500.0, 10_000, 1.0);
+        for (i, z) in iq.iter_mut().enumerate() {
+            if (i / 500) % 2 == 0 {
+                *z = z.scale(0.05);
+            }
+        }
+        let f = estimate_offset(&iq, fs).unwrap();
+        assert!((f - 500.0).abs() < 5.0, "estimate {f}");
+    }
+
+    #[test]
+    fn too_short_input_is_none() {
+        assert!(estimate_offset(&[Cplx::ONE; 4], 1_000.0).is_none());
+    }
+
+    #[test]
+    fn zero_energy_is_none() {
+        assert!(estimate_offset(&[Cplx::ZERO; 100], 1_000.0).is_none());
+    }
+
+    #[test]
+    fn tracker_converges_to_true_offset() {
+        let fs = 500_000.0;
+        let iq = spinning(fs, 800.0, 50_000, 1.0);
+        let mut t = OffsetTracker::new(fs, 1_000, 0.5);
+        for &z in &iq {
+            t.push(z);
+        }
+        assert!(
+            (t.estimate() - 800.0).abs() < 2.0,
+            "tracker {}",
+            t.estimate()
+        );
+    }
+
+    #[test]
+    fn tracker_smooths_noise_bursts() {
+        let fs = 500_000.0;
+        let mut t = OffsetTracker::new(fs, 1_000, 0.2);
+        // Converge on 100 Hz.
+        for &z in &spinning(fs, 100.0, 20_000, 1.0) {
+            t.push(z);
+        }
+        let settled = t.estimate();
+        // One wild block (5 kHz) should nudge, not jump.
+        for &z in &spinning(fs, 5_000.0, 1_000, 1.0) {
+            t.push(z);
+        }
+        let after = t.estimate();
+        assert!((after - settled).abs() < 0.25 * (5_000.0 - settled));
+    }
+
+    use std::f64::consts::PI;
+}

@@ -1,0 +1,140 @@
+//! Goertzel single-bin DFT.
+//!
+//! The reader only cares about a handful of frequencies (the carrier and
+//! the FM0 subcarrier sidebands); Goertzel computes one bin's power in O(N)
+//! with two state variables — the cheap alternative to a full FFT used by
+//! the real-time energy detector.
+
+use std::f64::consts::PI;
+
+/// Streaming Goertzel filter for one target frequency.
+#[derive(Debug, Clone)]
+pub struct Goertzel {
+    coeff: f64,
+    cos_w: f64,
+    sin_w: f64,
+    s1: f64,
+    s2: f64,
+    n: usize,
+}
+
+impl Goertzel {
+    /// Detector for `freq` Hz at sample rate `fs`.
+    pub fn new(fs: f64, freq: f64) -> Self {
+        let w = 2.0 * PI * freq / fs;
+        Self {
+            coeff: 2.0 * w.cos(),
+            cos_w: w.cos(),
+            sin_w: w.sin(),
+            s1: 0.0,
+            s2: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        let s0 = x + self.coeff * self.s1 - self.s2;
+        self.s2 = self.s1;
+        self.s1 = s0;
+        self.n += 1;
+    }
+
+    /// Number of samples accumulated.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Power of the target bin over the accumulated samples, normalized so
+    /// a unit-amplitude tone at the target frequency yields ≈ 0.25
+    /// (amplitude²/4, the standard single-bin convention).
+    pub fn power(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let real = self.s1 * self.cos_w - self.s2;
+        let imag = self.s1 * self.sin_w;
+        (real * real + imag * imag) / (self.n as f64 * self.n as f64)
+    }
+
+    /// Restarts accumulation.
+    pub fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+        self.n = 0;
+    }
+}
+
+/// One-shot convenience: bin power of `signal` at `freq`.
+pub fn tone_power(signal: &[f64], fs: f64, freq: f64) -> f64 {
+    let mut g = Goertzel::new(fs, freq);
+    for &x in signal {
+        g.push(x);
+    }
+    g.power()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(fs: f64, f: f64, n: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn detects_matching_tone() {
+        let fs = 10_000.0;
+        let sig = tone(fs, 1_000.0, 1_000, 1.0);
+        let p = tone_power(&sig, fs, 1_000.0);
+        assert!((p - 0.25).abs() < 0.01, "power {p}");
+    }
+
+    #[test]
+    fn rejects_distant_tone() {
+        let fs = 10_000.0;
+        let sig = tone(fs, 3_000.0, 1_000, 1.0);
+        let p = tone_power(&sig, fs, 1_000.0);
+        assert!(p < 1e-4, "leakage {p}");
+    }
+
+    #[test]
+    fn power_scales_with_amplitude_squared() {
+        let fs = 10_000.0;
+        let p1 = tone_power(&tone(fs, 500.0, 2_000, 1.0), fs, 500.0);
+        let p2 = tone_power(&tone(fs, 500.0, 2_000, 2.0), fs, 500.0);
+        assert!((p2 / p1 - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let g = Goertzel::new(1_000.0, 100.0);
+        assert_eq!(g.power(), 0.0);
+    }
+
+    #[test]
+    fn reset_restarts_accumulation() {
+        let fs = 10_000.0;
+        let mut g = Goertzel::new(fs, 1_000.0);
+        for &x in &tone(fs, 1_000.0, 500, 1.0) {
+            g.push(x);
+        }
+        g.reset();
+        assert_eq!(g.count(), 0);
+        assert_eq!(g.power(), 0.0);
+    }
+
+    #[test]
+    fn agrees_with_fft_bin() {
+        let fs = 1_024.0;
+        let n = 1_024;
+        let f = 128.0; // exactly bin 128
+        let sig = tone(fs, f, n, 1.0);
+        let g = tone_power(&sig, fs, f);
+        let spec = crate::fft::fft_real(&sig);
+        let fft_p = spec[128].norm_sq() / (n as f64 * n as f64);
+        assert!((g - fft_p).abs() < 1e-9, "goertzel {g} vs fft {fft_p}");
+    }
+}

@@ -1,0 +1,275 @@
+//! RBJ biquad IIR filters.
+//!
+//! The RX chain needs cheap streaming filters: a band-pass around the
+//! 90 kHz carrier before down-conversion and low-passes after mixing. The
+//! classic Audio-EQ-Cookbook biquads cover all of it in 5 multiplies per
+//! sample.
+
+use std::f64::consts::PI;
+
+/// A direct-form-I biquad section.
+#[derive(Debug, Clone)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+}
+
+impl Biquad {
+    /// Low-pass with cutoff `fc` (Hz) and quality `q` at sample rate `fs`.
+    pub fn lowpass(fs: f64, fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, fs/2)");
+        let w0 = 2.0 * PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let b1 = 1.0 - cw;
+        let b0 = b1 / 2.0;
+        let b2 = b0;
+        let a0 = 1.0 + alpha;
+        Self::normalize(b0, b1, b2, a0, -2.0 * cw, 1.0 - alpha)
+    }
+
+    /// High-pass with cutoff `fc` (Hz) and quality `q`.
+    pub fn highpass(fs: f64, fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, fs/2)");
+        let w0 = 2.0 * PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let b0 = (1.0 + cw) / 2.0;
+        let b1 = -(1.0 + cw);
+        let b2 = b0;
+        let a0 = 1.0 + alpha;
+        Self::normalize(b0, b1, b2, a0, -2.0 * cw, 1.0 - alpha)
+    }
+
+    /// Band-pass (constant 0 dB peak gain) centred at `fc` with quality `q`.
+    pub fn bandpass(fs: f64, fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < fs / 2.0, "centre must be in (0, fs/2)");
+        let w0 = 2.0 * PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::normalize(alpha, 0.0, -alpha, a0, -2.0 * cw, 1.0 - alpha)
+    }
+
+    fn normalize(b0: f64, b1: f64, b2: f64, a0: f64, a1: f64, a2: f64) -> Self {
+        Self {
+            b0: b0 / a0,
+            b1: b1 / a0,
+            b2: b2 / a0,
+            a1: a1 / a0,
+            a2: a2 / a0,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        }
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.b1 * self.x1 + self.b2 * self.x2
+            - self.a1 * self.y1
+            - self.a2 * self.y2;
+        self.x2 = self.x1;
+        self.x1 = x;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    /// Processes a block in place.
+    pub fn process_block(&mut self, data: &mut [f64]) {
+        for x in data {
+            *x = self.process(*x);
+        }
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.x2 = 0.0;
+        self.y1 = 0.0;
+        self.y2 = 0.0;
+    }
+
+    /// Magnitude response at frequency `f` (Hz) for sample rate `fs`.
+    pub fn magnitude_at(&self, fs: f64, f: f64) -> f64 {
+        use crate::cplx::Cplx;
+        let w = 2.0 * PI * f / fs;
+        let z1 = Cplx::cis(-w);
+        let z2 = Cplx::cis(-2.0 * w);
+        let num = Cplx::new(self.b0, 0.0) + z1 * self.b1 + z2 * self.b2;
+        let den = Cplx::ONE + z1 * self.a1 + z2 * self.a2;
+        num.abs() / den.abs()
+    }
+}
+
+/// A cascade of biquads (higher-order filters).
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    sections: Vec<Biquad>,
+}
+
+impl Cascade {
+    /// Builds a cascade from sections.
+    pub fn new(sections: Vec<Biquad>) -> Self {
+        Self { sections }
+    }
+
+    /// N identical low-pass sections (Butterworth-ish roll-off ≈ 12N dB/oct).
+    pub fn lowpass(fs: f64, fc: f64, sections: usize) -> Self {
+        Self::new(
+            (0..sections)
+                .map(|_| Biquad::lowpass(fs, fc, std::f64::consts::FRAC_1_SQRT_2))
+                .collect(),
+        )
+    }
+
+    /// Processes one sample through all sections.
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.sections.iter_mut().fold(x, |acc, s| s.process(acc))
+    }
+
+    /// Clears all delay lines.
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone_response(filter: &mut Biquad, fs: f64, f: f64) -> f64 {
+        // Steady-state amplitude of a sine through the filter.
+        let n = (fs / f).ceil() as usize * 50;
+        let mut peak: f64 = 0.0;
+        for i in 0..n {
+            let x = (2.0 * PI * f * i as f64 / fs).sin();
+            let y = filter.process(x);
+            if i > n / 2 {
+                peak = peak.max(y.abs());
+            }
+        }
+        peak
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        let fs = 48_000.0;
+        let mut f = Biquad::lowpass(fs, 1_000.0, std::f64::consts::FRAC_1_SQRT_2);
+        let low = tone_response(&mut f, fs, 100.0);
+        f.reset();
+        let high = tone_response(&mut f, fs, 10_000.0);
+        assert!(low > 0.95, "passband droop: {low}");
+        assert!(high < 0.05, "stopband leak: {high}");
+    }
+
+    #[test]
+    fn highpass_blocks_low_passes_high() {
+        let fs = 48_000.0;
+        let mut f = Biquad::highpass(fs, 5_000.0, std::f64::consts::FRAC_1_SQRT_2);
+        let low = tone_response(&mut f, fs, 200.0);
+        f.reset();
+        let high = tone_response(&mut f, fs, 20_000.0);
+        assert!(low < 0.05, "stopband leak: {low}");
+        assert!(high > 0.9, "passband droop: {high}");
+    }
+
+    #[test]
+    fn bandpass_peaks_at_center() {
+        let fs = 500_000.0;
+        let mut f = Biquad::bandpass(fs, 90_000.0, 5.0);
+        let center = tone_response(&mut f, fs, 90_000.0);
+        f.reset();
+        let below = tone_response(&mut f, fs, 30_000.0);
+        f.reset();
+        let above = tone_response(&mut f, fs, 200_000.0);
+        assert!(center > 0.9, "center droop: {center}");
+        assert!(below < 0.2 && above < 0.2, "skirts leak: {below}, {above}");
+    }
+
+    #[test]
+    fn magnitude_response_matches_time_domain() {
+        let fs = 48_000.0;
+        let mut f = Biquad::lowpass(fs, 2_000.0, std::f64::consts::FRAC_1_SQRT_2);
+        let analytic = f.magnitude_at(fs, 2_000.0);
+        let measured = tone_response(&mut f, fs, 2_000.0);
+        assert!(
+            (analytic - measured).abs() < 0.02,
+            "{analytic} vs {measured}"
+        );
+        // Butterworth cutoff is −3 dB.
+        assert!((analytic - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+    }
+
+    #[test]
+    fn dc_gain_of_lowpass_is_unity() {
+        let f = Biquad::lowpass(1_000.0, 100.0, 0.707);
+        assert!((f.magnitude_at(1_000.0, 1e-6) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn process_block_equals_sample_loop() {
+        let mut a = Biquad::lowpass(1_000.0, 100.0, 0.707);
+        let mut b = a.clone();
+        let input: Vec<f64> = (0..64).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut block = input.clone();
+        a.process_block(&mut block);
+        let loop_out: Vec<f64> = input.iter().map(|&x| b.process(x)).collect();
+        for (x, y) in block.iter().zip(&loop_out) {
+            assert!((x - y).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cascade_steepens_rolloff() {
+        let fs = 48_000.0;
+        let f_test = 4_000.0;
+        let mut single = Cascade::lowpass(fs, 1_000.0, 1);
+        let mut quad = Cascade::lowpass(fs, 1_000.0, 4);
+        let mut peak1: f64 = 0.0;
+        let mut peak4: f64 = 0.0;
+        for i in 0..20_000 {
+            let x = (2.0 * PI * f_test * i as f64 / fs).sin();
+            let y1 = single.process(x);
+            let y4 = quad.process(x);
+            if i > 10_000 {
+                peak1 = peak1.max(y1.abs());
+                peak4 = peak4.max(y4.abs());
+            }
+        }
+        assert!(
+            peak4 < peak1 * 0.1,
+            "cascade not steeper: {peak4} vs {peak1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be in")]
+    fn cutoff_above_nyquist_panics() {
+        Biquad::lowpass(1_000.0, 600.0, 0.707);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = Biquad::lowpass(1_000.0, 100.0, 0.707);
+        for i in 0..100 {
+            f.process(i as f64);
+        }
+        f.reset();
+        // After reset, response to zero input is zero.
+        assert_eq!(f.process(0.0), 0.0);
+    }
+
+    use std::f64::consts::PI;
+}

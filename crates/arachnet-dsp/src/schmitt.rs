@@ -1,0 +1,153 @@
+//! Schmitt trigger (hysteresis comparator).
+//!
+//! Two uses in ARACHNET: the tag's comparator that squares the envelope
+//! into MCU-ready logic levels (Fig. 3), and the reader's "Schmitt
+//! triggering" RX block (Sec. 6.1). Hysteresis prevents chatter when the
+//! input hovers near the threshold.
+
+/// A hysteresis comparator.
+#[derive(Debug, Clone)]
+pub struct Schmitt {
+    high: f64,
+    low: f64,
+    state: bool,
+}
+
+/// An edge event emitted by [`Schmitt::process_with_edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Output went low → high at the given sample index.
+    Rising(usize),
+    /// Output went high → low at the given sample index.
+    Falling(usize),
+}
+
+impl Schmitt {
+    /// Comparator switching high above `high` and low below `low`.
+    pub fn new(high: f64, low: f64) -> Self {
+        assert!(high > low, "hysteresis requires high > low");
+        Self {
+            high,
+            low,
+            state: false,
+        }
+    }
+
+    /// Symmetric hysteresis around `center` with total width `width`.
+    pub fn around(center: f64, width: f64) -> Self {
+        Self::new(center + width / 2.0, center - width / 2.0)
+    }
+
+    /// Current output level.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Feeds one sample; returns the (possibly updated) output.
+    pub fn process(&mut self, x: f64) -> bool {
+        if self.state {
+            if x < self.low {
+                self.state = false;
+            }
+        } else if x > self.high {
+            self.state = true;
+        }
+        self.state
+    }
+
+    /// Processes a block and also reports the edges (used by the
+    /// interrupt-driven PIE demodulator, which is *edge*-triggered).
+    pub fn process_with_edges(&mut self, input: &[f64]) -> (Vec<bool>, Vec<Edge>) {
+        let mut levels = Vec::with_capacity(input.len());
+        let mut edges = Vec::new();
+        for (i, &x) in input.iter().enumerate() {
+            let before = self.state;
+            let after = self.process(x);
+            if !before && after {
+                edges.push(Edge::Rising(i));
+            } else if before && !after {
+                edges.push(Edge::Falling(i));
+            }
+            levels.push(after);
+        }
+        (levels, edges)
+    }
+
+    /// Forces the output low.
+    pub fn reset(&mut self) {
+        self.state = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_at_thresholds() {
+        let mut s = Schmitt::new(0.6, 0.4);
+        assert!(!s.process(0.5)); // between thresholds, stays low
+        assert!(s.process(0.7)); // above high → high
+        assert!(s.process(0.5)); // between thresholds, stays high
+        assert!(!s.process(0.3)); // below low → low
+    }
+
+    #[test]
+    fn hysteresis_rejects_chatter() {
+        let mut s = Schmitt::new(0.6, 0.4);
+        s.process(0.7); // go high
+                        // Noise oscillating within the dead band must not toggle.
+        let noisy = [0.55, 0.45, 0.58, 0.42, 0.5];
+        for &x in &noisy {
+            assert!(s.process(x));
+        }
+    }
+
+    #[test]
+    fn plain_comparator_would_chatter_but_schmitt_does_not() {
+        let mut s = Schmitt::new(0.6, 0.4);
+        let input: Vec<f64> = (0..100).map(|i| 0.5 + 0.08 * (i as f64).sin()).collect();
+        let (_, edges) = s.process_with_edges(&input);
+        assert!(
+            edges.is_empty(),
+            "dead-band noise produced {} edges",
+            edges.len()
+        );
+    }
+
+    #[test]
+    fn edges_are_reported_with_indices() {
+        let mut s = Schmitt::new(0.6, 0.4);
+        let input = [0.0, 0.7, 0.7, 0.1, 0.7];
+        let (levels, edges) = s.process_with_edges(&input);
+        assert_eq!(levels, vec![false, true, true, false, true]);
+        assert_eq!(
+            edges,
+            vec![Edge::Rising(1), Edge::Falling(3), Edge::Rising(4)]
+        );
+    }
+
+    #[test]
+    fn around_builds_symmetric_band() {
+        let mut s = Schmitt::around(1.0, 0.2);
+        assert!(!s.process(1.05)); // inside band
+        assert!(s.process(1.15)); // above 1.1
+        assert!(s.process(0.95)); // inside band
+        assert!(!s.process(0.85)); // below 0.9
+    }
+
+    #[test]
+    #[should_panic(expected = "high > low")]
+    fn inverted_thresholds_panic() {
+        Schmitt::new(0.4, 0.6);
+    }
+
+    #[test]
+    fn reset_forces_low() {
+        let mut s = Schmitt::new(0.6, 0.4);
+        s.process(1.0);
+        assert!(s.state());
+        s.reset();
+        assert!(!s.state());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests over the DSP substrate.
+
+use arachnet_dsp::correlate::normalized_correlation;
+use arachnet_dsp::cplx::Cplx;
+use arachnet_dsp::decimate::Decimator;
+use arachnet_dsp::fft::{fft_in_place, ifft_in_place};
+use arachnet_dsp::fir::design_lowpass;
+use arachnet_dsp::iir::Biquad;
+use arachnet_dsp::pipeline::{pump, FnStage, RingBuffer};
+use arachnet_dsp::schmitt::Schmitt;
+use arachnet_dsp::window::Window;
+use proptest::prelude::*;
+
+proptest! {
+    /// FFT followed by IFFT recovers the input for arbitrary complex data.
+    #[test]
+    fn fft_ifft_roundtrip(res in prop::collection::vec(-100.0f64..100.0, 64), ims in prop::collection::vec(-100.0f64..100.0, 64)) {
+        let orig: Vec<Cplx> = res.iter().zip(&ims).map(|(&r, &i)| Cplx::new(r, i)).collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// Windowed-sinc low-pass designs are symmetric (exactly linear phase)
+    /// and unity-DC for arbitrary legal parameters.
+    #[test]
+    fn fir_design_invariants(
+        fc_frac in 0.01f64..0.45,
+        taps_half in 5usize..60,
+        win in prop::sample::select(vec![Window::Rectangular, Window::Hann, Window::Hamming]),
+    ) {
+        let taps = 2 * taps_half + 1;
+        let h = design_lowpass(1_000.0, fc_frac * 1_000.0, taps, win);
+        prop_assert_eq!(h.len(), taps);
+        for i in 0..taps / 2 {
+            prop_assert!((h[i] - h[taps - 1 - i]).abs() < 1e-12, "asymmetry at {}", i);
+        }
+        let dc: f64 = h.iter().sum();
+        prop_assert!((dc - 1.0).abs() < 1e-9);
+    }
+
+    /// A biquad low-pass is BIBO stable: bounded input gives bounded output.
+    #[test]
+    fn biquad_is_stable(
+        fc_frac in 0.01f64..0.45,
+        q in 0.3f64..5.0,
+        input in prop::collection::vec(-1.0f64..1.0, 500),
+    ) {
+        let mut f = Biquad::lowpass(1_000.0, fc_frac * 1_000.0, q);
+        for &x in &input {
+            let y = f.process(x);
+            // Resonant peaking is bounded by ~q; allow generous headroom.
+            prop_assert!(y.abs() < 20.0 * q.max(1.0), "unstable output {}", y);
+            prop_assert!(y.is_finite());
+        }
+    }
+
+    /// The decimator outputs exactly floor(n/factor) samples, regardless of
+    /// how the input is chunked.
+    #[test]
+    fn decimator_length_and_chunking(
+        factor in 1usize..12,
+        n in 1usize..400,
+        split in 1usize..399,
+    ) {
+        let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut whole = Decimator::new(1_000.0, factor, 15);
+        let out_whole = whole.process_block(&input);
+        prop_assert_eq!(out_whole.len(), n / factor);
+        let s = split.min(n);
+        let mut parts = Decimator::new(1_000.0, factor, 15);
+        let mut out_parts = parts.process_block(&input[..s]);
+        out_parts.extend(parts.process_block(&input[s..]));
+        prop_assert_eq!(out_whole.len(), out_parts.len());
+        for (a, b) in out_whole.iter().zip(&out_parts) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Schmitt output only changes when the input crosses the appropriate
+    /// threshold — never inside the dead band.
+    #[test]
+    fn schmitt_honors_hysteresis(
+        input in prop::collection::vec(-2.0f64..2.0, 200),
+        band in 0.05f64..0.8,
+    ) {
+        let (hi, lo) = (band / 2.0, -band / 2.0);
+        let mut s = Schmitt::new(hi, lo);
+        let mut state = false;
+        for &x in &input {
+            let next = s.process(x);
+            if next != state {
+                if next {
+                    prop_assert!(x > hi, "rose at {} (hi {})", x, hi);
+                } else {
+                    prop_assert!(x < lo, "fell at {} (lo {})", x, lo);
+                }
+            }
+            state = next;
+        }
+    }
+
+    /// Normalized cross-correlation scores always lie in [-1, 1].
+    #[test]
+    fn ncc_is_normalized(
+        signal in prop::collection::vec(-10.0f64..10.0, 30..120),
+        template in prop::collection::vec(-1.0f64..1.0, 8..24),
+    ) {
+        for score in normalized_correlation(&signal, &template) {
+            prop_assert!((-1.0001..=1.0001).contains(&score), "score {}", score);
+        }
+    }
+
+    /// The back-pressure pump preserves order and loses nothing for an
+    /// arbitrary interleaving of pushes, pumps and pops.
+    #[test]
+    fn pipeline_is_lossless_fifo(ops in prop::collection::vec(0u8..3, 10..300)) {
+        let mut stage = FnStage::new(1, |x: u32, out: &mut Vec<u32>| out.push(x));
+        let mut input = RingBuffer::new(16);
+        let mut output = RingBuffer::new(8);
+        let mut next = 0u32;
+        let mut received = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    let _ = input.push(next).map(|_| next += 1);
+                }
+                1 => {
+                    pump(&mut stage, &mut input, &mut output);
+                }
+                _ => {
+                    if let Some(v) = output.pop() {
+                        received.push(v);
+                    }
+                }
+            }
+        }
+        // Drain.
+        loop {
+            let moved = pump(&mut stage, &mut input, &mut output);
+            let mut drained = false;
+            while let Some(v) = output.pop() {
+                received.push(v);
+                drained = true;
+            }
+            if moved == 0 && !drained && input.is_empty() {
+                break;
+            }
+        }
+        prop_assert_eq!(received.len(), next as usize);
+        for (i, &v) in received.iter().enumerate() {
+            prop_assert_eq!(v, i as u32);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # arachnet-energy — the tag's energy-harvesting chain (Sec. 3)
+//!
+//! Everything between the tag's PZT and its MCU power pin:
+//!
+//! * [`multiplier`] — the N-stage voltage multiplier (Fig. 4):
+//!   `V_DD = 2N (V_P − V_ON)` with Schottky diodes, plus the pump's output
+//!   resistance that throttles charging current;
+//! * [`storage`] — the 1 mF tantalum supercapacitor with its datasheet
+//!   leakage;
+//! * [`cutoff`] — the low-voltage cutoff with hysteresis (Appendix A):
+//!   resistor-programmed thresholds V_HTH = 2.3 V / V_LTH = 1.95 V;
+//! * [`harvester`] — the assembled chain: charge-time predictions
+//!   (Fig. 11b), resume-from-LTH behaviour, net charging power;
+//! * [`ambient`] — the future-work auxiliary source: harvesting the
+//!   vehicle's own sub-100 Hz vibration (Sec. 2.2 discussion);
+//! * [`ledger`] — per-mode power accounting (Table 2): the RX/TX/IDLE
+//!   currents *derived* from the interrupt-driven duty cycles of Sec. 4.3
+//!   rather than hard-coded.
+//!
+//! Units: volts, amps, seconds, farads, watts throughout (no milli/micro
+//! scaling surprises); display helpers format µW/µA where the paper does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ambient;
+pub mod cutoff;
+pub mod harvester;
+pub mod ledger;
+pub mod multiplier;
+pub mod storage;
+
+pub use cutoff::LowVoltageCutoff;
+pub use harvester::HarvestChain;
+pub use ledger::{PowerLedger, PowerMode};
+pub use multiplier::Multiplier;
+pub use storage::SuperCap;

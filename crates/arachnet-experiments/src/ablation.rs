@@ -1,0 +1,311 @@
+//! Ablation studies — what each design choice buys.
+//!
+//! The paper motivates four refinements (Secs. 4.1, 5.4–5.6) and one
+//! threshold (N = 3). These runners switch each off in turn and measure
+//! the damage, quantifying claims the paper only argues qualitatively.
+
+use arachnet_core::mac::ProtocolConfig;
+use arachnet_sim::metrics::five_num;
+use arachnet_sim::patterns::Pattern;
+use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+use arachnet_sim::wavesim::WaveSim;
+use biw_channel::resonator::DriveScheme;
+
+use crate::render::{self, f};
+
+/// Protocol-refinement ablation: convergence and long-run health of c3
+/// under realistic losses, with each refinement disabled in turn.
+pub fn run_protocol(trials: u64, seed: u64) -> String {
+    let variants: Vec<(&str, ProtocolConfig)> = vec![
+        ("full protocol", ProtocolConfig::default()),
+        (
+            "no beacon-timeout migrate (5.4)",
+            ProtocolConfig {
+                beacon_timeout_migrate: false,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "no EMPTY gating (5.5)",
+            ProtocolConfig {
+                empty_gating: false,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "no future-collision avoidance (5.6)",
+            ProtocolConfig {
+                future_collision_avoidance: false,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "vanilla feedback only (5.3)",
+            ProtocolConfig::vanilla_feedback(),
+        ),
+        (
+            "N = 1",
+            ProtocolConfig {
+                nack_threshold: 1,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "N = 6",
+            ProtocolConfig {
+                nack_threshold: 6,
+                ..ProtocolConfig::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, protocol) in &variants {
+        // Convergence (ideal channel, RESET protocol).
+        let mut conv: Vec<f64> = Vec::new();
+        for t in 0..trials {
+            let mut sim = SlotSim::new(SlotSimConfig {
+                protocol: *protocol,
+                ..SlotSimConfig::ideal(Pattern::c3(), seed ^ t)
+            });
+            sim.run(4);
+            sim.reset_network();
+            conv.push(
+                sim.run_until_converged(300_000)
+                    .converged_at
+                    .unwrap_or(300_000) as f64,
+            );
+        }
+        // Long-run health under losses.
+        let mut sim = SlotSim::new(SlotSimConfig {
+            protocol: *protocol,
+            dl_loss_prob: 0.005,
+            ..SlotSimConfig::new(Pattern::c3(), seed)
+        });
+        let run = sim.run(5_000);
+        let s = five_num(&conv);
+        rows.push(vec![
+            name.to_string(),
+            f(s.median, 0),
+            f(s.max, 0),
+            f(run.non_empty_ratio, 3),
+            f(run.collision_ratio, 3),
+        ]);
+    }
+    let mut out = render::table(
+        &format!(
+            "Ablation — protocol refinements (c3, {trials} trials; long run at 0.5 % DL loss)"
+        ),
+        &[
+            "variant",
+            "conv. median",
+            "conv. max",
+            "non-empty",
+            "collision",
+        ],
+        &rows,
+    );
+    out.push_str(
+        "expected: disabling the 5.4 timeout leaves desynchronized tags colliding longer; \
+         larger N tolerates\nmore transient NACKs but reacts slower; the 5.5/5.6 refinements \
+         matter most for late arrivals (see `repro ablation-latearrival`).\n",
+    );
+    out
+}
+
+/// Late-arrival ablation: cold-start integration with and without the
+/// Sec. 5.5 / 5.6 refinements.
+pub fn run_late_arrival(trials: u64, seed: u64) -> String {
+    let variants: Vec<(&str, ProtocolConfig)> = vec![
+        ("full protocol", ProtocolConfig::default()),
+        (
+            "no EMPTY gating (5.5)",
+            ProtocolConfig {
+                empty_gating: false,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "no future-collision avoidance (5.6)",
+            ProtocolConfig {
+                future_collision_avoidance: false,
+                ..ProtocolConfig::default()
+            },
+        ),
+    ];
+    let horizon = 1_500u64;
+    let mut rows = Vec::new();
+    for (name, protocol) in &variants {
+        let mut settled_counts = Vec::new();
+        let mut disruption = Vec::new();
+        for t in 0..trials {
+            let mut sim = SlotSim::new(SlotSimConfig {
+                protocol: *protocol,
+                charged_start: false, // staggered activation = real late arrivals
+                ..SlotSimConfig::ideal(Pattern::c3(), seed ^ (t << 8))
+            });
+            let run = sim.run(horizon);
+            let settled = sim
+                .tags()
+                .iter()
+                .filter(|tg| tg.mac().state() == arachnet_core::mac::MacState::Settle)
+                .count();
+            settled_counts.push(settled as f64);
+            disruption.push(run.collision_ratio);
+        }
+        rows.push(vec![
+            name.to_string(),
+            f(arachnet_sim::metrics::mean(&settled_counts), 1),
+            f(arachnet_sim::metrics::mean(&disruption), 4),
+        ]);
+    }
+    let mut out = render::table(
+        &format!("Ablation — late arrivals (cold start, c3, {horizon} slots, {trials} trials)"),
+        &["variant", "settled tags (of 12)", "collision ratio"],
+        &rows,
+    );
+    out.push_str(
+        "EMPTY gating lets newcomers probe only unused slots; admission control prevents \
+         latent period conflicts.\nDisabling them trades integration for disruption of the \
+         settled schedule.\n",
+    );
+    out
+}
+
+/// Drive-scheme ablation (Sec. 4.1): plain OOK's ring tail vs the paper's
+/// FSK-in/OOK-out on downlink loss.
+pub fn run_drive_scheme(n: u64, seed: u64) -> String {
+    let schemes = [
+        ("FSK in / OOK out (paper)", DriveScheme::paper_default()),
+        ("plain OOK (ring tail)", DriveScheme::PlainOok),
+    ];
+    let rates = [250.0, 500.0, 1_000.0];
+    let mut rows = Vec::new();
+    for (name, scheme) in schemes {
+        let sim = WaveSim::paper(seed).with_drive_scheme(scheme);
+        let mut row = vec![name.to_string()];
+        for &bps in &rates {
+            let r = sim.downlink_trial(8, bps, n);
+            row.push(format!("{}/{}", r.lost, r.sent));
+        }
+        rows.push(row);
+    }
+    let mut out = render::table(
+        "Ablation — TX drive scheme vs DL loss (Tag 8)",
+        &["scheme", "250 bps", "500 bps", "1000 bps"],
+        &rows,
+    );
+    out.push_str(
+        "plain OOK's free ring tail (~0.5 ms) stretches every falling edge, corrupting PIE \
+         intervals at higher rates;\nthe FSK-in/OOK-out drive keeps the transducer \
+         amplifier-loaded and the tail ~5x shorter (Sec. 4.1).\n",
+    );
+    out
+}
+
+/// Multiplier-stage ablation (Sec. 3.2): how many tags can activate at
+/// each stage count, and at what charging speed.
+pub fn run_stages() -> String {
+    use arachnet_energy::cutoff::LowVoltageCutoff;
+    use arachnet_energy::harvester::HarvestChain;
+    use arachnet_energy::multiplier::Multiplier;
+    use biw_channel::channel::{BiwChannel, ChannelConfig};
+    use biw_channel::noise::NoiseConfig;
+    let ch = BiwChannel::paper(ChannelConfig {
+        noise: NoiseConfig::silent(),
+        ..ChannelConfig::default()
+    });
+    let mut rows = Vec::new();
+    for stages in [2u32, 4, 6, 8, 10] {
+        let chain = HarvestChain {
+            multiplier: Multiplier::new(stages),
+            capacitance: 1.0e-3,
+            cutoff: LowVoltageCutoff::paper(),
+        };
+        let mut activated = 0;
+        let mut fastest = f64::MAX;
+        for tid in 1..=12u8 {
+            let vp = ch.tag_carrier_voltage(tid).unwrap();
+            if let Some(t) = chain.full_charge_time(vp) {
+                activated += 1;
+                fastest = fastest.min(t);
+            }
+        }
+        rows.push(vec![
+            format!("{stages}"),
+            format!("{activated}/12"),
+            if fastest.is_finite() {
+                f(fastest, 1)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    let mut out = render::table(
+        "Ablation — multiplier stage count",
+        &["stages", "tags activating", "fastest charge (s)"],
+        &rows,
+    );
+    out.push_str(
+        "the paper picks 8 stages: the fewest that activate all 12 tags. More stages add \
+         output impedance\n(slower charging) for no extra coverage.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_ablation_renders_all_variants() {
+        let out = run_protocol(1, 5);
+        for v in ["full protocol", "vanilla", "N = 6"] {
+            assert!(out.contains(v), "{v} missing");
+        }
+    }
+
+    #[test]
+    fn late_arrival_ablation_runs() {
+        let out = run_late_arrival(1, 5);
+        assert!(out.contains("settled tags"));
+    }
+
+    #[test]
+    fn drive_scheme_shows_ring_damage() {
+        let out = run_drive_scheme(40, 5);
+        assert!(out.contains("plain OOK"));
+        // Parse the two 1000 bps cells: plain OOK must lose at least as
+        // many beacons as the paper scheme.
+        let lines: Vec<&str> = out.lines().collect();
+        let get = |needle: &str| {
+            lines
+                .iter()
+                .find(|l| l.contains(needle))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|c| c.split('/').next())
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap()
+        };
+        let fsk = get("FSK in");
+        let ook = get("plain OOK");
+        assert!(
+            ook >= fsk,
+            "ring tail should not help: ook {ook} vs fsk {fsk}"
+        );
+    }
+
+    #[test]
+    fn stage_ablation_shows_8_is_minimal_full_coverage() {
+        let out = run_stages();
+        assert!(out.contains("8") && out.contains("12/12"));
+        // At 6 stages at least one tag is stranded.
+        let line6 = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("6 "))
+            .unwrap();
+        assert!(
+            !line6.contains("12/12"),
+            "6 stages should strand a tag: {line6}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig. 13 — downlink packet loss (a) and synchronization offset (b).
+
+use arachnet_core::rates::DL_RATES_BPS;
+use arachnet_sim::wavesim::WaveSim;
+
+use crate::render::{self, f};
+
+/// Fig. 13(a): beacons lost of `n` sent, per tag and DL rate.
+pub fn run_a(n: u64, seed: u64) -> String {
+    let sim = WaveSim::paper(seed);
+    let tags = [8u8, 4, 11];
+    let mut rows = Vec::new();
+    for &tid in &tags {
+        let mut row = vec![format!("Tag {tid}")];
+        for &bps in &DL_RATES_BPS {
+            let r = sim.downlink_trial(tid, bps, n);
+            row.push(format!("{}", r.lost));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("Tag".to_string())
+        .chain(DL_RATES_BPS.iter().map(|b| format!("{b}")))
+        .collect();
+    let h: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut out = render::table(
+        &format!("Fig. 13(a) — Downlink beacons lost of {n} sent, vs raw rate (bps)"),
+        &h,
+        &rows,
+    );
+    out.push_str(
+        "paper: near-zero loss at 125–500 bps; surge at 1000/2000 bps caused by the 12 kHz \
+         timer quantisation,\nsupply-dependent clock drift, and the reader's 0.1–0.3 ms \
+         software PIE jitter.\n",
+    );
+    out
+}
+
+/// Fig. 13(b): per-tag beacon decode-completion offset vs Tag 6 (ms).
+pub fn run_b(seed: u64) -> String {
+    let sim = WaveSim::paper(seed);
+    let offsets = sim.sync_offsets();
+    let rows: Vec<Vec<String>> = offsets
+        .iter()
+        .map(|&(tid, off)| vec![format!("{tid}"), f(off * 1e3, 3)])
+        .collect();
+    let mut out = render::table(
+        "Fig. 13(b) — Beacon synchronization offset vs Tag 6 (ms)",
+        &["Tag", "offset (ms)"],
+        &rows,
+    );
+    let max = offsets.iter().map(|&(_, o)| o.abs()).fold(0.0f64, f64::max);
+    out.push_str(&format!(
+        "max |offset| = {:.3} ms (paper: all tags within 5.0 ms).\n",
+        max * 1e3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig13a_covers_rates() {
+        let out = super::run_a(5, 1);
+        assert!(out.contains("2000"));
+        assert!(out.contains("Tag 4"));
+    }
+
+    #[test]
+    fn fig13b_reports_bound() {
+        let out = super::run_b(1);
+        assert!(out.contains("max |offset|"));
+    }
+}

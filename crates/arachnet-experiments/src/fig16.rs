@@ -1,0 +1,49 @@
+//! Fig. 16 — long-running slot statistics under pattern c3.
+
+use arachnet_sim::patterns::Pattern;
+use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+
+use crate::render::{self, f};
+
+/// Runs c3 for `slots` slots and prints the windowed trajectory plus the
+/// whole-run averages the paper reports.
+pub fn run(slots: u64, seed: u64) -> String {
+    let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), seed));
+    sim.record_trajectory(true);
+    let run = sim.run(slots);
+    let stride = (slots / 20).max(1) as usize;
+    let rows: Vec<Vec<String>> = run
+        .trajectory
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i == run.trajectory.len() - 1)
+        .map(|(i, &(ne, col))| {
+            let bar = "#".repeat((ne * 40.0) as usize);
+            vec![format!("{i}"), f(ne, 3), f(col, 3), bar]
+        })
+        .collect();
+    let mut out = render::table(
+        &format!(
+            "Fig. 16 — Non-empty / collision ratio over {slots} slots (32-slot window, pattern c3)"
+        ),
+        &["slot", "non-empty", "collision", "non-empty bar"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "whole-run averages: non-empty = {:.3} (paper: 0.812; theoretical upper bound \
+         0.84375), collision = {:.3} (paper: 0.056).\nfluctuations stem from DL beacon loss \
+         (slot desynchronization) and UL decode failures.\n",
+        run.non_empty_ratio, run.collision_ratio
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_reports_averages() {
+        let out = super::run(500, 1);
+        assert!(out.contains("whole-run averages"));
+        assert!(out.contains("0.84375"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 17(b) — strain measurement vs metal displacement.
+
+use arachnet_sensors::StrainSensor;
+
+use crate::render::{self, f};
+
+/// Sweeps the displacement −10…+10 cm for the three gauges (Tags A/B/C).
+pub fn run() -> String {
+    let gauges = [
+        ("Tag A", StrainSensor::default().with_gain_factor(1.0)),
+        ("Tag B", StrainSensor::default().with_gain_factor(0.85)),
+        ("Tag C", StrainSensor::default().with_gain_factor(1.15)),
+    ];
+    let mut rows = Vec::new();
+    for step in 0..=10 {
+        let d = -0.10 + 0.02 * f64::from(step);
+        let mut row = vec![f(d * 100.0, 0)];
+        for (_, g) in &gauges {
+            row.push(f(g.voltage(d), 3));
+        }
+        row.push(format!("{}", gauges[0].1.sample(d)));
+        rows.push(row);
+    }
+    let mut out = render::table(
+        "Fig. 17(b) — Sensor voltage vs displacement",
+        &[
+            "disp (cm)",
+            "Tag A (V)",
+            "Tag B (V)",
+            "Tag C (V)",
+            "ADC code (A)",
+        ],
+        &rows,
+    );
+    out.push_str(
+        "paper: a clear correlation between voltage and displacement over ±10 cm, three \
+         gauges with distinct slopes,\nreadings carried as the 12-bit UL payload. Sampling \
+         costs ~1 mW, hence at most one sample per slot.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_covers_range_and_monotone() {
+        let out = super::run();
+        assert!(out.contains("-10"));
+        assert!(out.contains("10"));
+        assert!(out.contains("Tag C"));
+    }
+}

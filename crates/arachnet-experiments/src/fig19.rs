@@ -1,0 +1,55 @@
+//! Fig. 19 / Appendix B — the ALOHA baseline.
+
+use arachnet_sim::aloha::{run_aloha, AlohaConfig};
+
+use crate::render::{self, f};
+
+/// Runs the 10 000 s ALOHA simulation and prints the per-tag bars.
+pub fn run(duration_s: f64, seed: u64) -> String {
+    let run = run_aloha(&AlohaConfig {
+        duration_s,
+        seed,
+        ..AlohaConfig::default()
+    });
+    let rows: Vec<Vec<String>> = run
+        .tags
+        .iter()
+        .map(|t| {
+            vec![
+                format!("{}", t.tid),
+                f(t.full_charge_s, 1),
+                format!("{}", t.total_tx),
+                format!("{}", t.collided_tx),
+                f(t.success_rate() * 100.0, 1),
+            ]
+        })
+        .collect();
+    let mut out = render::table(
+        &format!("Fig. 19 — ALOHA baseline over {duration_s:.0} s"),
+        &["Tag", "charge (s)", "total TX", "collided TX", "success %"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "overall collision-free: {:.1} % (paper: 34.0 %; our calibrated deployment charges \
+         faster overall, loading the channel harder).\npaper: fast chargers dominate the \
+         channel yet still collide in most attempts — ALOHA is both inefficient and unfair;\n\
+         compare the protocol's long-run collision ratio of ~0.06 (Fig. 16).\n",
+        run.overall_success_rate() * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn short_run_prints_all_tags() {
+        let out = super::run(500.0, 1);
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            12
+        );
+        assert!(out.contains("overall collision-free"));
+    }
+}

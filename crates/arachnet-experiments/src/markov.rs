@@ -1,0 +1,134 @@
+//! Appendix C — machine-checked absorbing-Markov-chain analysis.
+
+use arachnet_core::markov::{analyze, MarkovConfig};
+use arachnet_core::slot::Period;
+use arachnet_sim::patterns::Pattern;
+use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+
+use crate::render::{self, f};
+
+/// Analyzes several small configurations exactly and cross-checks the
+/// expected convergence against simulation.
+pub fn run(sim_trials: u64) -> String {
+    let configs: Vec<(&str, Vec<u32>)> = vec![
+        ("1 tag p2", vec![2]),
+        ("2 tags p2 (U=1.0)", vec![2, 2]),
+        ("2 tags p2+p4", vec![2, 4]),
+        ("2 tags p4 (U=0.5)", vec![4, 4]),
+        ("3 tags p2+p4+p4 (U=1.0)", vec![2, 4, 4]),
+        ("3 tags p4 (U=0.75)", vec![4, 4, 4]),
+    ];
+    let mut rows = Vec::new();
+    for (name, periods) in &configs {
+        let cfg = MarkovConfig {
+            periods: periods.iter().map(|&p| Period::new(p).unwrap()).collect(),
+            nack_threshold: 3,
+        };
+        let a = analyze(&cfg).expect("config within tractability cap");
+        // Cross-check: simulate the same config (ideal channel) and measure
+        // mean slots until all tags settle conflict-free. The chain counts
+        // slots to absorption; the simulator's convergence detector needs
+        // an extra clean streak, so compare the *absorption* event directly
+        // by running until all settled.
+        let mean_sim = if *name != "1 tag p2" || true {
+            let pattern = Pattern {
+                name: "markov-x",
+                tags: periods
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (i as u8 + 1, Period::new(p).unwrap()))
+                    .collect(),
+            };
+            let mut total = 0u64;
+            for t in 0..sim_trials {
+                let mut sim = SlotSim::new(SlotSimConfig::ideal(pattern.clone(), 1000 + t));
+                sim.run(2);
+                sim.reset_network();
+                let mut slots = 0u64;
+                loop {
+                    sim.step();
+                    slots += 1;
+                    let settled = sim.settled_schedules();
+                    let all = settled.len() == periods.len();
+                    let clean = (0..settled.len()).all(|i| {
+                        ((i + 1)..settled.len())
+                            .all(|j| !settled[i].1.conflicts_with(&settled[j].1))
+                    });
+                    if all && clean {
+                        break;
+                    }
+                    if slots > 100_000 {
+                        break;
+                    }
+                }
+                total += slots;
+            }
+            total as f64 / sim_trials as f64
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", a.num_states),
+            format!("{}", a.num_absorbing),
+            if a.absorbing_chain {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            f(a.expected_slots_to_absorb.unwrap_or(f64::NAN), 2),
+            f(mean_sim, 2),
+        ]);
+    }
+    let mut out = render::table(
+        "Appendix C — Absorbing Markov chain: exact analysis vs simulation",
+        &[
+            "config",
+            "states",
+            "absorbing",
+            "absorbing chain",
+            "E[slots] exact",
+            "E[slots] simulated",
+        ],
+        &rows,
+    );
+    out.push_str(
+        "\"absorbing chain = yes\" machine-checks Lemma 3: every reachable state reaches a \
+         collision-free all-SETTLE state.\nExact expectations come from solving the \
+         first-step equations; simulated means track them up to the one-slot feedback delay \
+         (the simulator's ACK arrives with the next beacon).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn analysis_table_renders() {
+        let out = super::run(3);
+        assert!(out.contains("absorbing chain"));
+        assert!(!out.contains(" NO"), "a chain failed verification:\n{out}");
+    }
+
+    #[test]
+    fn exact_and_simulated_agree_for_single_tag() {
+        // E[slots] for one p=2 tag is exactly 1.5.
+        let out = super::run(40);
+        let line = out
+            .lines()
+            .find(|l| l.contains("1 tag p2"))
+            .unwrap()
+            .to_string();
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        let exact: f64 = cols[cols.len() - 2].parse().unwrap();
+        let sim: f64 = cols[cols.len() - 1].parse().unwrap();
+        assert!((exact - 1.5).abs() < 1e-6);
+        // The chain settles a tag in the slot it transmits; the simulated
+        // ACK arrives with the next beacon — about one slot of systematic
+        // offset on top of sampling error.
+        assert!(
+            sim >= exact - 0.5 && sim <= exact + 1.5,
+            "sim {sim} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 4 / Appendix D — qualitative comparison of BiW monitoring
+//! solutions.
+
+use crate::render;
+
+/// Prints the paper's qualitative comparison.
+pub fn run() -> String {
+    let rows: Vec<Vec<String>> = [
+        [
+            "Power Source",
+            "Wired power",
+            "Battery-powered",
+            "Battery-free",
+        ],
+        [
+            "Integration Complexity",
+            "High (new wires)",
+            "Medium (RF-transparent spots)",
+            "Low (attached to BiW)",
+        ],
+        ["Deployment Cost", "High (wires, labor)", "Medium", "Medium"],
+        ["Maintainability", "Good", "Poor (battery)", "Good"],
+        [
+            "Compatibility with BiW",
+            "Limited",
+            "Limited (metal blocks RF)",
+            "Good (BiW as medium)",
+        ],
+        ["Data Throughput", "High", "Medium", "Low"],
+    ]
+    .iter()
+    .map(|r| r.iter().map(|s| s.to_string()).collect())
+    .collect();
+    render::table(
+        "Table 4 — Qualitative comparison of monitoring solutions for vehicle BiW",
+        &["Aspect", "Wired Sensors", "RF-based Sensors", "ARACHNET"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_aspects_present() {
+        let out = super::run();
+        for aspect in ["Power Source", "Maintainability", "Data Throughput"] {
+            assert!(out.contains(aspect));
+        }
+    }
+}

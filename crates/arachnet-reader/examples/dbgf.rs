@@ -1,0 +1,39 @@
+use arachnet_core::packet::{UlPacket, UL_PACKET_BITS};
+use arachnet_reader::fdma::{FdmaConfig, FdmaReceiver};
+use arachnet_tag::subcarrier::SubcarrierChannel;
+use biw_channel::channel::{BiwChannel, ChannelConfig};
+use biw_channel::noise::NoiseConfig;
+use biw_channel::pzt::PztState;
+
+fn main() {
+    let cfg = FdmaConfig::default();
+    let rx = FdmaReceiver::new(cfg);
+    let ch = BiwChannel::paper(ChannelConfig {
+        noise: NoiseConfig::silent(),
+        seed: 5,
+        ..ChannelConfig::default()
+    });
+    let sub = SubcarrierChannel::new(6);
+    let pkt = UlPacket::new(8, 0x5A5).unwrap();
+    let chips = sub.modulate(&pkt.to_bits());
+    let spc = (cfg.sample_rate / (cfg.bit_rate * f64::from(sub.chips_per_bit()))) as usize;
+    println!("spc {} chips {}", spc, chips.len());
+    let mut states = vec![PztState::Absorptive; spc];
+    states.extend(chips.iter().flat_map(|&c| {
+        std::iter::repeat(if c {
+            PztState::Reflective
+        } else {
+            PztState::Absorptive
+        })
+        .take(spc)
+    }));
+    let len = states.len() + 2000;
+    let wave = ch.uplink_waveform(&[(8, &states)], len);
+    let out = rx.decode_channel(&wave, sub);
+    println!("out {:?}", out);
+    // manual: decode bits with debug
+    // replicate: use decode_channel internals via public API only -> print expected vs got bits by despreading ourselves is tedious; instead brute: try decoding with each possible polarity...
+    let expected = pkt.to_bits();
+    println!("expected bits: {:?}", expected);
+    let _ = UL_PACKET_BITS;
+}

@@ -1,0 +1,30 @@
+//! # arachnet-reader — the backscatter reader (Sec. 6.1)
+//!
+//! The paper's reader is a USB DAQ (500 kHz sampling) plus C++ software
+//! handling "DL transmission, UL reception, and network protocols in real
+//! time". This crate is that software:
+//!
+//! * [`tx`] — the beacon transmitter: PIE modulation with the 0.1–0.3 ms
+//!   per-symbol software jitter the paper measures (the reader modulates
+//!   PIE "using software… via USB commands");
+//! * [`rx`] — the uplink receiver: down-conversion, low-pass/decimation,
+//!   adaptive slicing, edge-domain FM0 decoding (immune to tag clock
+//!   drift), CRC check, IQ-domain collision detection (Sec. 5.3) and the
+//!   PSD-based SNR metric of Fig. 12(a);
+//! * [`pipeline`] — the same receiver assembled as the paper's
+//!   back-pressure block pipeline, for the streaming/real-time form;
+//! * [`driver`] — the slot loop that binds the reader MAC
+//!   (`arachnet-core`) to TX and RX timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod fdma;
+pub mod pipeline;
+pub mod rx;
+pub mod tx;
+
+pub use driver::ReaderDriver;
+pub use rx::{SlotRx, UplinkReceiver};
+pub use tx::BeaconTransmitter;

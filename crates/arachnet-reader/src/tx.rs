@@ -1,0 +1,228 @@
+//! The beacon transmitter.
+//!
+//! The reader "can dynamically pause and resume DL transmissions to
+//! modulate PIE symbols through USB commands" — i.e. the symbol timing is
+//! produced in *software*, which "introduces about 0.1–0.3 ms time offset
+//! to each PIE symbol" (Sec. 6.3). The transmitter here produces both the
+//! exact raw-level stream (for waveform synthesis through `biw-channel`)
+//! and the jittered edge timeline that tag demodulators consume directly
+//! in faster co-simulations.
+
+use arachnet_core::packet::DlBeacon;
+use arachnet_core::rng::TagRng;
+
+/// Software-jitter bounds per PIE symbol edge (seconds) — Sec. 6.3.
+pub const JITTER_MIN_S: f64 = 0.1e-3;
+/// Upper jitter bound (seconds).
+pub const JITTER_MAX_S: f64 = 0.3e-3;
+
+/// The beacon transmitter.
+#[derive(Debug, Clone)]
+pub struct BeaconTransmitter {
+    dl_bps: f64,
+    jitter: bool,
+    rng: TagRng,
+}
+
+impl BeaconTransmitter {
+    /// Transmitter at the given DL raw rate with software jitter enabled.
+    pub fn new(dl_bps: f64, seed: u64) -> Self {
+        assert!(dl_bps > 0.0);
+        Self {
+            dl_bps,
+            jitter: true,
+            rng: TagRng::new(seed),
+        }
+    }
+
+    /// Disables the software jitter (idealized reader, for ablations).
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter = false;
+        self
+    }
+
+    /// DL raw bit rate.
+    pub fn dl_bps(&self) -> f64 {
+        self.dl_bps
+    }
+
+    /// Raw OOK level stream for a beacon (for waveform synthesis). PIE
+    /// bit 0 → `10`, bit 1 → `110`.
+    pub fn raw_levels(&self, beacon: &DlBeacon) -> Vec<bool> {
+        arachnet_core::pie::encode(beacon.to_bits().iter()).to_bools()
+    }
+
+    /// On-air duration of a beacon at this rate (s), jitter excluded.
+    pub fn beacon_duration(&self, beacon: &DlBeacon) -> f64 {
+        self.raw_levels(beacon).len() as f64 / self.dl_bps
+    }
+
+    /// Edge timeline `(time, rising?)` of a beacon starting at `t0`, with
+    /// per-symbol software jitter applied to each edge. Edges remain
+    /// monotone (the jitter cannot reorder them at legal rates).
+    pub fn edges(&mut self, beacon: &DlBeacon, t0: f64) -> Vec<(f64, bool)> {
+        let raw_interval = 1.0 / self.dl_bps;
+        let mut edges = Vec::new();
+        let mut t = t0;
+        for bit in beacon.to_bits().iter() {
+            let high = if bit { 2.0 } else { 1.0 } * raw_interval;
+            let (j1, j2) = if self.jitter {
+                (self.sample_jitter(), self.sample_jitter())
+            } else {
+                (0.0, 0.0)
+            };
+            edges.push((t + j1, true));
+            edges.push((t + high + j2, false));
+            t += high + raw_interval;
+        }
+        // Clamp any pathological reordering (possible only at extreme
+        // rates where the raw interval is comparable to the jitter).
+        for i in 1..edges.len() {
+            if edges[i].0 <= edges[i - 1].0 {
+                edges[i].0 = edges[i - 1].0 + 1e-6;
+            }
+        }
+        edges
+    }
+
+    /// One signed jitter sample: magnitude in [0.1, 0.3] ms, random sign.
+    fn sample_jitter(&mut self) -> f64 {
+        let mag = JITTER_MIN_S + (JITTER_MAX_S - JITTER_MIN_S) * self.rng.unit_f64();
+        if self.rng.chance(0.5) {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arachnet_core::packet::DlCmd;
+
+    #[test]
+    fn raw_levels_follow_pie() {
+        let tx = BeaconTransmitter::new(250.0, 1);
+        let beacon = DlBeacon::new(DlCmd::nack()); // cmd nibble 0000
+        let levels = tx.raw_levels(&beacon);
+        // 10 bits, preamble 110100 + 0000: ones = 3 → 20 + 3 = 23 raw bits.
+        assert_eq!(levels.len(), 23);
+    }
+
+    #[test]
+    fn beacon_duration_at_default_rate() {
+        let tx = BeaconTransmitter::new(250.0, 1);
+        let d = tx.beacon_duration(&DlBeacon::new(DlCmd::nack()));
+        assert!((d - 23.0 / 250.0).abs() < 1e-12);
+        assert!(d < 0.15, "beacon must fit the slot preamble window");
+    }
+
+    #[test]
+    fn edges_alternate_and_are_monotone() {
+        let mut tx = BeaconTransmitter::new(250.0, 2);
+        let edges = tx.edges(&DlBeacon::new(DlCmd::ack()), 0.5);
+        assert_eq!(edges.len(), 20); // 10 symbols × 2 edges
+        for (i, w) in edges.windows(2).enumerate() {
+            assert!(w[1].0 > w[0].0, "edges reordered at {i}");
+        }
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(e.1, i % 2 == 0, "polarity at {i}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_within_bounds() {
+        let mut tx = BeaconTransmitter::new(250.0, 3);
+        let beacon = DlBeacon::new(DlCmd::ack());
+        let ideal: Vec<(f64, bool)> = BeaconTransmitter::new(250.0, 3)
+            .without_jitter()
+            .edges(&beacon, 0.0);
+        let jittered = tx.edges(&beacon, 0.0);
+        let mut seen_nonzero = false;
+        for (a, b) in ideal.iter().zip(&jittered) {
+            let d = (a.0 - b.0).abs();
+            assert!(d <= JITTER_MAX_S + 1e-9, "jitter {d}");
+            if d > 1e-9 {
+                seen_nonzero = true;
+                assert!(d >= JITTER_MIN_S - 1e-9, "jitter below floor: {d}");
+            }
+        }
+        assert!(seen_nonzero, "jitter never applied");
+    }
+
+    #[test]
+    fn without_jitter_is_deterministic_ideal() {
+        let mut a = BeaconTransmitter::new(250.0, 7).without_jitter();
+        let mut b = BeaconTransmitter::new(250.0, 99).without_jitter();
+        let beacon = DlBeacon::new(DlCmd::reset());
+        assert_eq!(a.edges(&beacon, 1.0), b.edges(&beacon, 1.0));
+    }
+
+    #[test]
+    fn jitter_streams_are_seeded() {
+        let beacon = DlBeacon::new(DlCmd::ack());
+        let mut a = BeaconTransmitter::new(250.0, 5);
+        let mut b = BeaconTransmitter::new(250.0, 5);
+        assert_eq!(a.edges(&beacon, 0.0), b.edges(&beacon, 0.0));
+        let mut c = BeaconTransmitter::new(250.0, 6);
+        assert_ne!(a.edges(&beacon, 0.0), c.edges(&beacon, 0.0));
+    }
+
+    #[test]
+    fn tag_demod_decodes_jittered_beacon_at_low_rate() {
+        // End-to-end: the paper's 250 bps default must survive the jitter.
+        use arachnet_tag_shim::*;
+        let mut tx = BeaconTransmitter::new(250.0, 11);
+        let beacon = DlBeacon::new(DlCmd::ack().with_empty(true));
+        let edges = tx.edges(&beacon, 0.0);
+        let decoded = decode_edges(&edges, 250.0);
+        assert_eq!(decoded, Some(beacon));
+    }
+
+    #[test]
+    fn tag_demod_loses_jittered_beacons_at_2kbps() {
+        // Fig. 13(a): the surge at 2 kbps. With ±0.3 ms jitter against a
+        // 0.5 ms raw interval, most packets must fail.
+        use arachnet_tag_shim::*;
+        let mut tx = BeaconTransmitter::new(2_000.0, 13);
+        let beacon = DlBeacon::new(DlCmd::ack());
+        let mut lost = 0;
+        let n = 100;
+        for i in 0..n {
+            let edges = tx.edges(&beacon, i as f64);
+            if decode_edges(&edges, 2_000.0) != Some(beacon) {
+                lost += 1;
+            }
+        }
+        assert!(lost > n / 3, "only {lost}/{n} lost at 2 kbps");
+    }
+
+    /// A minimal stand-in for the tag demodulator, kept local so the
+    /// reader crate does not depend on arachnet-tag (the full end-to-end
+    /// path is exercised in arachnet-sim).
+    mod arachnet_tag_shim {
+        use arachnet_core::bits::BitBuf;
+        use arachnet_core::packet::{DlBeacon, PacketError};
+        use arachnet_core::pie::PulseDecoder;
+
+        pub fn decode_edges(edges: &[(f64, bool)], bps: f64) -> Option<DlBeacon> {
+            let dec = PulseDecoder::new(12_000.0 / bps);
+            let mut bits = BitBuf::new();
+            let mut rising = None;
+            for &(t, r) in edges {
+                if r {
+                    rising = Some(t);
+                } else if let Some(t0) = rising.take() {
+                    let ticks = ((t - t0) * 12_000.0).round();
+                    bits.push(dec.classify(ticks)?);
+                }
+            }
+            match DlBeacon::from_bits(&bits) {
+                Ok(b) => Some(b),
+                Err(PacketError::BadPreamble | PacketError::WrongLength { .. }) => None,
+                Err(_) => None,
+            }
+        }
+    }
+}

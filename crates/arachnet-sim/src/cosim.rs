@@ -1,0 +1,351 @@
+//! Full waveform co-simulation: the MAC loop closed over real signals.
+//!
+//! The slot-level simulator ([`crate::slotsim`]) abstracts the PHY into
+//! loss probabilities. This engine removes that abstraction for the
+//! ultimate integration check: every slot, the reader *really* transmits a
+//! jittered PIE beacon as an edge stream, every tag *really* demodulates it
+//! with its drifting 12 kHz clock and envelope-response delays, the MAC
+//! state machines decide, transmitting tags *really* modulate FM0 onto the
+//! synthesized acoustic channel (superposed if they collide), and the
+//! reader *really* runs its DSP chain — decode, CRC, IQ-cluster collision
+//! detection — before its MAC issues the next beacon.
+//!
+//! It is ~10⁵× more expensive per slot than the slot-level engine, so it
+//! runs tens of slots, not tens of thousands — enough to watch a small
+//! network converge with zero modeling shortcuts.
+
+use arachnet_core::mac::{ProtocolConfig, ReaderMac, SlotObservation};
+use arachnet_core::packet::UlPacket;
+use arachnet_core::rng::TagRng;
+use arachnet_core::slot::Period;
+use arachnet_reader::rx::{RxConfig, SlotRx, UplinkReceiver};
+use arachnet_reader::tx::BeaconTransmitter;
+use arachnet_tag::demod::PieDemodulator;
+use arachnet_tag::mcu::McuClock;
+use arachnet_tag::modulator::Fm0Modulator;
+use biw_channel::channel::{BiwChannel, ChannelConfig};
+use biw_channel::noise::NoiseConfig;
+use biw_channel::pzt::PztState;
+
+/// Configuration of the co-simulation.
+#[derive(Debug, Clone)]
+pub struct CoSimConfig {
+    /// `(tid, period)` for each tag (tids must exist in the deployment).
+    pub tags: Vec<(u8, Period)>,
+    /// Protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// DL raw bit rate (bps).
+    pub dl_bps: f64,
+    /// UL raw bit rate (bps).
+    pub ul_bps: f64,
+    /// Channel noise.
+    pub noise: NoiseConfig,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl CoSimConfig {
+    /// Paper-default rates over the given tag set.
+    pub fn new(tags: Vec<(u8, Period)>, seed: u64) -> Self {
+        Self {
+            tags,
+            protocol: ProtocolConfig::default(),
+            dl_bps: 250.0,
+            ul_bps: 375.0,
+            noise: NoiseConfig {
+                floor_sigma: 0.013,
+                ..NoiseConfig::default()
+            },
+            seed,
+        }
+    }
+}
+
+/// Ground truth + reader view of one co-simulated slot.
+#[derive(Debug, Clone)]
+pub struct CoSimSlot {
+    /// Tags that actually transmitted.
+    pub transmitters: Vec<u8>,
+    /// Tags that failed to decode the beacon this slot.
+    pub beacon_losses: Vec<u8>,
+    /// What the reader's RX chain reported.
+    pub rx: SlotRx,
+}
+
+struct CoSimTag {
+    tid: u8,
+    mac: arachnet_core::mac::TagMac,
+    clock: McuClock,
+    rng: TagRng,
+}
+
+/// The engine.
+pub struct CoSim {
+    config: CoSimConfig,
+    channel: BiwChannel,
+    reader_mac: ReaderMac,
+    tx: BeaconTransmitter,
+    rx: UplinkReceiver,
+    tags: Vec<CoSimTag>,
+    beacon: Option<arachnet_core::packet::DlBeacon>,
+    slots_run: u64,
+}
+
+impl CoSim {
+    /// Builds the engine over the paper deployment.
+    pub fn new(config: CoSimConfig) -> Self {
+        let channel = BiwChannel::paper(ChannelConfig {
+            noise: config.noise,
+            seed: config.seed,
+            ..ChannelConfig::default()
+        });
+        let reader_mac = ReaderMac::new(config.protocol, &config.tags);
+        let tx = BeaconTransmitter::new(config.dl_bps, config.seed ^ 0xBEAC);
+        let rx = UplinkReceiver::new(RxConfig {
+            ul_bps: config.ul_bps,
+            ..RxConfig::default()
+        });
+        let tags = config
+            .tags
+            .iter()
+            .map(|&(tid, period)| CoSimTag {
+                tid,
+                mac: arachnet_core::mac::TagMac::new(
+                    tid,
+                    period,
+                    config.protocol,
+                    TagRng::for_tag(config.seed, tid),
+                ),
+                clock: McuClock::for_tag(config.seed, tid),
+                rng: TagRng::for_tag(config.seed ^ 0x51de, tid),
+            })
+            .collect();
+        Self {
+            config,
+            channel,
+            reader_mac,
+            tx,
+            rx,
+            tags,
+            beacon: None,
+            slots_run: 0,
+        }
+    }
+
+    /// Slots executed.
+    pub fn slots_run(&self) -> u64 {
+        self.slots_run
+    }
+
+    /// Settled-tag count (for convergence checks).
+    pub fn settled(&self) -> usize {
+        self.tags
+            .iter()
+            .filter(|t| t.mac.state() == arachnet_core::mac::MacState::Settle)
+            .count()
+    }
+
+    /// Per-tag `(tid, state, offset)` snapshot.
+    pub fn tag_states(&self) -> Vec<(u8, arachnet_core::mac::MacState, u32)> {
+        self.tags
+            .iter()
+            .map(|t| (t.tid, t.mac.state(), t.mac.offset()))
+            .collect()
+    }
+
+    /// Delay + envelope response for beacon edges at a tag (same physics as
+    /// the wavesim's downlink path).
+    fn beacon_edges_at_tag(&self, tid: u8, edges: &[(f64, bool)]) -> Option<Vec<(f64, bool)>> {
+        let site = self.channel.deployment().site(tid)?;
+        let a = (self.channel.tag_carrier_voltage(tid)? - 0.15).max(0.0);
+        let vth = 0.12;
+        if a <= vth {
+            return None;
+        }
+        let tau = 9.0 / 90_000.0;
+        let rise = tau * (a / (a - vth)).ln();
+        let fall = (tau + 2.0 * 28.0 / (2.0 * std::f64::consts::PI * 90_000.0)) * (a / vth).ln();
+        let delay = site.path.delay_s();
+        Some(
+            edges
+                .iter()
+                .map(|&(t, r)| (t + delay + if r { rise } else { fall }, r))
+                .collect(),
+        )
+    }
+
+    /// Runs one slot end to end; returns what happened.
+    pub fn step(&mut self) -> CoSimSlot {
+        let beacon = match self.beacon.take() {
+            Some(b) => b,
+            None => self.reader_mac.start(),
+        };
+
+        // --- Downlink: real edges through the channel to every tag. ------
+        let edges = self.tx.edges(&beacon, 0.0);
+        let per_tag_edges: Vec<Option<Vec<(f64, bool)>>> = self
+            .tags
+            .iter()
+            .map(|t| self.beacon_edges_at_tag(t.tid, &edges))
+            .collect();
+        let mut transmitters: Vec<u8> = Vec::new();
+        let mut beacon_losses: Vec<u8> = Vec::new();
+        let dl_bps = self.config.dl_bps;
+        for (tag, tag_edges) in self.tags.iter_mut().zip(per_tag_edges) {
+            let decoded = tag_edges
+                .map(|tag_edges| {
+                    let mut demod = PieDemodulator::new(tag.clock, dl_bps);
+                    demod.set_supply(1.95 + 0.35 * tag.rng.unit_f64());
+                    demod.feed_edges(&tag_edges)
+                })
+                .unwrap_or_default();
+            let action = match decoded.first() {
+                Some(d) => Some(tag.mac.on_beacon(d.beacon.cmd)),
+                None => {
+                    beacon_losses.push(tag.tid);
+                    tag.mac.on_beacon_timeout();
+                    None
+                }
+            };
+            if action.map_or(false, |a| a.transmit) {
+                transmitters.push(tag.tid);
+            }
+        }
+
+        // --- Uplink: real FM0 waveforms, superposed. ----------------------
+        let fs = self.channel.config().sample_rate;
+        let mut streams: Vec<(u8, Vec<PztState>)> = Vec::new();
+        for &tid in &transmitters {
+            let tag = self
+                .tags
+                .iter_mut()
+                .find(|t| t.tid == tid)
+                .expect("known tid");
+            let payload = (tag.rng.next_u64() & 0xFFF) as u16;
+            let pkt = UlPacket::new(tid % 16, payload).expect("12-bit payload");
+            let modulator = Fm0Modulator::new(tag.clock, (12_000.0 / self.config.ul_bps) as u32);
+            let (raw, _) = modulator.modulate_packet(&pkt, 0.0);
+            let spb = (fs * modulator.actual_raw_interval()).round() as usize;
+            let mut states = vec![PztState::Absorptive; 4 * spb];
+            states.extend(BiwChannel::states_from_raw_bits(&raw.to_bools(), spb));
+            states.extend(vec![PztState::Absorptive; 4 * spb]);
+            streams.push((tid, states));
+        }
+        let rx_out = if streams.is_empty() {
+            // Still listen to an idle window (leak + noise only).
+            let wave = self.channel.uplink_waveform(&[], (0.05 * fs) as usize);
+            self.rx.process_slot(&wave)
+        } else {
+            let len = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+            let refs: Vec<(u8, &[PztState])> =
+                streams.iter().map(|(t, s)| (*t, s.as_slice())).collect();
+            let wave = self.channel.uplink_waveform(&refs, len + 2_000);
+            self.rx.process_slot(&wave)
+        };
+
+        // --- Reader MAC closes the loop. ----------------------------------
+        let obs = SlotObservation {
+            decoded: rx_out.packet.map(|p| {
+                // Map the 4-bit on-air TID back to the deployment TID.
+                self.config
+                    .tags
+                    .iter()
+                    .map(|&(t, _)| t)
+                    .find(|&t| t % 16 == p.tid())
+                    .unwrap_or(p.tid())
+            }),
+            collision: rx_out.collision,
+        };
+        self.beacon = Some(self.reader_mac.end_slot(obs));
+        self.slots_run += 1;
+        CoSimSlot {
+            transmitters,
+            beacon_losses,
+            rx: rx_out,
+        }
+    }
+
+    /// Runs until `settled == tags` and the last `clean_streak` slots were
+    /// collision-free, or `cap` slots. Returns the slot count on success.
+    pub fn run_until_converged(&mut self, clean_streak: u32, cap: u64) -> Option<u64> {
+        let mut streak = 0;
+        while self.slots_run < cap {
+            let slot = self.step();
+            if slot.rx.collision {
+                streak = 0;
+            } else {
+                streak += 1;
+            }
+            if streak >= clean_streak && self.settled() == self.tags.len() {
+                return Some(self.slots_run);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> Period {
+        Period::new(v).unwrap()
+    }
+
+    #[test]
+    fn two_tag_network_converges_on_real_waveforms() {
+        let mut sim = CoSim::new(CoSimConfig::new(vec![(8, p(2)), (7, p(2))], 3));
+        let at = sim.run_until_converged(4, 60);
+        assert!(at.is_some(), "no convergence in 60 waveform slots");
+        assert_eq!(sim.settled(), 2);
+    }
+
+    #[test]
+    fn four_tag_table1_network_converges() {
+        let tags = vec![(8, p(2)), (7, p(4)), (5, p(8)), (6, p(8))];
+        let mut sim = CoSim::new(CoSimConfig::new(tags, 7));
+        let at = sim.run_until_converged(8, 150);
+        assert!(
+            at.is_some(),
+            "Table-1 network failed to converge end to end"
+        );
+    }
+
+    #[test]
+    fn collisions_are_really_detected_from_waveforms() {
+        // Two period-1 tags must collide every slot until migration breaks
+        // the tie — the collision flag must come from IQ clustering, and
+        // eventually single transmissions decode.
+        let mut sim = CoSim::new(CoSimConfig::new(vec![(8, p(2)), (5, p(2))], 11));
+        let mut saw_collision = false;
+        let mut saw_decode = false;
+        for _ in 0..40 {
+            let slot = sim.step();
+            if slot.transmitters.len() > 1 {
+                assert!(
+                    slot.rx.collision,
+                    "simultaneous TX not flagged: {:?}",
+                    slot.rx
+                );
+                saw_collision = true;
+            }
+            if slot.transmitters.len() == 1 && slot.rx.packet.is_some() {
+                saw_decode = true;
+            }
+            if saw_collision && saw_decode {
+                break;
+            }
+        }
+        assert!(saw_decode, "no clean decode in 40 slots");
+    }
+
+    #[test]
+    fn beacon_losses_are_rare_at_default_rate() {
+        let mut sim = CoSim::new(CoSimConfig::new(vec![(8, p(2)), (11, p(4))], 13));
+        let mut losses = 0;
+        for _ in 0..30 {
+            losses += sim.step().beacon_losses.len();
+        }
+        assert!(losses <= 1, "{losses} beacon losses in 60 deliveries");
+    }
+}

@@ -1,0 +1,31 @@
+//! # arachnet-sim — simulation engines for the ARACHNET evaluation
+//!
+//! Two granularities, matching how the paper's experiments operate:
+//!
+//! * **slot level** ([`slotsim`]) — the distributed slot-allocation
+//!   protocol over thousands of 1-second slots: first-convergence time
+//!   (Fig. 15), long-running slot statistics (Fig. 16), beacon-loss and
+//!   late-arrival fault injection, with the full energy lifecycle of each
+//!   tag ([`arachnet_tag::device::TagDevice`]);
+//! * **waveform level** ([`wavesim`]) — individual packets synthesized
+//!   through the acoustic channel and decoded by the reader DSP chain:
+//!   uplink SNR and loss (Fig. 12), downlink loss and synchronization
+//!   offsets (Fig. 13), ping-pong latency (Fig. 14).
+//!
+//! Plus the workload definitions ([`patterns`]: Table 3's nine
+//! configurations), the contention baseline ([`aloha`]: Appendix B), and
+//! statistics helpers ([`metrics`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aloha;
+pub mod cosim;
+pub mod metrics;
+pub mod patterns;
+pub mod slotsim;
+pub mod vanilla;
+pub mod wavesim;
+
+pub use patterns::Pattern;
+pub use slotsim::{SlotSim, SlotSimConfig};

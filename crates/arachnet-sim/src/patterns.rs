@@ -1,0 +1,244 @@
+//! The nine tag transmission patterns of Table 3.
+//!
+//! Two families: c1–c5 keep all 12 tags and sweep the slot utilization
+//! (0.38 → 1.0); c2, c6–c9 hold utilization at 0.75 while varying the tag
+//! count and period mix (excluding specific tags as the table's footnotes
+//! list). Periods come from `{4, 8, 16, 32}`.
+
+use arachnet_core::slot::{utilization, Period};
+
+/// A named workload pattern.
+///
+/// ```
+/// use arachnet_sim::patterns::Pattern;
+///
+/// let c5 = Pattern::c5();
+/// assert_eq!(c5.len(), 12);
+/// assert_eq!(c5.utilization(), 1.0); // the saturated configuration
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Table 3 name (`c1`…`c9`).
+    pub name: &'static str,
+    /// `(tid, period)` assignments.
+    pub tags: Vec<(u8, Period)>,
+}
+
+impl Pattern {
+    /// Builds a pattern by distributing period counts over the included
+    /// TIDs (shortest periods to the lowest TIDs).
+    fn build(name: &'static str, include: &[u8], counts: [(u32, usize); 4]) -> Self {
+        let mut periods = Vec::new();
+        for (p, n) in counts {
+            for _ in 0..n {
+                periods.push(Period::new(p).expect("table periods are powers of two"));
+            }
+        }
+        assert_eq!(periods.len(), include.len(), "{name}: count mismatch");
+        Self {
+            name,
+            tags: include.iter().copied().zip(periods).collect(),
+        }
+    }
+
+    /// Slot utilization `Σ 1/p` of the pattern.
+    pub fn utilization(&self) -> f64 {
+        let periods: Vec<Period> = self.tags.iter().map(|&(_, p)| p).collect();
+        utilization(&periods)
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when the pattern has no tags.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// All nine Table 3 patterns.
+    pub fn table3() -> Vec<Pattern> {
+        vec![
+            Self::c1(),
+            Self::c2(),
+            Self::c3(),
+            Self::c4(),
+            Self::c5(),
+            Self::c6(),
+            Self::c7(),
+            Self::c8(),
+            Self::c9(),
+        ]
+    }
+
+    /// The fixed-tag-count family (c1–c5) of Fig. 15(a).
+    pub fn fixed_tag_family() -> Vec<Pattern> {
+        vec![Self::c1(), Self::c2(), Self::c3(), Self::c4(), Self::c5()]
+    }
+
+    /// The fixed-utilization family (c2, c6–c9) of Fig. 15(b).
+    pub fn fixed_util_family() -> Vec<Pattern> {
+        vec![Self::c2(), Self::c6(), Self::c7(), Self::c8(), Self::c9()]
+    }
+
+    /// c1: 12 tags, all period 32 — U = 0.375.
+    pub fn c1() -> Pattern {
+        Self::build("c1", &ALL12, [(4, 0), (8, 0), (16, 0), (32, 12)])
+    }
+
+    /// c2: 12 tags, all period 16 — U = 0.75.
+    pub fn c2() -> Pattern {
+        Self::build("c2", &ALL12, [(4, 0), (8, 0), (16, 12), (32, 0)])
+    }
+
+    /// c3: 12 tags, mixed periods — U = 0.84375 (the Fig. 16 workload).
+    pub fn c3() -> Pattern {
+        Self::build("c3", &ALL12, [(4, 1), (8, 2), (16, 2), (32, 7)])
+    }
+
+    /// c4: 12 tags — U = 0.9375.
+    pub fn c4() -> Pattern {
+        Self::build("c4", &ALL12, [(4, 0), (8, 6), (16, 0), (32, 6)])
+    }
+
+    /// c5: 12 tags — U = 1.0 (saturated).
+    pub fn c5() -> Pattern {
+        Self::build("c5", &ALL12, [(4, 1), (8, 3), (16, 4), (32, 4)])
+    }
+
+    /// c6: 11 tags (excl. 7) — U = 0.75.
+    pub fn c6() -> Pattern {
+        Self::build(
+            "c6",
+            &[1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12],
+            [(4, 0), (8, 1), (16, 10), (32, 0)],
+        )
+    }
+
+    /// c7: 10 tags (excl. 4, 7) — U = 0.75.
+    pub fn c7() -> Pattern {
+        Self::build(
+            "c7",
+            &[1, 2, 3, 5, 6, 8, 9, 10, 11, 12],
+            [(4, 1), (8, 1), (16, 4), (32, 4)],
+        )
+    }
+
+    /// c8: 8 tags (excl. 1, 4, 7, 9) — U = 0.75.
+    pub fn c8() -> Pattern {
+        Self::build(
+            "c8",
+            &[2, 3, 5, 6, 8, 10, 11, 12],
+            [(4, 1), (8, 1), (16, 6), (32, 0)],
+        )
+    }
+
+    /// c9: 6 tags (excl. 1, 3, 4, 7, 9, 11) — U = 0.75.
+    pub fn c9() -> Pattern {
+        Self::build(
+            "c9",
+            &[2, 5, 6, 8, 10, 12],
+            [(4, 2), (8, 0), (16, 4), (32, 0)],
+        )
+    }
+}
+
+const ALL12: [u8; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilizations_match_table3() {
+        let expected = [
+            ("c1", 0.375),
+            ("c2", 0.75),
+            ("c3", 0.84375),
+            ("c4", 0.9375),
+            ("c5", 1.0),
+            ("c6", 0.75),
+            ("c7", 0.75),
+            ("c8", 0.75),
+            ("c9", 0.75),
+        ];
+        for (p, (name, util)) in Pattern::table3().iter().zip(expected) {
+            assert_eq!(p.name, name);
+            assert!(
+                (p.utilization() - util).abs() < 1e-12,
+                "{name}: {}",
+                p.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn tag_counts_match_table3() {
+        let expected = [12, 12, 12, 12, 12, 11, 10, 8, 6];
+        for (p, n) in Pattern::table3().iter().zip(expected) {
+            assert_eq!(p.len(), n, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn excluded_tags_match_footnotes() {
+        let has = |p: &Pattern, tid: u8| p.tags.iter().any(|&(t, _)| t == tid);
+        assert!(!has(&Pattern::c6(), 7));
+        for t in [4, 7] {
+            assert!(!has(&Pattern::c7(), t));
+        }
+        for t in [1, 4, 7, 9] {
+            assert!(!has(&Pattern::c8(), t));
+        }
+        for t in [1, 3, 4, 7, 9, 11] {
+            assert!(!has(&Pattern::c9(), t));
+        }
+    }
+
+    #[test]
+    fn all_tids_are_deployment_tags() {
+        for p in Pattern::table3() {
+            for &(tid, _) in &p.tags {
+                assert!((1..=12).contains(&tid), "{}: tid {tid}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_tids() {
+        for p in Pattern::table3() {
+            let mut tids: Vec<u8> = p.tags.iter().map(|&(t, _)| t).collect();
+            tids.sort_unstable();
+            tids.dedup();
+            assert_eq!(tids.len(), p.len(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn families_are_correct_subsets() {
+        let a = Pattern::fixed_tag_family();
+        assert_eq!(
+            a.iter().map(|p| p.name).collect::<Vec<_>>(),
+            ["c1", "c2", "c3", "c4", "c5"]
+        );
+        assert!(a.iter().all(|p| p.len() == 12));
+        let b = Pattern::fixed_util_family();
+        assert_eq!(
+            b.iter().map(|p| p.name).collect::<Vec<_>>(),
+            ["c2", "c6", "c7", "c8", "c9"]
+        );
+        assert!(b.iter().all(|p| (p.utilization() - 0.75).abs() < 1e-12));
+    }
+
+    #[test]
+    fn every_pattern_is_schedulable() {
+        // All patterns satisfy Eq. 1, so the vanilla allocator must place
+        // them collision-free.
+        use arachnet_core::slot::allocate;
+        for p in Pattern::table3() {
+            let periods: Vec<Period> = p.tags.iter().map(|&(_, pp)| pp).collect();
+            allocate(&periods).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+}

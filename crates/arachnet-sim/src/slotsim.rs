@@ -1,0 +1,544 @@
+//! The slot-level network simulator.
+//!
+//! Drives the full protocol — reader MAC, per-tag MAC state machines with
+//! their energy lifecycles, and a slot-granular channel — for thousands of
+//! slots. This is the engine behind Fig. 15 (first convergence time),
+//! Fig. 16 (long-running slot statistics), and the fault-injection
+//! experiments (beacon loss, late arrivals, brownouts).
+//!
+//! Channel abstractions at this granularity:
+//!
+//! * each tag independently loses each beacon with `dl_loss_prob`
+//!   (waveform-level experiments calibrate this rate — the paper bounds it
+//!   below 0.1 % at the default 250 bps);
+//! * a slot with exactly one transmitter decodes unless `ul_loss_prob`
+//!   strikes (UL decode failures "affect only the non-empty ratio");
+//! * a slot with several transmitters is always a collision; the capture
+//!   effect may still yield one decodable packet (`capture_prob`), which
+//!   the reader's IQ clustering overrides (Sec. 5.3).
+
+use arachnet_core::convergence::{ConvergenceDetector, SlotStats};
+use arachnet_core::mac::{ProtocolConfig, ReaderMac, SlotObservation, SlotOutcome};
+use arachnet_core::rng::TagRng;
+use arachnet_core::slot::Schedule;
+use arachnet_tag::device::{Lifecycle, SlotTiming, TagDevice};
+use biw_channel::channel::{BiwChannel, ChannelConfig};
+use biw_channel::noise::NoiseConfig;
+
+use crate::patterns::Pattern;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SlotSimConfig {
+    /// The workload (Table 3 pattern or custom).
+    pub pattern: Pattern,
+    /// Protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// Experiment seed (drives every random stream).
+    pub seed: u64,
+    /// Per-tag per-beacon loss probability.
+    pub dl_loss_prob: f64,
+    /// Decode-failure probability for a clean single-transmitter slot.
+    pub ul_loss_prob: f64,
+    /// Probability that a collision still yields one decodable packet.
+    pub capture_prob: f64,
+    /// Start tags charged (skip the cold-start phase).
+    pub charged_start: bool,
+    /// Slot timing (energy accounting).
+    pub timing: SlotTiming,
+}
+
+impl SlotSimConfig {
+    /// Defaults matching the paper's long-run conditions.
+    pub fn new(pattern: Pattern, seed: u64) -> Self {
+        Self {
+            pattern,
+            protocol: ProtocolConfig::default(),
+            seed,
+            dl_loss_prob: 0.001,
+            ul_loss_prob: 0.002,
+            capture_prob: 0.3,
+            charged_start: true,
+            timing: SlotTiming::default(),
+        }
+    }
+
+    /// An idealized channel (no losses) — for convergence-property tests.
+    pub fn ideal(pattern: Pattern, seed: u64) -> Self {
+        Self {
+            dl_loss_prob: 0.0,
+            ul_loss_prob: 0.0,
+            capture_prob: 0.0,
+            ..Self::new(pattern, seed)
+        }
+    }
+}
+
+/// Ground-truth record of one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TruthOutcome {
+    /// Nobody transmitted.
+    Empty,
+    /// Exactly one tag transmitted (decoded or not).
+    Single(u8),
+    /// Multiple tags transmitted.
+    Collision(Vec<u8>),
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Slots executed.
+    pub slots: u64,
+    /// Slot at which the convergence detector fired (32 consecutive
+    /// non-collision slots), if it did.
+    pub converged_at: Option<u64>,
+    /// Whole-run ground-truth non-empty ratio.
+    pub non_empty_ratio: f64,
+    /// Whole-run ground-truth collision ratio.
+    pub collision_ratio: f64,
+    /// Per-window trajectories (window = 32 slots), sampled every slot:
+    /// `(non_empty, collision)`.
+    pub trajectory: Vec<(f64, f64)>,
+    /// Ground-truth per-slot outcomes (only kept when requested).
+    pub outcomes: Vec<TruthOutcome>,
+}
+
+/// The simulator.
+///
+/// ```
+/// use arachnet_sim::patterns::Pattern;
+/// use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+///
+/// // 12 tags under the paper's Fig. 16 workload, realistic channel.
+/// let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), 42));
+/// let run = sim.run(200);
+/// assert_eq!(run.slots, 200);
+/// assert!(run.non_empty_ratio > 0.0);
+/// ```
+pub struct SlotSim {
+    config: SlotSimConfig,
+    reader: ReaderMac,
+    tags: Vec<TagDevice>,
+    rng: TagRng,
+    beacon: Option<arachnet_core::packet::DlBeacon>,
+    detector: ConvergenceDetector,
+    stats: SlotStats,
+    slots_run: u64,
+    keep_trajectory: bool,
+    trajectory: Vec<(f64, f64)>,
+    keep_outcomes: bool,
+    outcomes: Vec<TruthOutcome>,
+}
+
+impl SlotSim {
+    /// Builds the simulator: reader registry and tag devices from the
+    /// pattern, harvest inputs from the calibrated deployment.
+    pub fn new(config: SlotSimConfig) -> Self {
+        let channel = BiwChannel::paper(ChannelConfig {
+            noise: NoiseConfig::silent(),
+            ..ChannelConfig::default()
+        });
+        let registry: Vec<(u8, arachnet_core::slot::Period)> = config.pattern.tags.clone();
+        let reader = ReaderMac::new(config.protocol, &registry);
+        let tags: Vec<TagDevice> = config
+            .pattern
+            .tags
+            .iter()
+            .map(|&(tid, period)| {
+                let vp = channel.tag_carrier_voltage(tid).unwrap_or(1.0);
+                let rng = TagRng::for_tag(config.seed, tid);
+                if config.charged_start {
+                    TagDevice::new_charged(tid, period, vp, config.protocol, config.timing, rng)
+                } else {
+                    TagDevice::new(tid, period, vp, config.protocol, config.timing, rng)
+                }
+            })
+            .collect();
+        let rng = TagRng::new(config.seed ^ 0xC0FFEE);
+        Self {
+            config,
+            reader,
+            tags,
+            rng,
+            beacon: None,
+            detector: ConvergenceDetector::new(),
+            stats: SlotStats::new(),
+            slots_run: 0,
+            keep_trajectory: false,
+            trajectory: Vec::new(),
+            keep_outcomes: false,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Enables per-slot trajectory recording (Fig. 16).
+    pub fn record_trajectory(&mut self, on: bool) {
+        self.keep_trajectory = on;
+    }
+
+    /// Enables ground-truth outcome recording.
+    pub fn record_outcomes(&mut self, on: bool) {
+        self.keep_outcomes = on;
+    }
+
+    /// Immutable access to the tag devices.
+    pub fn tags(&self) -> &[TagDevice] {
+        &self.tags
+    }
+
+    /// Immutable access to the reader MAC.
+    pub fn reader(&self) -> &ReaderMac {
+        &self.reader
+    }
+
+    /// Executes one slot; returns the ground-truth outcome.
+    pub fn step(&mut self) -> TruthOutcome {
+        let beacon = match self.beacon.take() {
+            Some(b) => b,
+            None => self.reader.start(),
+        };
+
+        // Deliver the beacon (with per-tag loss) and collect transmitters.
+        let mut transmitters: Vec<u8> = Vec::new();
+        for tag in &mut self.tags {
+            let delivered = !self.rng.chance(self.config.dl_loss_prob);
+            let report = tag.on_slot(delivered.then_some(beacon.cmd));
+            if report.transmitted {
+                transmitters.push(tag.tid());
+            }
+        }
+
+        // Reader-side observation.
+        let (obs, truth) = match transmitters.len() {
+            0 => (SlotObservation::empty(), TruthOutcome::Empty),
+            1 => {
+                let tid = transmitters[0];
+                if self.rng.chance(self.config.ul_loss_prob) {
+                    (SlotObservation::empty(), TruthOutcome::Single(tid))
+                } else {
+                    (SlotObservation::received(tid), TruthOutcome::Single(tid))
+                }
+            }
+            _ => {
+                let captured = if self.rng.chance(self.config.capture_prob) {
+                    let i = self.rng.below(transmitters.len() as u64) as usize;
+                    Some(transmitters[i])
+                } else {
+                    None
+                };
+                (
+                    SlotObservation::collision(captured),
+                    TruthOutcome::Collision(transmitters.clone()),
+                )
+            }
+        };
+
+        // Statistics on ground truth.
+        let stat_outcome = match &truth {
+            TruthOutcome::Empty => SlotOutcome::Empty,
+            TruthOutcome::Single(t) => SlotOutcome::Received(*t),
+            TruthOutcome::Collision(_) => SlotOutcome::Collision,
+        };
+        self.detector.push(stat_outcome);
+        self.stats.push(stat_outcome);
+        if self.keep_trajectory {
+            self.trajectory
+                .push((self.stats.non_empty_ratio(), self.stats.collision_ratio()));
+        }
+        if self.keep_outcomes {
+            self.outcomes.push(truth.clone());
+        }
+        self.slots_run += 1;
+
+        self.beacon = Some(self.reader.end_slot(obs));
+        truth
+    }
+
+    /// Runs `n` slots and summarizes.
+    pub fn run(&mut self, n: u64) -> SimRun {
+        for _ in 0..n {
+            self.step();
+        }
+        self.summary()
+    }
+
+    /// Runs until convergence (or `cap` slots) and summarizes.
+    pub fn run_until_converged(&mut self, cap: u64) -> SimRun {
+        while self.detector.converged_at().is_none() && self.slots_run < cap {
+            self.step();
+        }
+        self.summary()
+    }
+
+    /// Issues a RESET on the next beacon and restarts the detector/stats —
+    /// the Fig. 15 experiment protocol.
+    pub fn reset_network(&mut self) {
+        if self.beacon.is_none() {
+            // Nothing sent yet: open the network first.
+            self.beacon = Some(self.reader.start());
+        }
+        self.reader.queue_reset();
+        // Deliver the reset beacon immediately so the next step starts the
+        // measured phase.
+        let beacon = self.reader.end_slot(SlotObservation::empty());
+        debug_assert!(beacon.cmd.reset);
+        for tag in &mut self.tags {
+            // RESET beacons are assumed robustly delivered (the reader can
+            // repeat them; tags also reset on power-on).
+            let _ = tag.on_slot(Some(beacon.cmd));
+        }
+        // The reset beacon opened a fresh slot 1 in which no tag transmits;
+        // close it and hold the next beacon for the first measured slot.
+        self.beacon = Some(self.reader.end_slot(SlotObservation::empty()));
+        self.detector.reset();
+        self.stats = SlotStats::new();
+        self.slots_run = 0;
+        self.trajectory.clear();
+        self.outcomes.clear();
+    }
+
+    /// Snapshot of the run so far.
+    pub fn summary(&self) -> SimRun {
+        SimRun {
+            slots: self.slots_run,
+            converged_at: self.detector.converged_at(),
+            non_empty_ratio: self.stats.avg_non_empty_ratio(),
+            collision_ratio: self.stats.avg_collision_ratio(),
+            trajectory: self.trajectory.clone(),
+            outcomes: self.outcomes.clone(),
+        }
+    }
+
+    /// Settled-tag schedules (for invariant checks): `(tid, schedule)` of
+    /// every active tag currently in SETTLE, with offsets translated into
+    /// *global* slot terms.
+    ///
+    /// Tags keep purely local counters whose origins differ (activation
+    /// time, missed beacons), so two tags' local offsets are not directly
+    /// comparable; a tag whose local counter lags the reader's by `d`
+    /// slots fires at global slots `≡ a_local + d (mod p)`.
+    pub fn settled_schedules(&self) -> Vec<(u8, Schedule)> {
+        // The last closed slot: tags' local counters refer to it.
+        let s_global = self.reader.current_slot().saturating_sub(1);
+        self.tags
+            .iter()
+            .filter(|t| {
+                t.lifecycle() == Lifecycle::Active
+                    && t.mac().state() == arachnet_core::mac::MacState::Settle
+            })
+            .map(|t| {
+                let period = t.mac().period();
+                let p = u64::from(period.get());
+                let local = t.mac().local_slot();
+                let delta = s_global.saturating_sub(local);
+                let global_offset = ((u64::from(t.mac().offset()) + delta) % p) as u32;
+                (
+                    t.tid(),
+                    Schedule::new(period, global_offset).expect("valid offset"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Convenience: measures first convergence time for a pattern with a given
+/// seed, using the Fig. 15 protocol (RESET, then count slots until 32
+/// consecutive non-collision slots).
+pub fn first_convergence_time(pattern: &Pattern, seed: u64, cap: u64, ideal: bool) -> Option<u64> {
+    let config = if ideal {
+        SlotSimConfig::ideal(pattern.clone(), seed)
+    } else {
+        SlotSimConfig::new(pattern.clone(), seed)
+    };
+    let mut sim = SlotSim::new(config);
+    // Warm the network slightly, then reset — mirrors "following the
+    // transmission of a RESET packet".
+    sim.run(4);
+    sim.reset_network();
+    sim.run_until_converged(cap).converged_at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arachnet_core::slot::Period;
+
+    fn small_pattern() -> Pattern {
+        // Table 1's configuration as a pattern: p = {2, 4, 8, 8} on four
+        // deployment tags.
+        Pattern {
+            name: "table1",
+            tags: vec![
+                (5, Period::new(2).unwrap()),
+                (6, Period::new(4).unwrap()),
+                (7, Period::new(8).unwrap()),
+                (8, Period::new(8).unwrap()),
+            ],
+        }
+    }
+
+    #[test]
+    fn ideal_small_network_converges() {
+        let mut sim = SlotSim::new(SlotSimConfig::ideal(small_pattern(), 1));
+        let run = sim.run_until_converged(5_000);
+        assert!(run.converged_at.is_some(), "no convergence in 5000 slots");
+    }
+
+    #[test]
+    fn convergence_is_deterministic_per_seed() {
+        let a = first_convergence_time(&small_pattern(), 7, 5_000, true);
+        let b = first_convergence_time(&small_pattern(), 7, 5_000, true);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn settled_schedules_are_conflict_free_after_convergence() {
+        // The central protocol invariant (Lemma 1): once converged, no two
+        // SETTLEd tags share a slot.
+        for seed in 0..5 {
+            let mut sim = SlotSim::new(SlotSimConfig::ideal(small_pattern(), seed));
+            let run = sim.run_until_converged(5_000);
+            assert!(run.converged_at.is_some(), "seed {seed}");
+            let settled = sim.settled_schedules();
+            for i in 0..settled.len() {
+                for j in (i + 1)..settled.len() {
+                    assert!(
+                        !settled[i].1.conflicts_with(&settled[j].1),
+                        "seed {seed}: tags {} and {} conflict",
+                        settled[i].0,
+                        settled[j].0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn converged_network_stays_collision_free_on_ideal_channel() {
+        let mut sim = SlotSim::new(SlotSimConfig::ideal(small_pattern(), 3));
+        sim.run_until_converged(5_000);
+        // 500 more slots: not a single collision.
+        for _ in 0..500 {
+            let truth = sim.step();
+            assert!(!matches!(truth, TruthOutcome::Collision(_)));
+        }
+    }
+
+    #[test]
+    fn table3_c1_converges_quickly() {
+        // Low utilization: the paper's median is ~139 slots.
+        let t = first_convergence_time(&Pattern::c1(), 11, 20_000, true);
+        assert!(t.is_some());
+        assert!(t.unwrap() < 2_000, "c1 took {t:?} slots");
+    }
+
+    #[test]
+    fn higher_utilization_converges_slower() {
+        // Fig. 15(a)'s headline trend, on medians over a few seeds.
+        let median = |p: &Pattern| {
+            let mut ts: Vec<u64> = (0..5)
+                .map(|s| first_convergence_time(p, s, 200_000, true).unwrap_or(200_000))
+                .collect();
+            ts.sort_unstable();
+            ts[2]
+        };
+        let low = median(&Pattern::c1());
+        let high = median(&Pattern::c4());
+        assert!(high > low, "expected c4 ({high}) slower than c1 ({low})");
+    }
+
+    #[test]
+    fn long_run_c3_matches_fig16_statistics() {
+        // Fig. 16: average non-empty ratio ≈ 0.812 (bound 0.84375),
+        // collision ratio ≈ 0.056 over 10 000 slots.
+        let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), 42));
+        let run = sim.run(10_000);
+        assert!(
+            run.non_empty_ratio > 0.70 && run.non_empty_ratio <= 0.84375 + 0.01,
+            "non-empty {:.3}",
+            run.non_empty_ratio
+        );
+        assert!(
+            run.collision_ratio < 0.12,
+            "collision {:.3}",
+            run.collision_ratio
+        );
+    }
+
+    #[test]
+    fn beacon_loss_causes_fluctuations() {
+        // With DL loss the windowed trajectory must dip below the bound at
+        // least occasionally (Fig. 16's fluctuations).
+        let mut lossy = SlotSim::new(SlotSimConfig {
+            dl_loss_prob: 0.01,
+            ..SlotSimConfig::new(Pattern::c3(), 5)
+        });
+        lossy.record_trajectory(true);
+        let run = lossy.run(3_000);
+        let min_ne = run.trajectory[500..]
+            .iter()
+            .map(|t| t.0)
+            .fold(f64::MAX, f64::min);
+        assert!(min_ne < 0.75, "no visible disruption: min {min_ne}");
+    }
+
+    #[test]
+    fn cold_start_activates_tags_over_time() {
+        let mut sim = SlotSim::new(SlotSimConfig {
+            charged_start: false,
+            ..SlotSimConfig::ideal(small_pattern(), 9)
+        });
+        let active_at = |sim: &SlotSim| {
+            sim.tags()
+                .iter()
+                .filter(|t| t.lifecycle() == Lifecycle::Active)
+                .count()
+        };
+        assert_eq!(active_at(&sim), 0);
+        sim.run(120);
+        assert!(
+            active_at(&sim) >= 3,
+            "tags failed to charge: {}",
+            active_at(&sim)
+        );
+    }
+
+    #[test]
+    fn late_arrivals_integrate_without_disrupting_settled() {
+        // Cold start (staggered activations by charge time) on the ideal
+        // channel must still converge.
+        let mut sim = SlotSim::new(SlotSimConfig {
+            charged_start: false,
+            ..SlotSimConfig::ideal(small_pattern(), 13)
+        });
+        let run = sim.run_until_converged(5_000);
+        assert!(
+            run.converged_at.is_some(),
+            "late arrivals prevented convergence"
+        );
+    }
+
+    #[test]
+    fn reset_restarts_counters() {
+        let mut sim = SlotSim::new(SlotSimConfig::ideal(small_pattern(), 15));
+        sim.run(100);
+        sim.reset_network();
+        let run = sim.summary();
+        assert_eq!(run.slots, 0);
+        assert_eq!(run.converged_at, None);
+        // Tags must be back in MIGRATE.
+        for t in sim.tags() {
+            assert!(!t.mac().is_integrated());
+        }
+    }
+
+    #[test]
+    fn outcomes_recording_works() {
+        let mut sim = SlotSim::new(SlotSimConfig::ideal(small_pattern(), 17));
+        sim.record_outcomes(true);
+        sim.run(50);
+        assert_eq!(sim.summary().outcomes.len(), 50);
+    }
+}

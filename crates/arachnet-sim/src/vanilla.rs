@@ -1,0 +1,190 @@
+//! The vanilla centralized slot allocation (Sec. 5.2) under uncertainty.
+//!
+//! The paper's strawman: the reader computes a perfect schedule offline
+//! (`arachnet_core::slot::allocate`) and each tag blindly transmits when
+//! `s_i mod p_i == a_i` — no feedback, no migration. It works exactly
+//! until reality intrudes:
+//!
+//! * a missed beacon freezes the tag's counter, shifting its effective
+//!   offset by one (Eq. 3 / Fig. 8) — it may land on a peer's slot and
+//!   collide *forever*;
+//! * a late-arriving tag starts its counter at a random phase relative to
+//!   the others, scrambling its assigned offset entirely.
+//!
+//! This simulator quantifies the decay, the motivating comparison for the
+//! distributed protocol of Secs. 5.3–5.6.
+
+use arachnet_core::rng::TagRng;
+use arachnet_core::slot::{allocate, Period};
+
+use crate::patterns::Pattern;
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct VanillaConfig {
+    /// The workload.
+    pub pattern: Pattern,
+    /// Per-tag per-beacon loss probability.
+    pub dl_loss_prob: f64,
+    /// If true, tags start with uniformly random counter phases (the
+    /// late-arrival condition); if false, perfectly synchronized.
+    pub staggered_start: bool,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct VanillaRun {
+    /// Slots simulated.
+    pub slots: u64,
+    /// Ground-truth collision ratio over the whole run.
+    pub collision_ratio: f64,
+    /// Collision ratio over the final quarter of the run — shows whether
+    /// the system recovers (it cannot) or keeps degrading.
+    pub tail_collision_ratio: f64,
+    /// Non-empty ratio over the whole run.
+    pub non_empty_ratio: f64,
+}
+
+/// Runs the vanilla scheme for `slots` slots.
+pub fn run_vanilla(config: &VanillaConfig, slots: u64) -> VanillaRun {
+    let periods: Vec<Period> = config.pattern.tags.iter().map(|&(_, p)| p).collect();
+    let offsets = allocate(&periods).expect("Table 3 patterns satisfy Eq. 1");
+    let mut rng = TagRng::new(config.seed);
+    // Per-tag local counter.
+    let mut counters: Vec<u64> = periods
+        .iter()
+        .map(|p| {
+            if config.staggered_start {
+                rng.below(u64::from(p.get()))
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut collisions = 0u64;
+    let mut tail_collisions = 0u64;
+    let mut non_empty = 0u64;
+    let tail_start = slots - slots / 4;
+    for s in 0..slots {
+        // Beacon delivery: lost beacons freeze the local counter.
+        let mut tx = 0u32;
+        for (i, p) in periods.iter().enumerate() {
+            if !rng.chance(config.dl_loss_prob) {
+                counters[i] = counters[i].wrapping_add(1);
+            }
+            if counters[i] % u64::from(p.get()) == u64::from(offsets[i]) {
+                tx += 1;
+            }
+        }
+        if tx > 0 {
+            non_empty += 1;
+        }
+        if tx > 1 {
+            collisions += 1;
+            if s >= tail_start {
+                tail_collisions += 1;
+            }
+        }
+    }
+    VanillaRun {
+        slots,
+        collision_ratio: collisions as f64 / slots as f64,
+        tail_collision_ratio: tail_collisions as f64 / (slots - tail_start) as f64,
+        non_empty_ratio: non_empty as f64 / slots as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_world_is_collision_free() {
+        // Synchronized counters, no loss: the offline schedule holds.
+        let run = run_vanilla(
+            &VanillaConfig {
+                pattern: Pattern::c3(),
+                dl_loss_prob: 0.0,
+                staggered_start: false,
+                seed: 1,
+            },
+            5_000,
+        );
+        assert_eq!(run.collision_ratio, 0.0);
+        assert!((run.non_empty_ratio - 0.84375).abs() < 0.01);
+    }
+
+    #[test]
+    fn beacon_loss_accumulates_permanent_collisions() {
+        // With even mild loss, desynchronization accumulates and the tail
+        // is as bad as (or worse than) the whole-run average: no recovery.
+        let run = run_vanilla(
+            &VanillaConfig {
+                pattern: Pattern::c3(),
+                dl_loss_prob: 0.002,
+                staggered_start: false,
+                seed: 2,
+            },
+            20_000,
+        );
+        assert!(
+            run.collision_ratio > 0.05,
+            "collisions {:.3}",
+            run.collision_ratio
+        );
+        assert!(
+            run.tail_collision_ratio > run.collision_ratio * 0.5,
+            "vanilla should not self-heal: tail {:.3} vs avg {:.3}",
+            run.tail_collision_ratio,
+            run.collision_ratio
+        );
+    }
+
+    #[test]
+    fn staggered_start_breaks_the_schedule_immediately() {
+        let run = run_vanilla(
+            &VanillaConfig {
+                pattern: Pattern::c3(),
+                dl_loss_prob: 0.0,
+                staggered_start: true,
+                seed: 3,
+            },
+            5_000,
+        );
+        assert!(
+            run.collision_ratio > 0.05,
+            "collisions {:.3}",
+            run.collision_ratio
+        );
+        // And it never improves: the phases are frozen forever.
+        assert!((run.tail_collision_ratio - run.collision_ratio).abs() < 0.05);
+    }
+
+    #[test]
+    fn distributed_protocol_beats_vanilla_under_identical_loss() {
+        // The motivating comparison, run head-to-head at 0.5 % DL loss.
+        let vanilla = run_vanilla(
+            &VanillaConfig {
+                pattern: Pattern::c3(),
+                dl_loss_prob: 0.005,
+                staggered_start: false,
+                seed: 4,
+            },
+            10_000,
+        );
+        let mut distributed = crate::slotsim::SlotSim::new(crate::slotsim::SlotSimConfig {
+            dl_loss_prob: 0.005,
+            ul_loss_prob: 0.0,
+            ..crate::slotsim::SlotSimConfig::new(Pattern::c3(), 4)
+        });
+        let d = distributed.run(10_000);
+        assert!(
+            d.collision_ratio < vanilla.tail_collision_ratio,
+            "distributed {:.3} should beat vanilla tail {:.3}",
+            d.collision_ratio,
+            vanilla.tail_collision_ratio
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Waveform/edge-level co-simulation for the PHY experiments.
+//!
+//! * **Uplink trials** (Fig. 12): a tag modulates a packet with its
+//!   drifting clock, the channel superimposes carrier leak and noise, the
+//!   reader DSP chain decodes; SNR is measured the paper's way (PSD band
+//!   ratio).
+//! * **Downlink trials** (Fig. 13a): reader PIE edges with software
+//!   jitter, transformed by the channel (path delay + envelope-detector
+//!   threshold-crossing delays that depend on the tag's received
+//!   amplitude), decoded by the tag's tick-quantized demodulator.
+//! * **Synchronization offsets** (Fig. 13b): one broadcast beacon; each
+//!   tag's decode-completion instant relative to Tag 6.
+//! * **Ping-pong** (Fig. 14): DL + guard + UL + software latency samples,
+//!   and the raw reader waveform for the Fig. 14(a) illustration.
+
+use arachnet_core::fm0::Fm0Encoder;
+use arachnet_core::packet::{DlBeacon, DlCmd, UlPacket};
+use arachnet_core::rng::TagRng;
+use arachnet_reader::driver::{LatencyModel, PingPong};
+use arachnet_reader::rx::{RxConfig, UplinkReceiver};
+use arachnet_reader::tx::BeaconTransmitter;
+use arachnet_tag::demod::PieDemodulator;
+use arachnet_tag::mcu::McuClock;
+use biw_channel::channel::{BiwChannel, ChannelConfig};
+use biw_channel::geometry::Deployment;
+use biw_channel::noise::NoiseConfig;
+use biw_channel::pzt::PztState;
+use biw_channel::resonator::DriveScheme;
+
+/// The co-simulation environment.
+pub struct WaveSim {
+    channel: BiwChannel,
+    seed: u64,
+    /// TX drive scheme: governs the reader-PZT ring tail seen by tags.
+    drive_scheme: DriveScheme,
+}
+
+/// Result of an uplink packet-loss trial.
+#[derive(Debug, Clone, Copy)]
+pub struct UplinkResult {
+    /// Packets sent.
+    pub sent: u64,
+    /// Packets not decoded (or decoded wrong).
+    pub lost: u64,
+    /// PSD-band SNR (dB) measured on a representative waveform.
+    pub snr_db: f64,
+}
+
+/// Result of a downlink packet-loss trial.
+#[derive(Debug, Clone, Copy)]
+pub struct DownlinkResult {
+    /// Beacons sent.
+    pub sent: u64,
+    /// Beacons not decoded correctly by the tag.
+    pub lost: u64,
+}
+
+impl WaveSim {
+    /// Environment over the paper's deployment with the given noise floor.
+    pub fn new(seed: u64, noise: NoiseConfig) -> Self {
+        let channel = BiwChannel::paper(ChannelConfig {
+            noise,
+            seed,
+            ..ChannelConfig::default()
+        });
+        Self {
+            channel,
+            seed,
+            drive_scheme: DriveScheme::paper_default(),
+        }
+    }
+
+    /// Selects the TX drive scheme (the Sec. 4.1 ring-effect ablation:
+    /// plain OOK leaves a long free ring tail; FSK-in/OOK-out keeps the
+    /// amplifier loading the transducer, damping it ~5x faster).
+    pub fn with_drive_scheme(mut self, scheme: DriveScheme) -> Self {
+        self.drive_scheme = scheme;
+        self
+    }
+
+    /// Default environment: the noise floor calibrated so uplink losses
+    /// match Fig. 12(b)'s regime (sub-percent at low rates, growing with
+    /// rate).
+    pub fn paper(seed: u64) -> Self {
+        Self::new(
+            seed,
+            NoiseConfig {
+                floor_sigma: 0.013,
+                ..NoiseConfig::default()
+            },
+        )
+    }
+
+    /// The underlying channel.
+    pub fn channel(&self) -> &BiwChannel {
+        &self.channel
+    }
+
+    /// Fig. 12: sends `n` packets from `tid` at `ul_bps` and counts losses;
+    /// measures SNR on the first waveform.
+    pub fn uplink_trial(&self, tid: u8, ul_bps: f64, n: u64) -> UplinkResult {
+        let fs = self.channel.config().sample_rate;
+        let rx = UplinkReceiver::new(RxConfig {
+            ul_bps,
+            ..RxConfig::default()
+        });
+        let clock = McuClock::for_tag(self.seed, tid);
+        let mut rng = TagRng::for_tag(self.seed ^ 0x0715, tid);
+        let mut lost = 0;
+        let mut snr_db = 0.0;
+        for i in 0..n {
+            let payload = (rng.next_u64() & 0xFFF) as u16;
+            let pkt = UlPacket::new(tid % 16, payload).expect("12-bit payload");
+            let mut enc = Fm0Encoder::new();
+            let raw = enc.encode(pkt.to_bits().iter()).to_bools();
+            // The tag's timer stretches/compresses raw bits; the supply sags
+            // across the cutoff band slot to slot.
+            let mut c = clock;
+            c.set_supply(1.95 + 0.35 * rng.unit_f64());
+            let spb = (fs * (1.0 / ul_bps) * (12_000.0 / c.actual_hz())).round() as usize;
+            let mut states = vec![PztState::Absorptive; 6 * spb];
+            states.extend(BiwChannel::states_from_raw_bits(&raw, spb));
+            states.extend(vec![PztState::Absorptive; 6 * spb]);
+            let len = states.len();
+            // Fresh noise per packet: vary the channel seed.
+            let mut ch = self.channel.clone();
+            let mut cfg = ch.config().clone();
+            cfg.seed = self.seed ^ (u64::from(tid) << 32) ^ i;
+            ch = BiwChannel::new(cfg, self.channel.deployment().clone());
+            let wave = ch.uplink_waveform(&[(tid, &states)], len);
+            if i == 0 {
+                snr_db = rx.uplink_snr_db(&wave);
+            }
+            let out = rx.process_slot(&wave);
+            if out.packet != Some(pkt) {
+                lost += 1;
+            }
+        }
+        UplinkResult {
+            sent: n,
+            lost,
+            snr_db,
+        }
+    }
+
+    /// The envelope-detector threshold the tag comparator switches at (V).
+    const COMPARATOR_THRESHOLD_V: f64 = 0.12;
+    /// Envelope-detector RC time constant (s) — ~9 carrier cycles; fast
+    /// enough that pulse-width distortion stays below half a raw bit at
+    /// 500 bps even for the strongest tag.
+    const ENVELOPE_TAU_S: f64 = 9.0 / 90_000.0;
+
+    /// Rising-edge delay at a tag: time for the envelope to charge from 0
+    /// to the comparator threshold given a received amplitude `a`.
+    fn rise_delay(a: f64) -> f64 {
+        let vth = Self::COMPARATOR_THRESHOLD_V;
+        if a <= vth {
+            return f64::INFINITY;
+        }
+        Self::ENVELOPE_TAU_S * (a / (a - vth)).ln()
+    }
+
+    /// Falling-edge delay: time for the envelope to decay from `a` to the
+    /// threshold. On top of the detector's own RC, the *reader PZT's ring
+    /// tail* keeps pumping the channel after the drive stops: with plain
+    /// OOK the transducer rings freely (τ = 2Q_free/ω ≈ 0.5 ms), while the
+    /// FSK-in/OOK-out drive keeps it amplifier-loaded (τ ≈ 0.1 ms) —
+    /// Sec. 4.1's mitigation.
+    fn fall_delay(&self, a: f64) -> f64 {
+        let vth = Self::COMPARATOR_THRESHOLD_V;
+        if a <= vth {
+            return 0.0;
+        }
+        let ring_tau = match self.drive_scheme {
+            DriveScheme::PlainOok => 2.0 * 141.0 / (2.0 * std::f64::consts::PI * 90_000.0),
+            DriveScheme::FskInOokOut { .. } => 2.0 * 28.0 / (2.0 * std::f64::consts::PI * 90_000.0),
+        };
+        (Self::ENVELOPE_TAU_S + ring_tau) * (a / vth).ln()
+    }
+
+    /// Envelope amplitude at a tag: carrier voltage minus the detector
+    /// diode drop.
+    fn tag_envelope_amplitude(&self, tid: u8) -> Option<f64> {
+        Some((self.channel.tag_carrier_voltage(tid)? - 0.15).max(0.0))
+    }
+
+    /// Transforms reader TX edges into the edges seen at a tag's
+    /// comparator output.
+    fn edges_at_tag(&self, tid: u8, edges: &[(f64, bool)]) -> Option<Vec<(f64, bool)>> {
+        let site = self.channel.deployment().site(tid)?;
+        let delay = site.path.delay_s();
+        let a = self.tag_envelope_amplitude(tid)?;
+        let (rise, fall) = (Self::rise_delay(a), self.fall_delay(a));
+        if !rise.is_finite() {
+            return None; // amplitude below comparator threshold
+        }
+        Some(
+            edges
+                .iter()
+                .map(|&(t, rising)| (t + delay + if rising { rise } else { fall }, rising))
+                .collect(),
+        )
+    }
+
+    /// Fig. 13(a): sends `n` beacons at `dl_bps` to tag `tid` and counts
+    /// decode failures.
+    pub fn downlink_trial(&self, tid: u8, dl_bps: f64, n: u64) -> DownlinkResult {
+        let mut tx = BeaconTransmitter::new(dl_bps, self.seed ^ u64::from(tid));
+        let clock = McuClock::for_tag(self.seed, tid);
+        let mut rng = TagRng::for_tag(self.seed ^ 0xD1, tid);
+        let mut lost = 0;
+        for i in 0..n {
+            let cmd = DlCmd::from_nibble((rng.next_u64() & 0xF) as u8);
+            let beacon = DlBeacon::new(cmd);
+            let edges = tx.edges(&beacon, i as f64);
+            let Some(tag_edges) = self.edges_at_tag(tid, &edges) else {
+                lost += 1;
+                continue;
+            };
+            let mut demod = PieDemodulator::new(clock, dl_bps);
+            demod.set_supply(1.95 + 0.35 * rng.unit_f64());
+            let decoded = demod.feed_edges(&tag_edges);
+            if decoded.len() != 1 || decoded[0].beacon != beacon {
+                lost += 1;
+            }
+        }
+        DownlinkResult { sent: n, lost }
+    }
+
+    /// Fig. 13(b): one beacon broadcast; per-tag decode-completion offsets
+    /// relative to Tag 6, in seconds. Tags that fail to decode are omitted.
+    pub fn sync_offsets(&self) -> Vec<(u8, f64)> {
+        let mut tx = BeaconTransmitter::new(250.0, self.seed ^ 0x5F0C);
+        let beacon = DlBeacon::new(DlCmd::nack().with_empty(true));
+        let edges = tx.edges(&beacon, 0.0);
+        let mut completions: Vec<(u8, f64)> = Vec::new();
+        for site in &Deployment::paper().sites {
+            let tid = site.id;
+            let Some(tag_edges) = self.edges_at_tag(tid, &edges) else {
+                continue;
+            };
+            let mut demod = PieDemodulator::new(McuClock::for_tag(self.seed, tid), 250.0);
+            let decoded = demod.feed_edges(&tag_edges);
+            if let Some(d) = decoded.first() {
+                completions.push((tid, d.completed_at));
+            }
+        }
+        let reference = completions
+            .iter()
+            .find(|&&(tid, _)| tid == 6)
+            .map(|&(_, t)| t)
+            .unwrap_or_else(|| completions.first().map(|&(_, t)| t).unwrap_or(0.0));
+        completions
+            .into_iter()
+            .map(|(tid, t)| (tid, t - reference))
+            .collect()
+    }
+
+    /// Fig. 14(b): samples `n` ping-pong latencies.
+    pub fn ping_pong_samples(&self, n: usize) -> Vec<PingPong> {
+        let mut tx = BeaconTransmitter::new(250.0, self.seed ^ 0x1414);
+        let latency = LatencyModel::default();
+        let mut rng = TagRng::new(self.seed ^ 0xB0B0);
+        let beacon = DlBeacon::new(DlCmd::ack());
+        (0..n)
+            .map(|_| {
+                let stage1 = tx.beacon_duration(&beacon);
+                let stage2 = arachnet_core::rates::TAG_REPLY_GUARD_S
+                    + 2.0 * arachnet_core::packet::UL_PACKET_BITS as f64 / 375.0
+                    + latency.sample(&mut rng);
+                let _ = &mut tx;
+                PingPong {
+                    stage1_s: stage1,
+                    stage2_s: stage2,
+                }
+            })
+            .collect()
+    }
+
+    /// Fig. 14(a): the raw reader-side waveform of one ping-pong — beacon
+    /// (strong, keyed carrier), 20 ms tag guard (CW leak), UL packet
+    /// (backscatter on leak). Returns `(waveform, sample_rate)`.
+    pub fn ping_pong_waveform(&self, tid: u8) -> (Vec<f64>, f64) {
+        let fs = self.channel.config().sample_rate;
+        let tx = BeaconTransmitter::new(250.0, self.seed);
+        let beacon = DlBeacon::new(DlCmd::ack());
+        let levels = tx.raw_levels(&beacon);
+        let spl = (fs / 250.0).round() as usize;
+        // Beacon segment: keyed carrier at TX amplitude (what the RX PZT
+        // sees from the neighbouring TX PZT is essentially the drive).
+        let w = 2.0 * std::f64::consts::PI * 90_000.0 / fs;
+        let mut wave: Vec<f64> = Vec::new();
+        let amp = self.channel.config().carrier_leakage * 2.0;
+        for (li, &lvl) in levels.iter().enumerate() {
+            for k in 0..spl {
+                let n = li * spl + k;
+                wave.push(if lvl { amp * (w * n as f64).sin() } else { 0.0 });
+            }
+        }
+        // Guard + UL segment via the uplink synthesizer.
+        let pkt = UlPacket::new(tid % 16, 0x3A5).unwrap();
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode(pkt.to_bits().iter()).to_bools();
+        let spb = (fs / 375.0).round() as usize;
+        let guard = (0.020 * fs) as usize;
+        let mut states = vec![PztState::Absorptive; guard];
+        states.extend(BiwChannel::states_from_raw_bits(&raw, spb));
+        states.extend(vec![PztState::Absorptive; spb * 4]);
+        let len = states.len();
+        let ul = self.channel.uplink_waveform(&[(tid, &states)], len);
+        wave.extend(ul);
+        (wave, fs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplink_low_rate_is_reliable() {
+        let sim = WaveSim::paper(1);
+        let r = sim.uplink_trial(8, 3_000.0, 15);
+        // At 3 kbps the strongest tag should still be near-lossless.
+        assert!(r.lost <= 1, "{}/{} lost", r.lost, r.sent);
+        assert!(r.snr_db > 5.0, "snr {:.1}", r.snr_db);
+    }
+
+    #[test]
+    fn uplink_snr_ordering_matches_fig12a() {
+        let sim = WaveSim::paper(2);
+        let s8 = sim.uplink_trial(8, 375.0, 1).snr_db;
+        let s4 = sim.uplink_trial(4, 375.0, 1).snr_db;
+        let s11 = sim.uplink_trial(11, 375.0, 1).snr_db;
+        assert!(s8 > s4 && s4 > s11, "s8={s8:.1} s4={s4:.1} s11={s11:.1}");
+    }
+
+    #[test]
+    fn uplink_snr_falls_with_rate() {
+        let sim = WaveSim::paper(3);
+        let lo = sim.uplink_trial(8, 93.75, 1).snr_db;
+        let hi = sim.uplink_trial(8, 3_000.0, 1).snr_db;
+        assert!(lo > hi, "lo={lo:.1} hi={hi:.1}");
+    }
+
+    #[test]
+    fn downlink_default_rate_is_nearly_lossless() {
+        let sim = WaveSim::paper(4);
+        for tid in [8u8, 4, 11] {
+            let r = sim.downlink_trial(tid, 250.0, 100);
+            assert!(
+                (r.lost as f64) / (r.sent as f64) < 0.02,
+                "tag {tid}: {}/{} lost at 250 bps",
+                r.lost,
+                r.sent
+            );
+        }
+    }
+
+    #[test]
+    fn downlink_loss_surges_at_high_rates() {
+        // Fig. 13(a)'s signature: heavy loss at 1–2 kbps.
+        let sim = WaveSim::paper(5);
+        let r2000 = sim.downlink_trial(8, 2_000.0, 100);
+        assert!(
+            r2000.lost > 30,
+            "expected a surge at 2 kbps, got {}/{}",
+            r2000.lost,
+            r2000.sent
+        );
+        let r500 = sim.downlink_trial(8, 500.0, 100);
+        assert!(
+            r500.lost < r2000.lost,
+            "500 bps ({}) vs 2 kbps ({})",
+            r500.lost,
+            r2000.lost
+        );
+    }
+
+    #[test]
+    fn downlink_loss_monotone_profile() {
+        let sim = WaveSim::paper(6);
+        let losses: Vec<u64> = [125.0, 250.0, 1_000.0, 2_000.0]
+            .iter()
+            .map(|&bps| sim.downlink_trial(4, bps, 60).lost)
+            .collect();
+        assert!(
+            losses[0] <= losses[2] + 5 && losses[1] <= losses[2] + 5,
+            "{losses:?}"
+        );
+        assert!(losses[3] >= losses[1], "{losses:?}");
+    }
+
+    #[test]
+    fn sync_offsets_within_5ms() {
+        // Fig. 13(b): all tags within ±5 ms of Tag 6.
+        let sim = WaveSim::paper(7);
+        let offsets = sim.sync_offsets();
+        assert!(offsets.len() >= 10, "only {} tags decoded", offsets.len());
+        for (tid, off) in &offsets {
+            assert!(off.abs() < 5e-3, "tag {tid}: offset {off}");
+        }
+        // The reference itself is zero.
+        let t6 = offsets.iter().find(|&&(t, _)| t == 6).unwrap();
+        assert_eq!(t6.1, 0.0);
+    }
+
+    #[test]
+    fn sync_offsets_are_not_all_identical() {
+        let sim = WaveSim::paper(8);
+        let offsets = sim.sync_offsets();
+        let distinct = offsets.iter().filter(|(_, o)| o.abs() > 1e-6).count();
+        assert!(distinct >= 5, "offsets suspiciously uniform: {offsets:?}");
+    }
+
+    #[test]
+    fn ping_pong_distribution_matches_fig14b() {
+        let sim = WaveSim::paper(9);
+        let samples = sim.ping_pong_samples(1_000);
+        let mut stage2: Vec<f64> = samples.iter().map(|p| p.stage2_s).collect();
+        stage2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99 = stage2[989];
+        assert!(p99 < 0.2819, "p99 {p99}");
+        let total_max = samples.iter().map(|p| p.total()).fold(0.0f64, f64::max);
+        assert!(total_max < 0.5, "total {total_max}");
+    }
+
+    #[test]
+    fn ping_pong_waveform_shows_three_phases() {
+        let sim = WaveSim::new(10, NoiseConfig::silent());
+        let (wave, fs) = sim.ping_pong_waveform(8);
+        let rms = |s: &[f64]| (s.iter().map(|x| x * x).sum::<f64>() / s.len() as f64).sqrt();
+        // Beacon phase: strong.
+        let beacon_end = (23.0 / 250.0 * fs) as usize;
+        let dl = rms(&wave[..beacon_end]);
+        // Guard phase (CW leak only).
+        let guard = rms(&wave[beacon_end + 100..beacon_end + (0.015 * fs) as usize]);
+        assert!(dl > guard, "DL {dl} vs guard {guard}");
+        assert!(guard > 0.5, "guard leak missing: {guard}");
+        assert!(wave.len() as f64 / fs > 0.2, "waveform too short");
+    }
+}

@@ -1,0 +1,142 @@
+//! Hot-path microbenchmarks: the per-sample and per-slot costs that bound
+//! the reader's real-time budget (Sec. 6.1 claims real-time operation at a
+//! 500 kHz sample rate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use arachnet_core::bits::BitBuf;
+use arachnet_core::crc::crc8_bits;
+use arachnet_core::fm0::{self, Fm0Encoder};
+use arachnet_core::packet::UlPacket;
+use arachnet_core::pie;
+use arachnet_dsp::cluster::{cluster_iq, ClusterConfig};
+use arachnet_dsp::cplx::Cplx;
+use arachnet_dsp::fft::fft_real;
+use arachnet_dsp::psd::welch_psd;
+use arachnet_dsp::window::Window;
+use arachnet_reader::rx::{RxConfig, UplinkReceiver};
+use arachnet_sim::patterns::Pattern;
+use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+use biw_channel::channel::{BiwChannel, ChannelConfig};
+use biw_channel::noise::NoiseConfig;
+use biw_channel::pzt::PztState;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codecs");
+    let pkt = UlPacket::new(7, 0xABC).unwrap();
+    let bits = pkt.to_bits();
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("ul_packet_encode", |b| {
+        b.iter(|| black_box(UlPacket::new(7, 0xABC).unwrap().to_bits()))
+    });
+    g.bench_function("ul_packet_parse", |b| {
+        b.iter(|| black_box(UlPacket::from_bits(&bits).unwrap()))
+    });
+    let mut enc = Fm0Encoder::new();
+    let raw = enc.encode(bits.iter());
+    g.bench_function("fm0_encode_32b", |b| {
+        b.iter(|| {
+            let mut e = Fm0Encoder::new();
+            black_box(e.encode(bits.iter()))
+        })
+    });
+    g.bench_function("fm0_decode_64b", |b| {
+        b.iter(|| black_box(fm0::decode(&raw, true).unwrap()))
+    });
+    g.bench_function("pie_encode_10b", |b| {
+        let beacon_bits = BitBuf::from_u32(0b1101001010, 10);
+        b.iter(|| black_box(pie::encode(beacon_bits.iter())))
+    });
+    g.bench_function("crc8_24b", |b| {
+        let msg = BitBuf::from_u32(0xABCDE5, 24);
+        b.iter(|| black_box(crc8_bits(msg.iter())))
+    });
+    g.finish();
+}
+
+fn bench_dsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsp");
+    let signal: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.71).sin()).collect();
+    g.throughput(Throughput::Elements(8192));
+    g.bench_function("fft_8192", |b| b.iter(|| black_box(fft_real(&signal))));
+    g.bench_function("welch_psd_8192", |b| {
+        b.iter(|| black_box(welch_psd(&signal, 500e3, 1024, Window::Hann)))
+    });
+    let mut seed = 1u64;
+    let mut noise = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let iq: Vec<Cplx> = (0..1500)
+        .map(|i| {
+            let c = if i % 2 == 0 {
+                Cplx::new(1.0, 0.0)
+            } else {
+                Cplx::new(0.2, 0.1)
+            };
+            c + Cplx::new(noise() * 0.05, noise() * 0.05)
+        })
+        .collect();
+    g.bench_function("cluster_iq_1500", |b| {
+        b.iter(|| black_box(cluster_iq(&iq, ClusterConfig::default())))
+    });
+    g.finish();
+}
+
+fn bench_rx_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rx_chain");
+    g.sample_size(20);
+    let ch = BiwChannel::paper(ChannelConfig {
+        noise: NoiseConfig::default(),
+        ..ChannelConfig::default()
+    });
+    let pkt = UlPacket::new(8, 0x123).unwrap();
+    let mut enc = Fm0Encoder::new();
+    let raw = enc.encode(pkt.to_bits().iter()).to_bools();
+    let spb = (500_000.0f64 / 375.0).round() as usize;
+    let mut states = vec![PztState::Absorptive; 4 * spb];
+    states.extend(BiwChannel::states_from_raw_bits(&raw, spb));
+    states.extend(vec![PztState::Absorptive; 4 * spb]);
+    let len = states.len();
+    let wave = ch.uplink_waveform(&[(8, &states)], len);
+    let rx = UplinkReceiver::new(RxConfig::default());
+    g.throughput(Throughput::Elements(wave.len() as u64));
+    g.bench_function("process_slot_375bps", |b| {
+        b.iter(|| black_box(rx.process_slot(&wave)))
+    });
+    g.bench_function("uplink_snr", |b| {
+        b.iter(|| black_box(rx.uplink_snr_db(&wave)))
+    });
+    g.finish();
+}
+
+fn bench_slotsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slotsim");
+    g.bench_function("step_c3_12tags", |b| {
+        let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), 1));
+        b.iter(|| black_box(sim.step()))
+    });
+    g.sample_size(10);
+    g.bench_function("converge_c1", |b| {
+        b.iter(|| {
+            black_box(arachnet_sim::slotsim::first_convergence_time(
+                &Pattern::c1(),
+                9,
+                100_000,
+                true,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_dsp,
+    bench_rx_chain,
+    bench_slotsim
+);
+criterion_main!(benches);

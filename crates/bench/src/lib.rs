@@ -1,0 +1,12 @@
+//! # bench — Criterion benchmarks for ARACHNET
+//!
+//! Two suites:
+//!
+//! * `hot_paths` — throughput of the building blocks a real reader would
+//!   care about: codecs, CRC, FFT/PSD, the RX chain over one slot, IQ
+//!   clustering, and slot-simulator stepping;
+//! * `experiments` — one benchmark per evaluation table/figure, invoking
+//!   the same runners as the `repro` binary with reduced trial counts (so
+//!   `cargo bench` regenerates every artifact's code path and measures it).
+//!
+//! Run: `cargo bench -p bench`.

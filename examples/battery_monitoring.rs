@@ -1,0 +1,103 @@
+//! Battery-pack monitoring: the paper's motivating workload.
+//!
+//! Tags over the battery pack need frequent updates (damage "can pose
+//! safety risks, including fires" — second-level monitoring), while tags
+//! watching structural aging report rarely. This example runs the full
+//! 12-tag deployment with heterogeneous periods, injects a mid-run battery
+//! "event" via the strain sensor chain, and shows the readings the reader
+//! collects — end to end from displacement to decoded 12-bit payload.
+//!
+//! Run: `cargo run --release --example battery_monitoring`
+
+use arachnet_core::slot::Period;
+use arachnet_sensors::StrainSensor;
+use arachnet_sim::patterns::Pattern;
+use arachnet_sim::slotsim::{SlotSim, SlotSimConfig, TruthOutcome};
+
+fn main() {
+    // Battery-pack tags (second row, 4–8) report every 4 slots; front-row
+    // tags every 16; cargo-area aging monitors every 32.
+    let p = |v| Period::new(v).unwrap();
+    let pattern = Pattern {
+        name: "battery-monitoring",
+        tags: vec![
+            (1, p(16)),
+            (2, p(16)),
+            (3, p(16)),
+            (4, p(4)),
+            (5, p(4)),
+            (6, p(8)),
+            (7, p(8)),
+            (8, p(4)),
+            (9, p(32)),
+            (10, p(32)),
+            (11, p(32)),
+            (12, p(32)),
+        ],
+    };
+    println!(
+        "workload: {} tags, utilization {:.3} (battery tags at period 4, aging tags at 32)",
+        pattern.len(),
+        pattern.utilization()
+    );
+
+    let mut sim = SlotSim::new(SlotSimConfig::new(pattern, 7));
+    sim.run(4);
+    sim.reset_network();
+
+    // Each battery tag carries a strain sensor; the pack swells slowly
+    // after slot 600 (thermal event) — displacement ramps up.
+    let sensor = StrainSensor::default();
+    let displacement_at = |slot: u64| -> f64 {
+        if slot < 600 {
+            0.002 // quiescent vibration-level strain
+        } else {
+            0.002 + 0.0005 * (slot - 600) as f64 // swelling
+        }
+    };
+
+    let mut readings: Vec<(u64, u8, u16)> = Vec::new();
+    let mut collisions = 0u64;
+    for slot in 1..=1_000u64 {
+        match sim.step() {
+            TruthOutcome::Single(tid) if (4..=8).contains(&tid) => {
+                let code = sensor.sample(displacement_at(slot).min(0.10));
+                readings.push((slot, tid, code));
+            }
+            TruthOutcome::Collision(_) => collisions += 1,
+            _ => {}
+        }
+    }
+
+    let run = sim.summary();
+    println!(
+        "1000 slots: non-empty {:.3}, collision {:.3}, converged at {:?}",
+        run.non_empty_ratio, run.collision_ratio, run.converged_at
+    );
+    println!("total collisions: {collisions}");
+
+    // The reader's view of the battery pack: baseline vs post-event codes.
+    let baseline: Vec<u16> = readings.iter().filter(|r| r.0 < 600).map(|r| r.2).collect();
+    let event: Vec<u16> = readings
+        .iter()
+        .filter(|r| r.0 >= 700)
+        .map(|r| r.2)
+        .collect();
+    let avg = |v: &[u16]| v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nbattery-pack ADC codes: baseline avg {:.0} ({} samples), after event {:.0} ({} samples)",
+        avg(&baseline),
+        baseline.len(),
+        avg(&event),
+        event.len()
+    );
+    println!("last 5 readings (slot, tag, code):");
+    for r in readings.iter().rev().take(5).rev() {
+        println!("  slot {:4}  tag {:2}  code {:4}", r.0, r.1, r.2);
+    }
+    assert!(
+        avg(&event) > avg(&baseline) + 10.0,
+        "the swelling event must be visible in the readings"
+    );
+    println!("\nthe thermal-event swelling is clearly visible in the uplink payloads.");
+}

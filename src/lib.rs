@@ -1,0 +1,31 @@
+//! # arachnet — umbrella crate
+//!
+//! Re-exports every layer of the ARACHNET reproduction (SIGCOMM 2025,
+//! "Acoustic Backscatter Network for Vehicle Body-in-White") under short
+//! module names. See the individual crates for the real documentation:
+//!
+//! * [`core_protocol`] (`arachnet-core`) — packets, codecs, MAC state
+//!   machines, slot math, Markov convergence analysis;
+//! * [`dsp`] (`arachnet-dsp`) — the signal-processing substrate;
+//! * [`channel`] (`biw-channel`) — the calibrated BiW acoustic medium;
+//! * [`energy`] (`arachnet-energy`) — harvesting, storage, power ledger;
+//! * [`tag`] (`arachnet-tag`) — tag firmware and timing models;
+//! * [`reader`] (`arachnet-reader`) — the reader's TX/RX chains;
+//! * [`sim`] (`arachnet-sim`) — slot-level and waveform-level simulators;
+//! * [`sensors`] (`arachnet-sensors`) — the strain-measurement case study.
+//!
+//! The runnable entry points live in `examples/` (start with
+//! `quickstart`), the evaluation regenerators in the `repro` binary of
+//! `arachnet-experiments`, and the paper-vs-measured record in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+pub use arachnet_core as core_protocol;
+pub use arachnet_dsp as dsp;
+pub use arachnet_energy as energy;
+pub use arachnet_reader as reader;
+pub use arachnet_sensors as sensors;
+pub use arachnet_sim as sim;
+pub use arachnet_tag as tag;
+pub use biw_channel as channel;

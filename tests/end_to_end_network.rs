@@ -1,0 +1,159 @@
+//! Integration: the full protocol stack over every Table 3 workload.
+
+use arachnet_core::mac::MacState;
+use arachnet_sim::patterns::Pattern;
+use arachnet_sim::slotsim::{SlotSim, SlotSimConfig, TruthOutcome};
+
+/// Every Table 3 pattern converges on the realistic (lossy) channel.
+#[test]
+fn all_table3_patterns_converge_with_losses() {
+    for pattern in Pattern::table3() {
+        let name = pattern.name;
+        let mut sim = SlotSim::new(SlotSimConfig::new(pattern, 0xA11));
+        sim.run(4);
+        sim.reset_network();
+        let run = sim.run_until_converged(300_000);
+        assert!(
+            run.converged_at.is_some(),
+            "{name} failed to converge within 300k slots"
+        );
+    }
+}
+
+/// The settled schedules are pairwise conflict-free — the Lemma 1
+/// invariant, checked across patterns and seeds on the ideal channel.
+#[test]
+fn settled_schedules_never_conflict() {
+    for pattern in [Pattern::c1(), Pattern::c3(), Pattern::c5(), Pattern::c9()] {
+        for seed in 0..3u64 {
+            let name = pattern.name;
+            let mut sim = SlotSim::new(SlotSimConfig::ideal(pattern.clone(), seed));
+            sim.run(4);
+            sim.reset_network();
+            let run = sim.run_until_converged(300_000);
+            assert!(run.converged_at.is_some(), "{name}/{seed}");
+            let settled = sim.settled_schedules();
+            for i in 0..settled.len() {
+                for j in (i + 1)..settled.len() {
+                    assert!(
+                        !settled[i].1.conflicts_with(&settled[j].1),
+                        "{name}/{seed}: tags {} and {} conflict",
+                        settled[i].0,
+                        settled[j].0
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// After convergence on an ideal channel, a settled network stays
+/// collision-free indefinitely (Lemma 2: absorbing states are closed).
+#[test]
+fn converged_network_is_absorbing() {
+    let mut sim = SlotSim::new(SlotSimConfig::ideal(Pattern::c2(), 3));
+    sim.run(4);
+    sim.reset_network();
+    assert!(sim.run_until_converged(100_000).converged_at.is_some());
+    for _ in 0..2_000 {
+        assert!(!matches!(sim.step(), TruthOutcome::Collision(_)));
+    }
+}
+
+/// Long-run statistics of the Fig. 16 workload stay in the paper's regime
+/// across seeds.
+#[test]
+fn fig16_statistics_are_stable_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), seed));
+        let run = sim.run(5_000);
+        assert!(
+            run.non_empty_ratio > 0.70 && run.non_empty_ratio < 0.86,
+            "seed {seed}: non-empty {:.3}",
+            run.non_empty_ratio
+        );
+        assert!(
+            run.collision_ratio < 0.12,
+            "seed {seed}: collision {:.3}",
+            run.collision_ratio
+        );
+    }
+}
+
+/// Utilization ordering: higher-utilization patterns converge slower in
+/// the median (the Fig. 15a trend), comparing the extremes.
+#[test]
+fn utilization_extremes_order_convergence() {
+    let median = |p: &Pattern| -> u64 {
+        let mut ts: Vec<u64> = (0..5u64)
+            .map(|s| {
+                arachnet_sim::slotsim::first_convergence_time(p, s, 500_000, true)
+                    .unwrap_or(500_000)
+            })
+            .collect();
+        ts.sort_unstable();
+        ts[2]
+    };
+    let c1 = median(&Pattern::c1());
+    let c5 = median(&Pattern::c5());
+    assert!(
+        c5 > 2 * c1,
+        "c5 ({c5}) should be much slower than c1 ({c1})"
+    );
+}
+
+/// A late tag whose period cannot fit triggers the Sec. 5.6 eviction and
+/// the network re-packs without deadlock.
+#[test]
+fn eviction_scenario_resolves() {
+    use arachnet_core::slot::Period;
+    // Tags A(4) and B(4) settle; C(2) arrives later (cold start) and needs
+    // half the slots — the reader must evict one of A/B.
+    let p = |v| Period::new(v).unwrap();
+    let pattern = Pattern {
+        name: "eviction",
+        tags: vec![(8, p(4)), (7, p(4)), (5, p(2))],
+    };
+    // Tag 5's site charges slower than 7/8, so it genuinely arrives late.
+    let mut sim = SlotSim::new(SlotSimConfig {
+        charged_start: false,
+        ..SlotSimConfig::ideal(pattern, 11)
+    });
+    let mut all_settled_at = None;
+    for slot in 1..=20_000u64 {
+        sim.step();
+        let settled = sim
+            .tags()
+            .iter()
+            .filter(|t| t.mac().state() == MacState::Settle)
+            .count();
+        if settled == 3 {
+            all_settled_at = Some(slot);
+            break;
+        }
+    }
+    assert!(all_settled_at.is_some(), "network never fully settled");
+    let schedules = sim.settled_schedules();
+    for i in 0..schedules.len() {
+        for j in (i + 1)..schedules.len() {
+            assert!(!schedules[i].1.conflicts_with(&schedules[j].1));
+        }
+    }
+}
+
+/// The whole-run energy story holds: with the paper's duty cycles no tag
+/// browns out over a long run.
+#[test]
+fn no_brownouts_under_default_workload() {
+    let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), 5));
+    sim.run(5_000);
+    for tag in sim.tags() {
+        assert_eq!(tag.brownouts(), 0, "tag {} browned out", tag.tid());
+        assert!(
+            tag.voltage() > 1.95,
+            "tag {} sagging: {:.2} V",
+            tag.tid(),
+            tag.voltage()
+        );
+    }
+}

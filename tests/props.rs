@@ -1,0 +1,187 @@
+//! Property-based tests over the protocol core (proptest).
+
+use arachnet_core::bits::BitBuf;
+use arachnet_core::crc::{crc8_bits, verify};
+use arachnet_core::fm0::{self, Fm0Encoder};
+use arachnet_core::mac::{ProtocolConfig, TagMac};
+use arachnet_core::packet::{DlBeacon, DlCmd, UlPacket};
+use arachnet_core::pie;
+use arachnet_core::rng::TagRng;
+use arachnet_core::slot::{allocate, utilization, Period, Schedule};
+use proptest::prelude::*;
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 0..max_len)
+}
+
+proptest! {
+    /// FM0 encode/decode is an exact inverse for any data.
+    #[test]
+    fn fm0_roundtrip(data in arb_bits(256)) {
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode(data.iter().copied());
+        let dec = fm0::decode(&raw, true).unwrap();
+        prop_assert_eq!(dec.to_bools(), data);
+    }
+
+    /// FM0 raw streams never contain a run longer than 2 — the property
+    /// the reader's edge-domain decoder relies on.
+    #[test]
+    fn fm0_runs_bounded(data in arb_bits(256)) {
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode(data.iter().copied()).to_bools();
+        let mut run = 1;
+        for w in raw.windows(2) {
+            if w[0] == w[1] { run += 1; prop_assert!(run <= 2); } else { run = 1; }
+        }
+    }
+
+    /// PIE encode/decode is an exact inverse.
+    #[test]
+    fn pie_roundtrip(data in arb_bits(128)) {
+        let raw = pie::encode(data.iter().copied());
+        let dec = pie::decode(&raw).unwrap();
+        prop_assert_eq!(dec.to_bools(), data);
+    }
+
+    /// CRC-8 detects every single- and double-bit error on packet-sized
+    /// messages.
+    #[test]
+    fn crc_detects_small_errors(data in arb_bits(24), i in 0usize..32, j in 0usize..32) {
+        let mut msg = BitBuf::from_bools(&data);
+        let crc = crc8_bits(msg.iter());
+        msg.push_u8(crc, 8);
+        let len = msg.len();
+        let (i, j) = (i % len, j % len);
+        let mut corrupted = msg.clone();
+        corrupted.set(i, !corrupted.get(i).unwrap());
+        if i != j {
+            corrupted.set(j, !corrupted.get(j).unwrap());
+        }
+        prop_assert!(!verify(&corrupted));
+    }
+
+    /// UL packets roundtrip for every legal field combination.
+    #[test]
+    fn ul_packet_roundtrip(tid in 0u8..16, payload in 0u16..4096) {
+        let p = UlPacket::new(tid, payload).unwrap();
+        let q = UlPacket::from_bits(&p.to_bits()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// BitBuf extract/push are inverses for any value and width.
+    #[test]
+    fn bitbuf_field_roundtrip(value in 0u16.., width in 1usize..=16) {
+        let masked = value & ((1u32 << width) - 1) as u16;
+        let mut b = BitBuf::new();
+        b.push_u32(u32::from(masked), width);
+        prop_assert_eq!(b.extract_u16(0, width), Some(masked));
+    }
+
+    /// The slot conflict rule matches brute-force schedule simulation.
+    #[test]
+    fn conflict_rule_matches_brute_force(
+        pa in prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+        pb in prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+        aa in 0u32..16,
+        ab in 0u32..16,
+    ) {
+        let (aa, ab) = (aa % pa, ab % pb);
+        let sa = Schedule::new(Period::new(pa).unwrap(), aa).unwrap();
+        let sb = Schedule::new(Period::new(pb).unwrap(), ab).unwrap();
+        let brute = (0..128u64).any(|s| sa.fires_at(s) && sb.fires_at(s));
+        prop_assert_eq!(sa.conflicts_with(&sb), brute);
+    }
+
+    /// The vanilla allocator always succeeds within capacity and yields a
+    /// conflict-free schedule.
+    #[test]
+    fn allocator_is_sound(counts in prop::collection::vec(0usize..5, 4)) {
+        let period_values = [4u32, 8, 16, 32];
+        let mut periods = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                periods.push(Period::new(period_values[i]).unwrap());
+            }
+        }
+        prop_assume!(!periods.is_empty());
+        prop_assume!(utilization(&periods) <= 1.0);
+        let offsets = allocate(&periods).unwrap();
+        let schedules: Vec<Schedule> = periods
+            .iter()
+            .zip(&offsets)
+            .map(|(&p, &a)| Schedule::new(p, a).unwrap())
+            .collect();
+        for i in 0..schedules.len() {
+            for j in (i + 1)..schedules.len() {
+                prop_assert!(!schedules[i].conflicts_with(&schedules[j]));
+            }
+        }
+    }
+
+    /// The tag state machine keeps its offset within the period no matter
+    /// the beacon sequence it experiences.
+    #[test]
+    fn tag_mac_offset_stays_in_range(
+        seed in any::<u64>(),
+        period in prop::sample::select(vec![2u32, 4, 8, 16, 32]),
+        beacons in prop::collection::vec(0u8..16, 1..100),
+    ) {
+        let mut tag = TagMac::new(
+            1,
+            Period::new(period).unwrap(),
+            ProtocolConfig::default(),
+            TagRng::new(seed),
+        );
+        for nib in beacons {
+            let cmd = DlCmd::from_nibble(nib);
+            let _ = tag.on_beacon(cmd);
+            prop_assert!(tag.offset() < period);
+            prop_assert!(tag.nack_run() < 3);
+        }
+    }
+
+    /// A tag only ever reaches SETTLE through an ACK for a slot it
+    /// transmitted in.
+    #[test]
+    fn settle_requires_acked_transmission(
+        seed in any::<u64>(),
+        beacons in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut tag = TagMac::new(
+            2,
+            Period::new(4).unwrap(),
+            ProtocolConfig { empty_gating: false, ..ProtocolConfig::default() },
+            TagRng::new(seed),
+        );
+        let mut transmitted_last = false;
+        for ack in beacons {
+            let was_settled = tag.state() == arachnet_core::mac::MacState::Settle;
+            let cmd = if ack { DlCmd::ack() } else { DlCmd::nack() };
+            let act = tag.on_beacon(cmd);
+            let now_settled = tag.state() == arachnet_core::mac::MacState::Settle;
+            if !was_settled && now_settled {
+                prop_assert!(transmitted_last && ack, "settled without ACKed TX");
+            }
+            transmitted_last = act.transmit;
+        }
+    }
+
+    /// Beacon serialization roundtrips for every command nibble.
+    #[test]
+    fn beacon_roundtrip(nibble in 0u8..16) {
+        let b = DlBeacon::new(DlCmd::from_nibble(nibble));
+        prop_assert_eq!(DlBeacon::from_bits(&b.to_bits()).unwrap(), b);
+    }
+
+    /// The PulseDecoder classification threshold is exactly between the
+    /// nominal symbols for any rate in range.
+    #[test]
+    fn pulse_decoder_threshold_correct(ticks_per_raw in 4.0f64..200.0) {
+        let d = pie::PulseDecoder::new(ticks_per_raw);
+        prop_assert_eq!(d.classify(ticks_per_raw), Some(false));
+        prop_assert_eq!(d.classify(2.0 * ticks_per_raw), Some(true));
+        prop_assert_eq!(d.classify(1.49 * ticks_per_raw), Some(false));
+        prop_assert_eq!(d.classify(1.51 * ticks_per_raw), Some(true));
+    }
+}

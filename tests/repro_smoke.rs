@@ -1,0 +1,66 @@
+//! Smoke test: every evaluation artifact stays regenerable.
+//!
+//! Runs each `repro` runner at minimal scale and checks for its key
+//! markers — the cheap guarantee that no refactor silently breaks the
+//! reproduction harness.
+
+use arachnet_experiments as x;
+
+fn check(name: &str, out: &str, markers: &[&str]) {
+    assert!(!out.trim().is_empty(), "{name}: empty output");
+    for m in markers {
+        assert!(out.contains(m), "{name}: missing marker {m:?} in:\n{out}");
+    }
+}
+
+#[test]
+fn tables_regenerate() {
+    check("table1", &x::table1::run(), &["exactly one transmitter: yes"]);
+    check("table2", &x::table2::run(), &["RX", "51.0"]);
+    check("table3", &x::table3::run(), &["c9", "1.000"]);
+    check("table4", &x::table4::run(), &["ARACHNET", "Battery-free"]);
+}
+
+#[test]
+fn energy_figures_regenerate() {
+    check("fig11a", &x::fig11::run_a(), &["4.74", "Tag"]);
+    check("fig11b", &x::fig11::run_b(), &["net power", "resume"]);
+}
+
+#[test]
+fn communication_figures_regenerate() {
+    check("fig12", &x::fig12::run(1, 9), &["93.75", "3000", "Tag 11"]);
+    check("fig13a", &x::fig13::run_a(5, 9), &["2000", "Tag 4"]);
+    check("fig13b", &x::fig13::run_b(9), &["max |offset|"]);
+}
+
+#[test]
+fn network_figures_regenerate() {
+    check("fig14a", &x::fig14::run_a(9), &["RMS"]);
+    check("fig14b", &x::fig14::run_b(50, 9), &["p99", "281.9"]);
+    check("fig15a", &x::fig15::run_a(1, 9), &["c5", "median"]);
+    check("fig15b", &x::fig15::run_b(1, 9), &["c9"]);
+    check("fig16", &x::fig16::run(300, 9), &["whole-run averages", "0.84375"]);
+}
+
+#[test]
+fn case_studies_regenerate() {
+    check("fig17b", &x::fig17::run(), &["Tag C", "ADC"]);
+    check("fig19", &x::fig19::run(300.0, 9), &["overall collision-free"]);
+    check("markov", &x::markov::run(1), &["absorbing chain", "yes"]);
+}
+
+#[test]
+fn extensions_regenerate() {
+    check("ablation", &x::ablation::run_protocol(1, 9), &["full protocol", "N = 6"]);
+    check(
+        "ablation-latearrival",
+        &x::ablation::run_late_arrival(1, 9),
+        &["settled tags"],
+    );
+    check("ablation-drive", &x::ablation::run_drive_scheme(10, 9), &["plain OOK"]);
+    check("ablation-stages", &x::ablation::run_stages(), &["12/12"]);
+    check("ambient", &x::ambient::run(), &["highway", "RX sustained"]);
+    check("fdma", &x::fdma::run(1, 9), &["concurrent tags"]);
+    check("vanilla", &x::vanilla::run(1_000, 9), &["vanilla tail", "staggered"]);
+}
