@@ -1,4 +1,4 @@
-//! Property-based tests over the DSP substrate.
+//! Property-based tests over the DSP substrate (arachnet-testkit).
 
 use arachnet_dsp::correlate::normalized_correlation;
 use arachnet_dsp::cplx::Cplx;
@@ -9,13 +9,18 @@ use arachnet_dsp::iir::Biquad;
 use arachnet_dsp::pipeline::{pump, FnStage, RingBuffer};
 use arachnet_dsp::schmitt::Schmitt;
 use arachnet_dsp::window::Window;
-use proptest::prelude::*;
+use arachnet_testkit::gen;
+use arachnet_testkit::{check, prop_assert, prop_assert_eq};
 
-proptest! {
-    /// FFT followed by IFFT recovers the input for arbitrary complex data.
-    #[test]
-    fn fft_ifft_roundtrip(res in prop::collection::vec(-100.0f64..100.0, 64), ims in prop::collection::vec(-100.0f64..100.0, 64)) {
-        let orig: Vec<Cplx> = res.iter().zip(&ims).map(|(&r, &i)| Cplx::new(r, i)).collect();
+/// FFT followed by IFFT recovers the input for arbitrary complex data.
+#[test]
+fn fft_ifft_roundtrip() {
+    let g = gen::zip(
+        gen::vec(gen::f64_range(-100.0, 100.0), 64, 64),
+        gen::vec(gen::f64_range(-100.0, 100.0), 64, 64),
+    );
+    check("fft_ifft_roundtrip", &g, |(res, ims)| {
+        let orig: Vec<Cplx> = res.iter().zip(ims).map(|(&r, &i)| Cplx::new(r, i)).collect();
         let mut data = orig.clone();
         fft_in_place(&mut data);
         ifft_in_place(&mut data);
@@ -23,16 +28,21 @@ proptest! {
             prop_assert!((a.re - b.re).abs() < 1e-8);
             prop_assert!((a.im - b.im).abs() < 1e-8);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Windowed-sinc low-pass designs are symmetric (exactly linear phase)
-    /// and unity-DC for arbitrary legal parameters.
-    #[test]
-    fn fir_design_invariants(
-        fc_frac in 0.01f64..0.45,
-        taps_half in 5usize..60,
-        win in prop::sample::select(vec![Window::Rectangular, Window::Hann, Window::Hamming]),
-    ) {
+/// Windowed-sinc low-pass designs are symmetric (exactly linear phase) and
+/// unity-DC for arbitrary legal parameters.
+#[test]
+fn fir_design_invariants() {
+    let g = gen::zip3(
+        gen::f64_range(0.01, 0.45),
+        gen::usize_range(5, 60),
+        gen::usize_range(0, 3),
+    );
+    check("fir_design_invariants", &g, |&(fc_frac, taps_half, win_idx)| {
+        let win = [Window::Rectangular, Window::Hann, Window::Hamming][win_idx];
         let taps = 2 * taps_half + 1;
         let h = design_lowpass(1_000.0, fc_frac * 1_000.0, taps, win);
         prop_assert_eq!(h.len(), taps);
@@ -41,32 +51,40 @@ proptest! {
         }
         let dc: f64 = h.iter().sum();
         prop_assert!((dc - 1.0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// A biquad low-pass is BIBO stable: bounded input gives bounded output.
-    #[test]
-    fn biquad_is_stable(
-        fc_frac in 0.01f64..0.45,
-        q in 0.3f64..5.0,
-        input in prop::collection::vec(-1.0f64..1.0, 500),
-    ) {
-        let mut f = Biquad::lowpass(1_000.0, fc_frac * 1_000.0, q);
-        for &x in &input {
+/// A biquad low-pass is BIBO stable: bounded input gives bounded output.
+#[test]
+fn biquad_is_stable() {
+    let g = gen::zip3(
+        gen::f64_range(0.01, 0.45),
+        gen::f64_range(0.3, 5.0),
+        gen::vec(gen::f64_range(-1.0, 1.0), 500, 500),
+    );
+    check("biquad_is_stable", &g, |(fc_frac, q, input)| {
+        let mut f = Biquad::lowpass(1_000.0, fc_frac * 1_000.0, *q);
+        for &x in input {
             let y = f.process(x);
             // Resonant peaking is bounded by ~q; allow generous headroom.
             prop_assert!(y.abs() < 20.0 * q.max(1.0), "unstable output {}", y);
             prop_assert!(y.is_finite());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The decimator outputs exactly floor(n/factor) samples, regardless of
-    /// how the input is chunked.
-    #[test]
-    fn decimator_length_and_chunking(
-        factor in 1usize..12,
-        n in 1usize..400,
-        split in 1usize..399,
-    ) {
+/// The decimator outputs exactly floor(n/factor) samples, regardless of
+/// how the input is chunked.
+#[test]
+fn decimator_length_and_chunking() {
+    let g = gen::zip3(
+        gen::usize_range(1, 12),
+        gen::usize_range(1, 400),
+        gen::usize_range(1, 399),
+    );
+    check("decimator_length_and_chunking", &g, |&(factor, n, split)| {
         let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
         let mut whole = Decimator::new(1_000.0, factor, 15);
         let out_whole = whole.process_block(&input);
@@ -79,19 +97,23 @@ proptest! {
         for (a, b) in out_whole.iter().zip(&out_parts) {
             prop_assert!((a - b).abs() < 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Schmitt output only changes when the input crosses the appropriate
-    /// threshold — never inside the dead band.
-    #[test]
-    fn schmitt_honors_hysteresis(
-        input in prop::collection::vec(-2.0f64..2.0, 200),
-        band in 0.05f64..0.8,
-    ) {
+/// Schmitt output only changes when the input crosses the appropriate
+/// threshold — never inside the dead band.
+#[test]
+fn schmitt_honors_hysteresis() {
+    let g = gen::zip(
+        gen::vec(gen::f64_range(-2.0, 2.0), 200, 200),
+        gen::f64_range(0.05, 0.8),
+    );
+    check("schmitt_honors_hysteresis", &g, |(input, band)| {
         let (hi, lo) = (band / 2.0, -band / 2.0);
         let mut s = Schmitt::new(hi, lo);
         let mut state = false;
-        for &x in &input {
+        for &x in input {
             let next = s.process(x);
             if next != state {
                 if next {
@@ -102,29 +124,37 @@ proptest! {
             }
             state = next;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Normalized cross-correlation scores always lie in [-1, 1].
-    #[test]
-    fn ncc_is_normalized(
-        signal in prop::collection::vec(-10.0f64..10.0, 30..120),
-        template in prop::collection::vec(-1.0f64..1.0, 8..24),
-    ) {
-        for score in normalized_correlation(&signal, &template) {
+/// Normalized cross-correlation scores always lie in [-1, 1].
+#[test]
+fn ncc_is_normalized() {
+    let g = gen::zip(
+        gen::vec(gen::f64_range(-10.0, 10.0), 30, 119),
+        gen::vec(gen::f64_range(-1.0, 1.0), 8, 23),
+    );
+    check("ncc_is_normalized", &g, |(signal, template)| {
+        for score in normalized_correlation(signal, template) {
             prop_assert!((-1.0001..=1.0001).contains(&score), "score {}", score);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The back-pressure pump preserves order and loses nothing for an
-    /// arbitrary interleaving of pushes, pumps and pops.
-    #[test]
-    fn pipeline_is_lossless_fifo(ops in prop::collection::vec(0u8..3, 10..300)) {
+/// The back-pressure pump preserves order and loses nothing for an
+/// arbitrary interleaving of pushes, pumps and pops.
+#[test]
+fn pipeline_is_lossless_fifo() {
+    let g = gen::vec(gen::u8_range(0, 3), 10, 299);
+    check("pipeline_is_lossless_fifo", &g, |ops| {
         let mut stage = FnStage::new(1, |x: u32, out: &mut Vec<u32>| out.push(x));
         let mut input = RingBuffer::new(16);
         let mut output = RingBuffer::new(8);
         let mut next = 0u32;
         let mut received = Vec::new();
-        for op in ops {
+        for &op in ops {
             match op {
                 0 => {
                     let _ = input.push(next).map(|_| next += 1);
@@ -155,5 +185,6 @@ proptest! {
         for (i, &v) in received.iter().enumerate() {
             prop_assert_eq!(v, i as u32);
         }
-    }
+        Ok(())
+    });
 }

@@ -3,19 +3,44 @@
 //! The paper motivates four refinements (Secs. 4.1, 5.4–5.6) and one
 //! threshold (N = 3). These runners switch each off in turn and measure
 //! the damage, quantifying claims the paper only argues qualitatively.
+//! The variant × trial loops fan out over `arachnet_sim::sweep`.
 
 use arachnet_core::mac::ProtocolConfig;
-use arachnet_sim::metrics::five_num;
+use arachnet_sim::metrics::{five_num, mean};
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+use arachnet_sim::sweep::{run_matrix, SweepConfig};
 use arachnet_sim::wavesim::WaveSim;
 use biw_channel::resonator::DriveScheme;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
+
+/// Protocol-refinement ablation experiment.
+pub struct Ablation;
+
+impl Experiment for Ablation {
+    fn id(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn title(&self) -> &'static str {
+        "Protocol-refinement ablation"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Secs. 5.3-5.6"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report_protocol(params.scale(2, 7), &params.sweep())
+    }
+}
 
 /// Protocol-refinement ablation: convergence and long-run health of c3
-/// under realistic losses, with each refinement disabled in turn.
-pub fn run_protocol(trials: u64, seed: u64) -> String {
+/// under realistic losses, with each refinement disabled in turn. The
+/// variant × trial convergence matrix runs on the parallel sweep engine.
+pub fn report_protocol(trials: u64, sweep: &SweepConfig) -> Report {
     let variants: Vec<(&str, ProtocolConfig)> = vec![
         ("full protocol", ProtocolConfig::default()),
         (
@@ -58,28 +83,26 @@ pub fn run_protocol(trials: u64, seed: u64) -> String {
             },
         ),
     ];
+    // Convergence (ideal channel, RESET protocol), parallel over the matrix.
+    let matrix = run_matrix(sweep, &variants, trials, |&(_, protocol), _trial, seed| {
+        let mut sim = SlotSim::new(SlotSimConfig {
+            protocol,
+            ..SlotSimConfig::ideal(Pattern::c3(), seed)
+        });
+        sim.run(4);
+        sim.reset_network();
+        sim.run_until_converged(300_000)
+            .converged_at
+            .unwrap_or(300_000) as f64
+    });
     let mut rows = Vec::new();
-    for (name, protocol) in &variants {
-        // Convergence (ideal channel, RESET protocol).
-        let mut conv: Vec<f64> = Vec::new();
-        for t in 0..trials {
-            let mut sim = SlotSim::new(SlotSimConfig {
-                protocol: *protocol,
-                ..SlotSimConfig::ideal(Pattern::c3(), seed ^ t)
-            });
-            sim.run(4);
-            sim.reset_network();
-            conv.push(
-                sim.run_until_converged(300_000)
-                    .converged_at
-                    .unwrap_or(300_000) as f64,
-            );
-        }
-        // Long-run health under losses.
+    for ((name, protocol), cell) in variants.iter().zip(&matrix) {
+        let conv: Vec<f64> = cell.iter().filter_map(|r| r.as_ref().ok()).copied().collect();
+        // Long-run health under losses (one run per variant, base seed).
         let mut sim = SlotSim::new(SlotSimConfig {
             protocol: *protocol,
             dl_loss_prob: 0.005,
-            ..SlotSimConfig::new(Pattern::c3(), seed)
+            ..SlotSimConfig::new(Pattern::c3(), sweep.base_seed)
         });
         let run = sim.run(5_000);
         let s = five_num(&conv);
@@ -91,30 +114,52 @@ pub fn run_protocol(trials: u64, seed: u64) -> String {
             f(run.collision_ratio, 3),
         ]);
     }
-    let mut out = render::table(
-        &format!(
-            "Ablation — protocol refinements (c3, {trials} trials; long run at 0.5 % DL loss)"
+    Report::single(
+        Section::new(
+            format!(
+                "Ablation — protocol refinements (c3, {trials} trials; long run at 0.5 % DL loss)"
+            ),
+            &[
+                "variant",
+                "conv. median",
+                "conv. max",
+                "non-empty",
+                "collision",
+            ],
+            rows,
+        )
+        .with_note(
+            "expected: disabling the 5.4 timeout leaves desynchronized tags colliding longer; \
+             larger N tolerates\nmore transient NACKs but reacts slower; the 5.5/5.6 refinements \
+             matter most for late arrivals (see `repro ablation-latearrival`).",
         ),
-        &[
-            "variant",
-            "conv. median",
-            "conv. max",
-            "non-empty",
-            "collision",
-        ],
-        &rows,
-    );
-    out.push_str(
-        "expected: disabling the 5.4 timeout leaves desynchronized tags colliding longer; \
-         larger N tolerates\nmore transient NACKs but reacts slower; the 5.5/5.6 refinements \
-         matter most for late arrivals (see `repro ablation-latearrival`).\n",
-    );
-    out
+    )
+}
+
+/// Late-arrival ablation experiment.
+pub struct AblationLateArrival;
+
+impl Experiment for AblationLateArrival {
+    fn id(&self) -> &'static str {
+        "ablation-latearrival"
+    }
+
+    fn title(&self) -> &'static str {
+        "Late-arrival ablation"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Secs. 5.5-5.6"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report_late_arrival(params.scale(2, 7), &params.sweep())
+    }
 }
 
 /// Late-arrival ablation: cold-start integration with and without the
-/// Sec. 5.5 / 5.6 refinements.
-pub fn run_late_arrival(trials: u64, seed: u64) -> String {
+/// Sec. 5.5 / 5.6 refinements, parallel over the variant × trial matrix.
+pub fn report_late_arrival(trials: u64, sweep: &SweepConfig) -> Report {
     let variants: Vec<(&str, ProtocolConfig)> = vec![
         ("full protocol", ProtocolConfig::default()),
         (
@@ -133,47 +178,71 @@ pub fn run_late_arrival(trials: u64, seed: u64) -> String {
         ),
     ];
     let horizon = 1_500u64;
+    let matrix = run_matrix(sweep, &variants, trials, move |&(_, protocol), _trial, seed| {
+        let mut sim = SlotSim::new(SlotSimConfig {
+            protocol,
+            charged_start: false, // staggered activation = real late arrivals
+            ..SlotSimConfig::ideal(Pattern::c3(), seed)
+        });
+        let run = sim.run(horizon);
+        let settled = sim
+            .tags()
+            .iter()
+            .filter(|tg| tg.mac().state() == arachnet_core::mac::MacState::Settle)
+            .count();
+        (settled as f64, run.collision_ratio)
+    });
     let mut rows = Vec::new();
-    for (name, protocol) in &variants {
-        let mut settled_counts = Vec::new();
-        let mut disruption = Vec::new();
-        for t in 0..trials {
-            let mut sim = SlotSim::new(SlotSimConfig {
-                protocol: *protocol,
-                charged_start: false, // staggered activation = real late arrivals
-                ..SlotSimConfig::ideal(Pattern::c3(), seed ^ (t << 8))
-            });
-            let run = sim.run(horizon);
-            let settled = sim
-                .tags()
-                .iter()
-                .filter(|tg| tg.mac().state() == arachnet_core::mac::MacState::Settle)
-                .count();
-            settled_counts.push(settled as f64);
-            disruption.push(run.collision_ratio);
-        }
+    for ((name, _), cell) in variants.iter().zip(&matrix) {
+        let ok: Vec<&(f64, f64)> = cell.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let settled: Vec<f64> = ok.iter().map(|&&(s, _)| s).collect();
+        let disruption: Vec<f64> = ok.iter().map(|&&(_, c)| c).collect();
         rows.push(vec![
             name.to_string(),
-            f(arachnet_sim::metrics::mean(&settled_counts), 1),
-            f(arachnet_sim::metrics::mean(&disruption), 4),
+            f(mean(&settled), 1),
+            f(mean(&disruption), 4),
         ]);
     }
-    let mut out = render::table(
-        &format!("Ablation — late arrivals (cold start, c3, {horizon} slots, {trials} trials)"),
-        &["variant", "settled tags (of 12)", "collision ratio"],
-        &rows,
-    );
-    out.push_str(
-        "EMPTY gating lets newcomers probe only unused slots; admission control prevents \
-         latent period conflicts.\nDisabling them trades integration for disruption of the \
-         settled schedule.\n",
-    );
-    out
+    Report::single(
+        Section::new(
+            format!(
+                "Ablation — late arrivals (cold start, c3, {horizon} slots, {trials} trials)"
+            ),
+            &["variant", "settled tags (of 12)", "collision ratio"],
+            rows,
+        )
+        .with_note(
+            "EMPTY gating lets newcomers probe only unused slots; admission control prevents \
+             latent period conflicts.\nDisabling them trades integration for disruption of the \
+             settled schedule.",
+        ),
+    )
+}
+
+/// Drive-scheme ablation experiment.
+pub struct AblationDrive;
+
+impl Experiment for AblationDrive {
+    fn id(&self) -> &'static str {
+        "ablation-drive"
+    }
+
+    fn title(&self) -> &'static str {
+        "TX drive-scheme ablation"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Sec. 4.1"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report_drive(params.scale(50, 400), params.seed)
+    }
 }
 
 /// Drive-scheme ablation (Sec. 4.1): plain OOK's ring tail vs the paper's
-/// FSK-in/OOK-out on downlink loss.
-pub fn run_drive_scheme(n: u64, seed: u64) -> String {
+/// FSK-in/OOK-out on downlink loss, `n` beacons per cell.
+pub fn report_drive(n: u64, seed: u64) -> Report {
     let schemes = [
         ("FSK in / OOK out (paper)", DriveScheme::paper_default()),
         ("plain OOK (ring tail)", DriveScheme::PlainOok),
@@ -189,22 +258,44 @@ pub fn run_drive_scheme(n: u64, seed: u64) -> String {
         }
         rows.push(row);
     }
-    let mut out = render::table(
-        "Ablation — TX drive scheme vs DL loss (Tag 8)",
-        &["scheme", "250 bps", "500 bps", "1000 bps"],
-        &rows,
-    );
-    out.push_str(
-        "plain OOK's free ring tail (~0.5 ms) stretches every falling edge, corrupting PIE \
-         intervals at higher rates;\nthe FSK-in/OOK-out drive keeps the transducer \
-         amplifier-loaded and the tail ~5x shorter (Sec. 4.1).\n",
-    );
-    out
+    Report::single(
+        Section::new(
+            "Ablation — TX drive scheme vs DL loss (Tag 8)",
+            &["scheme", "250 bps", "500 bps", "1000 bps"],
+            rows,
+        )
+        .with_note(
+            "plain OOK's free ring tail (~0.5 ms) stretches every falling edge, corrupting PIE \
+             intervals at higher rates;\nthe FSK-in/OOK-out drive keeps the transducer \
+             amplifier-loaded and the tail ~5x shorter (Sec. 4.1).",
+        ),
+    )
+}
+
+/// Multiplier-stage ablation experiment.
+pub struct AblationStages;
+
+impl Experiment for AblationStages {
+    fn id(&self) -> &'static str {
+        "ablation-stages"
+    }
+
+    fn title(&self) -> &'static str {
+        "Multiplier stage-count ablation"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Sec. 3.2"
+    }
+
+    fn run(&self, _params: &Params) -> Report {
+        report_stages()
+    }
 }
 
 /// Multiplier-stage ablation (Sec. 3.2): how many tags can activate at
 /// each stage count, and at what charging speed.
-pub fn run_stages() -> String {
+pub fn report_stages() -> Report {
     use arachnet_energy::cutoff::LowVoltageCutoff;
     use arachnet_energy::harvester::HarvestChain;
     use arachnet_energy::multiplier::Multiplier;
@@ -240,25 +331,30 @@ pub fn run_stages() -> String {
             },
         ]);
     }
-    let mut out = render::table(
-        "Ablation — multiplier stage count",
-        &["stages", "tags activating", "fastest charge (s)"],
-        &rows,
-    );
-    out.push_str(
-        "the paper picks 8 stages: the fewest that activate all 12 tags. More stages add \
-         output impedance\n(slower charging) for no extra coverage.\n",
-    );
-    out
+    Report::single(
+        Section::new(
+            "Ablation — multiplier stage count",
+            &["stages", "tags activating", "fastest charge (s)"],
+            rows,
+        )
+        .with_note(
+            "the paper picks 8 stages: the fewest that activate all 12 tags. More stages add \
+             output impedance\n(slower charging) for no extra coverage.",
+        ),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn sweep() -> SweepConfig {
+        SweepConfig::new(5).with_threads(2)
+    }
+
     #[test]
     fn protocol_ablation_renders_all_variants() {
-        let out = run_protocol(1, 5);
+        let out = report_protocol(1, &sweep()).render();
         for v in ["full protocol", "vanilla", "N = 6"] {
             assert!(out.contains(v), "{v} missing");
         }
@@ -266,13 +362,13 @@ mod tests {
 
     #[test]
     fn late_arrival_ablation_runs() {
-        let out = run_late_arrival(1, 5);
+        let out = report_late_arrival(1, &sweep()).render();
         assert!(out.contains("settled tags"));
     }
 
     #[test]
     fn drive_scheme_shows_ring_damage() {
-        let out = run_drive_scheme(40, 5);
+        let out = report_drive(40, 5).render();
         assert!(out.contains("plain OOK"));
         // Parse the two 1000 bps cells: plain OOK must lose at least as
         // many beacons as the paper scheme.
@@ -296,7 +392,7 @@ mod tests {
 
     #[test]
     fn stage_ablation_shows_8_is_minimal_full_coverage() {
-        let out = run_stages();
+        let out = report_stages().render();
         assert!(out.contains("8") && out.contains("12/12"));
         // At 6 stages at least one tag is stranded.
         let line6 = out

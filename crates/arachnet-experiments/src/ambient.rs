@@ -4,62 +4,83 @@ use arachnet_energy::ambient::{DrivingState, HybridChain};
 use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-/// Charge-time comparison across driving states for the whole deployment.
-pub fn run() -> String {
-    let ch = BiwChannel::paper(ChannelConfig {
-        noise: NoiseConfig::silent(),
-        ..ChannelConfig::default()
-    });
-    let states = [
-        ("parked", DrivingState::Parked),
-        ("idle", DrivingState::Idle),
-        ("city", DrivingState::City),
-        ("highway", DrivingState::Highway),
-    ];
-    let mut rows = Vec::new();
-    for tid in [8u8, 4, 11] {
-        let vp = ch.tag_carrier_voltage(tid).unwrap();
-        let mut row = vec![format!("Tag {tid}")];
-        for (_, s) in &states {
-            let chain = HybridChain::new(*s);
-            match chain.charge_time(vp, 0.0, 2.3, 1_000.0) {
-                Some(t) => row.push(f(t, 1)),
-                None => row.push("-".into()),
-            }
-        }
-        rows.push(row);
+/// Ambient vibration-harvesting extension experiment.
+pub struct Ambient;
+
+impl Experiment for Ambient {
+    fn id(&self) -> &'static str {
+        "ambient"
     }
-    // Reader-off row: can ambient alone keep a tag listening?
-    let mut rx_row = vec!["RX sustained w/o reader".to_string()];
-    for (_, s) in &states {
-        rx_row.push(if HybridChain::new(*s).sustains_rx_without_reader() {
-            "yes".into()
-        } else {
-            "no".into()
+
+    fn title(&self) -> &'static str {
+        "Ambient vibration harvesting by driving state"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Sec. 2.2 (extension)"
+    }
+
+    fn run(&self, _params: &Params) -> Report {
+        let ch = BiwChannel::paper(ChannelConfig {
+            noise: NoiseConfig::silent(),
+            ..ChannelConfig::default()
         });
+        let states = [
+            ("parked", DrivingState::Parked),
+            ("idle", DrivingState::Idle),
+            ("city", DrivingState::City),
+            ("highway", DrivingState::Highway),
+        ];
+        let mut rows = Vec::new();
+        for tid in [8u8, 4, 11] {
+            let vp = ch.tag_carrier_voltage(tid).unwrap();
+            let mut row = vec![format!("Tag {tid}")];
+            for (_, s) in &states {
+                let chain = HybridChain::new(*s);
+                match chain.charge_time(vp, 0.0, 2.3, 1_000.0) {
+                    Some(t) => row.push(f(t, 1)),
+                    None => row.push("-".into()),
+                }
+            }
+            rows.push(row);
+        }
+        // Reader-off row: can ambient alone keep a tag listening?
+        let mut rx_row = vec!["RX sustained w/o reader".to_string()];
+        for (_, s) in &states {
+            rx_row.push(if HybridChain::new(*s).sustains_rx_without_reader() {
+                "yes".into()
+            } else {
+                "no".into()
+            });
+        }
+        rows.push(rx_row);
+        Report::single(
+            Section::new(
+                "Extension — ambient vibration harvesting: full-charge time (s) by driving state",
+                &["", "parked", "idle", "city", "highway"],
+                rows,
+            )
+            .with_note(
+                "the paper's future-work idea quantified: sub-100 Hz vehicle vibration is a \
+                 meaningful supplement for weak\nplacements (Tag 11 charges markedly faster on \
+                 the highway) and can sustain RX-mode listening with the reader\nsilent — but \
+                 cannot replace the reader for activation (idle-only input never reaches 2.3 V \
+                 from 0 V alone).",
+            ),
+        )
     }
-    rows.push(rx_row);
-    let mut out = render::table(
-        "Extension — ambient vibration harvesting: full-charge time (s) by driving state",
-        &["", "parked", "idle", "city", "highway"],
-        &rows,
-    );
-    out.push_str(
-        "the paper's future-work idea quantified: sub-100 Hz vehicle vibration is a meaningful \
-         supplement for weak\nplacements (Tag 11 charges markedly faster on the highway) and can \
-         sustain RX-mode listening with the reader\nsilent — but cannot replace the reader for \
-         activation (idle-only input never reaches 2.3 V from 0 V alone).\n",
-    );
-    out
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn table_covers_states_and_rx_row() {
-        let out = super::run();
+        let out = Ambient.run(&Params::default()).render();
         assert!(out.contains("highway"));
         assert!(out.contains("RX sustained"));
         assert!(out.contains("Tag 11"));

@@ -1,38 +1,45 @@
 //! `repro` — regenerate every table and figure of the ARACHNET paper.
 //!
 //! ```text
-//! repro <artifact> [--quick] [--seed N]
-//! repro all [--quick]
+//! repro list
+//! repro <artifact> [--quick] [--seed N] [--threads N]
+//! repro all [--quick] [--seed N] [--threads N]
 //! ```
 //!
-//! Artifacts: `table1 fig11a fig11b table2 fig12a12b fig13a fig13b fig14a
-//! fig14b table3 fig15a fig15b fig16 fig17b fig19 table4 markov`.
-//! `--quick` shrinks trial counts (useful in debug builds); the default
-//! counts match the paper's where tractable.
+//! The artifact ids come from the experiment registry (`repro list` prints
+//! them with titles and paper anchors). `--quick` shrinks trial counts
+//! (useful in debug builds); the default counts match the paper's where
+//! tractable. `--threads N` caps the parallel sweep engine's worker pool
+//! (sweep results are bit-identical at any thread count).
 
 use std::env;
 
-struct Opts {
-    quick: bool,
-    seed: u64,
-}
+use arachnet_experiments::registry;
+use arachnet_experiments::report::{Experiment, Params};
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut artifact = None;
-    let mut opts = Opts {
-        quick: false,
-        seed: 1,
-    };
+    let mut quick = false;
+    let mut seed = 1u64;
+    let mut threads = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => opts.quick = true,
+            "--quick" => quick = true,
             "--seed" => {
-                opts.seed = it
+                seed = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--threads needs a positive number")),
+                );
             }
             name if artifact.is_none() => artifact = Some(name.to_string()),
             other => usage(&format!("unexpected argument {other}")),
@@ -41,117 +48,45 @@ fn main() {
     let Some(artifact) = artifact else {
         usage("missing artifact")
     };
-    if artifact == "all" {
-        for a in ALL {
-            println!("==================================================================");
-            run_one(a, &opts);
-        }
+    let mut params = if quick {
+        Params::quick(seed)
     } else {
-        run_one(&artifact, &opts);
+        Params::full(seed)
+    };
+    if let Some(n) = threads {
+        params = params.with_threads(n);
+    }
+    match artifact.as_str() {
+        "list" => {
+            for e in registry::all() {
+                println!("{:<22} {:<24} {}", e.id(), e.paper_anchor(), e.title());
+            }
+        }
+        "all" => {
+            for e in registry::all() {
+                println!("==================================================================");
+                run_one(e, &params);
+            }
+        }
+        // Historical alias from before Fig. 12(a)/(b) shared one table.
+        "fig12" => run_one(registry::find("fig12a12b").unwrap(), &params),
+        id => match registry::find(id) {
+            Some(e) => run_one(e, &params),
+            None => usage(&format!("unknown artifact {id}")),
+        },
     }
 }
 
-const ALL: &[&str] = &[
-    "table1",
-    "fig11a",
-    "fig11b",
-    "table2",
-    "fig12a12b",
-    "fig13a",
-    "fig13b",
-    "fig14a",
-    "fig14b",
-    "table3",
-    "fig15a",
-    "fig15b",
-    "fig16",
-    "fig17b",
-    "fig19",
-    "table4",
-    "markov",
-    "ablation",
-    "ablation-latearrival",
-    "ablation-drive",
-    "ablation-stages",
-    "ambient",
-    "fdma",
-    "vanilla",
-];
-
-fn run_one(artifact: &str, opts: &Opts) {
-    use arachnet_experiments as x;
-    let out = match artifact {
-        "table1" => x::table1::run(),
-        "fig11a" => x::fig11::run_a(),
-        "fig11b" => x::fig11::run_b(),
-        "table2" => x::table2::run(),
-        "fig12a12b" | "fig12" => {
-            let n = if opts.quick { 20 } else { 200 };
-            x::fig12::run(n, opts.seed)
-        }
-        "fig13a" => {
-            let n = if opts.quick { 100 } else { 1_000 };
-            x::fig13::run_a(n, opts.seed)
-        }
-        "fig13b" => x::fig13::run_b(opts.seed),
-        "fig14a" => x::fig14::run_a(opts.seed),
-        "fig14b" => {
-            let n = if opts.quick { 200 } else { 1_000 };
-            x::fig14::run_b(n, opts.seed)
-        }
-        "table3" => x::table3::run(),
-        "fig15a" => {
-            let t = if opts.quick { 3 } else { 15 };
-            x::fig15::run_a(t, opts.seed)
-        }
-        "fig15b" => {
-            let t = if opts.quick { 3 } else { 15 };
-            x::fig15::run_b(t, opts.seed)
-        }
-        "fig16" => {
-            let slots = if opts.quick { 1_000 } else { 10_000 };
-            x::fig16::run(slots, opts.seed)
-        }
-        "fig17b" => x::fig17::run(),
-        "fig19" => {
-            let d = if opts.quick { 1_000.0 } else { 10_000.0 };
-            x::fig19::run(d, opts.seed)
-        }
-        "table4" => x::table4::run(),
-        "markov" => {
-            let t = if opts.quick { 5 } else { 30 };
-            x::markov::run(t)
-        }
-        "ablation" => {
-            let t = if opts.quick { 2 } else { 7 };
-            x::ablation::run_protocol(t, opts.seed)
-        }
-        "ablation-latearrival" => {
-            let t = if opts.quick { 2 } else { 7 };
-            x::ablation::run_late_arrival(t, opts.seed)
-        }
-        "ablation-drive" => {
-            let n = if opts.quick { 50 } else { 400 };
-            x::ablation::run_drive_scheme(n, opts.seed)
-        }
-        "ablation-stages" => x::ablation::run_stages(),
-        "ambient" => x::ambient::run(),
-        "vanilla" => {
-            let slots = if opts.quick { 3_000 } else { 20_000 };
-            x::vanilla::run(slots, opts.seed)
-        }
-        "fdma" => {
-            let t = if opts.quick { 3 } else { 10 };
-            x::fdma::run(t, opts.seed)
-        }
-        other => usage(&format!("unknown artifact {other}")),
-    };
-    println!("{out}");
+fn run_one(e: &'static dyn Experiment, params: &Params) {
+    println!("{}", e.run(params).render());
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: repro <artifact|all> [--quick] [--seed N]");
-    eprintln!("artifacts: {}", ALL.join(" "));
+    eprintln!("usage: repro <artifact|all|list> [--quick] [--seed N] [--threads N]");
+    eprintln!(
+        "artifacts: {}",
+        registry::all().map(|e| e.id()).collect::<Vec<_>>().join(" ")
+    );
     std::process::exit(2);
 }

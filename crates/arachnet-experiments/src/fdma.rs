@@ -8,7 +8,29 @@ use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
 use biw_channel::pzt::PztState;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
+
+/// FDMA parallel-decoding extension experiment.
+pub struct Fdma;
+
+impl Experiment for Fdma {
+    fn id(&self) -> &'static str {
+        "fdma"
+    }
+
+    fn title(&self) -> &'static str {
+        "FDMA parallel decoding"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Sec. 6.3 (extension)"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report(params.scale(3, 10), params.seed)
+    }
+}
 
 fn chips_to_states(chips: &[bool], spc: f64, lead: usize) -> Vec<PztState> {
     let total = lead + (chips.len() as f64 * spc).ceil() as usize;
@@ -28,7 +50,7 @@ fn chips_to_states(chips: &[bool], spc: f64, lead: usize) -> Vec<PztState> {
 
 /// Concurrent-tag sweep: how many FDMA channels decode cleanly in one
 /// slot, and the resulting aggregate throughput vs single-tag FM0.
-pub fn run(trials: u64, seed: u64) -> String {
+pub fn report(trials: u64, seed: u64) -> Report {
     let cfg = FdmaConfig::default();
     let rx = FdmaReceiver::new(cfg);
     // Evaluation tags and subcarrier channels (distinct cycle counts).
@@ -94,30 +116,31 @@ pub fn run(trials: u64, seed: u64) -> String {
             f(concurrent as f64 * success, 2),
         ]);
     }
-    let mut out = render::table(
-        &format!("Extension — FDMA parallel decoding ({trials} slots per point)"),
-        &[
-            "concurrent tags",
-            "packets ok",
-            "success %",
-            "throughput × (vs 1 tag/slot)",
-        ],
-        &rows,
-    );
-    out.push_str(
-        "tags on distinct subcarrier channels (k = 6/9/12/16 cycles per bit) transmit in the \
-         SAME slot and are\nseparated by coherent despreading — the paper's named future-work \
-         route to higher throughput (Sec. 6.3).\nThe MAC is untouched: a slot simply carries \
-         several channels.\n",
-    );
-    out
+    Report::single(
+        Section::new(
+            format!("Extension — FDMA parallel decoding ({trials} slots per point)"),
+            &[
+                "concurrent tags",
+                "packets ok",
+                "success %",
+                "throughput × (vs 1 tag/slot)",
+            ],
+            rows,
+        )
+        .with_note(
+            "tags on distinct subcarrier channels (k = 6/9/12/16 cycles per bit) transmit in \
+             the SAME slot and are\nseparated by coherent despreading — the paper's named \
+             future-work route to higher throughput (Sec. 6.3).\nThe MAC is untouched: a slot \
+             simply carries several channels.",
+        ),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn fdma_study_shows_parallel_gain() {
-        let out = super::run(2, 3);
+        let out = super::report(2, 3).render();
         assert!(out.contains("concurrent tags"));
         // The 2-concurrent row must exist and decode something.
         let line = out

@@ -5,7 +5,8 @@ use arachnet_energy::multiplier::Multiplier;
 use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
 fn channel() -> BiwChannel {
     BiwChannel::paper(ChannelConfig {
@@ -15,98 +16,135 @@ fn channel() -> BiwChannel {
 }
 
 /// Fig. 11(a): per-tag multiplier output at 2/4/6/8 stages (4×–16×).
-pub fn run_a() -> String {
-    let ch = channel();
-    let mut rows = Vec::new();
-    for tid in 1..=12u8 {
-        let vp = ch.tag_carrier_voltage(tid).expect("deployment tag");
-        let mut row = vec![format!("{tid}")];
-        for stages in [2u32, 4, 6, 8] {
-            row.push(f(Multiplier::new(stages).open_circuit_voltage(vp), 2));
-        }
-        row.push(if Multiplier::new(8).open_circuit_voltage(vp) > 2.3 {
-            "yes".into()
-        } else {
-            "NO".into()
-        });
-        rows.push(row);
+pub struct Fig11a;
+
+impl Experiment for Fig11a {
+    fn id(&self) -> &'static str {
+        "fig11a"
     }
-    let mut out = render::table(
-        "Fig. 11(a) — Amplified voltage per tag (V) vs stage count",
-        &[
-            "Tag",
-            "4x (2st)",
-            "8x (4st)",
-            "12x (6st)",
-            "16x (8st)",
-            ">2.3V@16x",
-        ],
-        &rows,
-    );
-    let ch = channel();
-    out.push_str(&format!(
-        "paper anchors: Tag 4 = 4.74 V at 16x (measured {:.2}); Tag 11 = 2.70 V (measured {:.2});\n\
-         all 12 tags exceed the 2.3 V activation threshold at 8 stages (as in the paper).\n",
-        Multiplier::new(8).open_circuit_voltage(ch.tag_carrier_voltage(4).unwrap()),
-        Multiplier::new(8).open_circuit_voltage(ch.tag_carrier_voltage(11).unwrap()),
-    ));
-    out
+
+    fn title(&self) -> &'static str {
+        "Amplified voltage per tag vs stage count"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 11(a)"
+    }
+
+    fn run(&self, _params: &Params) -> Report {
+        let ch = channel();
+        let mut rows = Vec::new();
+        for tid in 1..=12u8 {
+            let vp = ch.tag_carrier_voltage(tid).expect("deployment tag");
+            let mut row = vec![format!("{tid}")];
+            for stages in [2u32, 4, 6, 8] {
+                row.push(f(Multiplier::new(stages).open_circuit_voltage(vp), 2));
+            }
+            row.push(if Multiplier::new(8).open_circuit_voltage(vp) > 2.3 {
+                "yes".into()
+            } else {
+                "NO".into()
+            });
+            rows.push(row);
+        }
+        Report::single(
+            Section::new(
+                "Fig. 11(a) — Amplified voltage per tag (V) vs stage count",
+                &[
+                    "Tag",
+                    "4x (2st)",
+                    "8x (4st)",
+                    "12x (6st)",
+                    "16x (8st)",
+                    ">2.3V@16x",
+                ],
+                rows,
+            )
+            .with_note(format!(
+                "paper anchors: Tag 4 = 4.74 V at 16x (measured {:.2}); Tag 11 = 2.70 V \
+                 (measured {:.2});\nall 12 tags exceed the 2.3 V activation threshold at 8 \
+                 stages (as in the paper).",
+                Multiplier::new(8).open_circuit_voltage(ch.tag_carrier_voltage(4).unwrap()),
+                Multiplier::new(8).open_circuit_voltage(ch.tag_carrier_voltage(11).unwrap()),
+            )),
+        )
+    }
 }
 
 /// Fig. 11(b): charging time vs 16× amplified voltage, plus net charging
 /// power.
-pub fn run_b() -> String {
-    let ch = channel();
-    let chain = HarvestChain::paper();
-    let mut entries: Vec<(u8, f64, f64, f64, f64)> = (1..=12u8)
-        .map(|tid| {
-            let vp = ch.tag_carrier_voltage(tid).unwrap();
-            let v16 = chain.open_circuit_voltage(vp);
-            let t = chain.full_charge_time(vp).unwrap();
-            let p = chain.net_charging_power(vp).unwrap() * 1e6;
-            let resume = chain.resume_charge_time(vp).unwrap();
-            (tid, v16, t, p, resume)
-        })
-        .collect();
-    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let rows: Vec<Vec<String>> = entries
-        .iter()
-        .map(|&(tid, v16, t, p, resume)| {
-            vec![format!("{tid}"), f(v16, 2), f(t, 1), f(p, 1), f(resume, 1)]
-        })
-        .collect();
-    let mut out = render::table(
-        "Fig. 11(b) — Charging time vs amplified voltage",
-        &[
-            "Tag",
-            "16x V (V)",
-            "full charge (s)",
-            "net power (uW)",
-            "resume (s)",
-        ],
-        &rows,
-    );
-    let min_t = entries.iter().map(|e| e.2).fold(f64::MAX, f64::min);
-    let max_t = entries.iter().map(|e| e.2).fold(0.0f64, f64::max);
-    out.push_str(&format!(
-        "paper: charging spans 4.5 s – 56.2 s (measured {min_t:.1} – {max_t:.1}); net charging \
-         power 587.8 – 47.1 uW;\nresume-from-LTH ~15.2 % of a full charge for strong tags.\n"
-    ));
-    out
+pub struct Fig11b;
+
+impl Experiment for Fig11b {
+    fn id(&self) -> &'static str {
+        "fig11b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Charging time vs amplified voltage"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 11(b)"
+    }
+
+    fn run(&self, _params: &Params) -> Report {
+        let ch = channel();
+        let chain = HarvestChain::paper();
+        let mut entries: Vec<(u8, f64, f64, f64, f64)> = (1..=12u8)
+            .map(|tid| {
+                let vp = ch.tag_carrier_voltage(tid).unwrap();
+                let v16 = chain.open_circuit_voltage(vp);
+                let t = chain.full_charge_time(vp).unwrap();
+                let p = chain.net_charging_power(vp).unwrap() * 1e6;
+                let resume = chain.resume_charge_time(vp).unwrap();
+                (tid, v16, t, p, resume)
+            })
+            .collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let rows: Vec<Vec<String>> = entries
+            .iter()
+            .map(|&(tid, v16, t, p, resume)| {
+                vec![format!("{tid}"), f(v16, 2), f(t, 1), f(p, 1), f(resume, 1)]
+            })
+            .collect();
+        let min_t = entries.iter().map(|e| e.2).fold(f64::MAX, f64::min);
+        let max_t = entries.iter().map(|e| e.2).fold(0.0f64, f64::max);
+        Report::single(
+            Section::new(
+                "Fig. 11(b) — Charging time vs amplified voltage",
+                &[
+                    "Tag",
+                    "16x V (V)",
+                    "full charge (s)",
+                    "net power (uW)",
+                    "resume (s)",
+                ],
+                rows,
+            )
+            .with_note(format!(
+                "paper: charging spans 4.5 s – 56.2 s (measured {min_t:.1} – {max_t:.1}); net \
+                 charging power 587.8 – 47.1 uW;\nresume-from-LTH ~15.2 % of a full charge for \
+                 strong tags."
+            )),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn fig11a_has_12_rows_and_anchors() {
-        let out = super::run_a();
+        let out = Fig11a.run(&Params::default()).render();
         assert_eq!(out.lines().filter(|l| l.contains("yes")).count(), 12);
         assert!(out.contains("4.74"));
     }
 
     #[test]
     fn fig11b_reports_paper_span() {
-        let out = super::run_b();
+        let out = Fig11b.run(&Params::default()).render();
         assert!(out.contains("4.5 s"));
         assert!(out.contains("resume"));
     }

@@ -3,15 +3,37 @@
 use arachnet_core::rates::ul_rates;
 use arachnet_sim::wavesim::WaveSim;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
 /// Tags the paper evaluates (near / junction / far).
 pub const TAGS: [u8; 3] = [8, 4, 11];
 
-/// Runs both panels: SNR and loss-of-`n` for Tags 8/4/11 across the six
-/// UL rates. `n = 1000` matches the paper but takes minutes; smaller `n`
-/// preserves the shape.
-pub fn run(n: u64, seed: u64) -> String {
+/// Fig. 12 experiment, both panels: SNR and loss for Tags 8/4/11 across
+/// the six UL rates. `n = 1000` matches the paper but takes minutes; quick
+/// mode preserves the shape with 20 packets per point.
+pub struct Fig12;
+
+impl Experiment for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12a12b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Uplink SNR and packet loss vs bit rate"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 12"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report(params.scale(20, 200), params.seed)
+    }
+}
+
+/// Both panels at an explicit packet count (the trait impl picks 20/200).
+pub fn report(n: u64, seed: u64) -> Report {
     let sim = WaveSim::paper(seed);
     let rates = ul_rates();
     let mut snr_rows = Vec::new();
@@ -36,28 +58,29 @@ pub fn run(n: u64, seed: u64) -> String {
         }))
         .collect();
     let h: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut out = render::table(
-        "Fig. 12(a) — Uplink SNR (dB) vs raw bit rate (bps)",
-        &h,
-        &snr_rows,
-    );
-    out.push_str(&format!(
-        "paper: SNR falls with rate; Tag 8 > Tag 4 > Tag 11; Tag 8 > 11.7 dB at 3 kbps.\n\n"
-    ));
-    out.push_str(&render::table(
-        &format!("Fig. 12(b) — Uplink packets lost of {n} sent"),
-        &h,
-        &loss_rows,
-    ));
-    out.push_str("paper: loss below 0.5 % at every rate, rising slightly with rate.\n");
-    out
+    Report::sections(vec![
+        Section::new(
+            "Fig. 12(a) — Uplink SNR (dB) vs raw bit rate (bps)",
+            &h,
+            snr_rows,
+        )
+        .with_note(
+            "paper: SNR falls with rate; Tag 8 > Tag 4 > Tag 11; Tag 8 > 11.7 dB at 3 kbps.",
+        ),
+        Section::new(
+            format!("Fig. 12(b) — Uplink packets lost of {n} sent"),
+            &h,
+            loss_rows,
+        )
+        .with_note("paper: loss below 0.5 % at every rate, rising slightly with rate."),
+    ])
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn quick_run_has_all_rates() {
-        let out = super::run(2, 1);
+        let out = super::report(2, 1).render();
         assert!(out.contains("93.75"));
         assert!(out.contains("3000"));
         assert!(out.contains("Tag 11"));

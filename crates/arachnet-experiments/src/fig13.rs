@@ -3,10 +3,32 @@
 use arachnet_core::rates::DL_RATES_BPS;
 use arachnet_sim::wavesim::WaveSim;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
 /// Fig. 13(a): beacons lost of `n` sent, per tag and DL rate.
-pub fn run_a(n: u64, seed: u64) -> String {
+pub struct Fig13a;
+
+impl Experiment for Fig13a {
+    fn id(&self) -> &'static str {
+        "fig13a"
+    }
+
+    fn title(&self) -> &'static str {
+        "Downlink beacon loss vs raw rate"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 13(a)"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report_a(params.scale(100, 1_000), params.seed)
+    }
+}
+
+/// Fig. 13(a) at an explicit beacon count (the trait impl picks 100/1000).
+pub fn report_a(n: u64, seed: u64) -> Report {
     let sim = WaveSim::paper(seed);
     let tags = [8u8, 4, 11];
     let mut rows = Vec::new();
@@ -22,52 +44,72 @@ pub fn run_a(n: u64, seed: u64) -> String {
         .chain(DL_RATES_BPS.iter().map(|b| format!("{b}")))
         .collect();
     let h: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut out = render::table(
-        &format!("Fig. 13(a) — Downlink beacons lost of {n} sent, vs raw rate (bps)"),
-        &h,
-        &rows,
-    );
-    out.push_str(
-        "paper: near-zero loss at 125–500 bps; surge at 1000/2000 bps caused by the 12 kHz \
-         timer quantisation,\nsupply-dependent clock drift, and the reader's 0.1–0.3 ms \
-         software PIE jitter.\n",
-    );
-    out
+    Report::single(
+        Section::new(
+            format!("Fig. 13(a) — Downlink beacons lost of {n} sent, vs raw rate (bps)"),
+            &h,
+            rows,
+        )
+        .with_note(
+            "paper: near-zero loss at 125–500 bps; surge at 1000/2000 bps caused by the 12 kHz \
+             timer quantisation,\nsupply-dependent clock drift, and the reader's 0.1–0.3 ms \
+             software PIE jitter.",
+        ),
+    )
 }
 
 /// Fig. 13(b): per-tag beacon decode-completion offset vs Tag 6 (ms).
-pub fn run_b(seed: u64) -> String {
-    let sim = WaveSim::paper(seed);
-    let offsets = sim.sync_offsets();
-    let rows: Vec<Vec<String>> = offsets
-        .iter()
-        .map(|&(tid, off)| vec![format!("{tid}"), f(off * 1e3, 3)])
-        .collect();
-    let mut out = render::table(
-        "Fig. 13(b) — Beacon synchronization offset vs Tag 6 (ms)",
-        &["Tag", "offset (ms)"],
-        &rows,
-    );
-    let max = offsets.iter().map(|&(_, o)| o.abs()).fold(0.0f64, f64::max);
-    out.push_str(&format!(
-        "max |offset| = {:.3} ms (paper: all tags within 5.0 ms).\n",
-        max * 1e3
-    ));
-    out
+pub struct Fig13b;
+
+impl Experiment for Fig13b {
+    fn id(&self) -> &'static str {
+        "fig13b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Beacon synchronization offsets"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 13(b)"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        let sim = WaveSim::paper(params.seed);
+        let offsets = sim.sync_offsets();
+        let rows: Vec<Vec<String>> = offsets
+            .iter()
+            .map(|&(tid, off)| vec![format!("{tid}"), f(off * 1e3, 3)])
+            .collect();
+        let max = offsets.iter().map(|&(_, o)| o.abs()).fold(0.0f64, f64::max);
+        Report::single(
+            Section::new(
+                "Fig. 13(b) — Beacon synchronization offset vs Tag 6 (ms)",
+                &["Tag", "offset (ms)"],
+                rows,
+            )
+            .with_note(format!(
+                "max |offset| = {:.3} ms (paper: all tags within 5.0 ms).",
+                max * 1e3
+            )),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn fig13a_covers_rates() {
-        let out = super::run_a(5, 1);
+        let out = report_a(5, 1).render();
         assert!(out.contains("2000"));
         assert!(out.contains("Tag 4"));
     }
 
     #[test]
     fn fig13b_reports_bound() {
-        let out = super::run_b(1);
+        let out = Fig13b.run(&Params::default()).render();
         assert!(out.contains("max |offset|"));
     }
 }

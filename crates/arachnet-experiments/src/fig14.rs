@@ -4,38 +4,77 @@ use arachnet_sim::metrics::Ecdf;
 use arachnet_sim::wavesim::WaveSim;
 use biw_channel::noise::NoiseConfig;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
 /// Fig. 14(a): synthesizes one ping-pong waveform and prints its envelope
 /// profile — DL burst, 20 ms guard, UL backscatter.
-pub fn run_a(seed: u64) -> String {
-    let sim = WaveSim::new(seed, NoiseConfig::silent());
-    let (wave, fs) = sim.ping_pong_waveform(8);
-    // Envelope in 5 ms bins.
-    let bin = (0.005 * fs) as usize;
-    let mut rows = Vec::new();
-    let mut t = 0.0;
-    for chunk in wave.chunks(bin) {
-        let rms = (chunk.iter().map(|x| x * x).sum::<f64>() / chunk.len() as f64).sqrt();
-        let bar = "#".repeat(((rms / 3.0) * 40.0).min(60.0) as usize);
-        rows.push(vec![f(t * 1e3, 0), f(rms, 3), bar]);
-        t += 0.005;
+pub struct Fig14a;
+
+impl Experiment for Fig14a {
+    fn id(&self) -> &'static str {
+        "fig14a"
     }
-    let mut out = render::table(
-        "Fig. 14(a) — Ping-pong raw waveform (reader RX), 5 ms RMS envelope",
-        &["t (ms)", "RMS", ""],
-        &rows,
-    );
-    out.push_str(
-        "paper: a strong DL beacon, a polite 20 ms tag wait, then the UL packet riding on \
-         the carrier leak.\n",
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Ping-pong raw waveform envelope"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 14(a)"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        let sim = WaveSim::new(params.seed, NoiseConfig::silent());
+        let (wave, fs) = sim.ping_pong_waveform(8);
+        // Envelope in 5 ms bins.
+        let bin = (0.005 * fs) as usize;
+        let mut rows = Vec::new();
+        let mut t = 0.0;
+        for chunk in wave.chunks(bin) {
+            let rms = (chunk.iter().map(|x| x * x).sum::<f64>() / chunk.len() as f64).sqrt();
+            let bar = "#".repeat(((rms / 3.0) * 40.0).min(60.0) as usize);
+            rows.push(vec![f(t * 1e3, 0), f(rms, 3), bar]);
+            t += 0.005;
+        }
+        Report::single(
+            Section::new(
+                "Fig. 14(a) — Ping-pong raw waveform (reader RX), 5 ms RMS envelope",
+                &["t (ms)", "RMS", ""],
+                rows,
+            )
+            .with_note(
+                "paper: a strong DL beacon, a polite 20 ms tag wait, then the UL packet riding \
+                 on the carrier leak.",
+            ),
+        )
+    }
 }
 
 /// Fig. 14(b): CDF of ping-pong delay over `n` rounds, split into the
 /// paper's two stages.
-pub fn run_b(n: usize, seed: u64) -> String {
+pub struct Fig14b;
+
+impl Experiment for Fig14b {
+    fn id(&self) -> &'static str {
+        "fig14b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Ping-pong delay CDF"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 14(b)"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report_b(params.scale(200, 1_000) as usize, params.seed)
+    }
+}
+
+/// Fig. 14(b) at an explicit round count (the trait impl picks 200/1000).
+pub fn report_b(n: usize, seed: u64) -> Report {
     let sim = WaveSim::paper(seed);
     let samples = sim.ping_pong_samples(n);
     let stage1: Vec<f64> = samples.iter().map(|p| p.stage1_s).collect();
@@ -57,36 +96,39 @@ pub fn run_b(n: usize, seed: u64) -> String {
         ]
     })
     .collect();
-    let mut out = render::table(
-        &format!("Fig. 14(b) — Ping-pong delay CDF over {n} rounds (ms)"),
-        &["stage", "p50", "p90", "p99"],
-        &rows,
-    );
     let e2 = Ecdf::new(&stage2);
     let guard_ul = 0.020 + 2.0 * 32.0 / 375.0;
     let software = arachnet_sim::metrics::mean(&stage2) - guard_ul;
-    out.push_str(&format!(
-        "stage-2 p99 = {:.1} ms (paper: 99 % under 281.9 ms); mean software delay = {:.1} ms \
-         (paper: ~58.9 ms),\nwhich is {:.0} % of the ~200 ms UL slot cost (paper: <30 %).\n",
-        e2.quantile(0.99) * 1e3,
-        software * 1e3,
-        software / guard_ul * 100.0
-    ));
-    out
+    Report::single(
+        Section::new(
+            format!("Fig. 14(b) — Ping-pong delay CDF over {n} rounds (ms)"),
+            &["stage", "p50", "p90", "p99"],
+            rows,
+        )
+        .with_note(format!(
+            "stage-2 p99 = {:.1} ms (paper: 99 % under 281.9 ms); mean software delay = {:.1} \
+             ms (paper: ~58.9 ms),\nwhich is {:.0} % of the ~200 ms UL slot cost (paper: <30 %).",
+            e2.quantile(0.99) * 1e3,
+            software * 1e3,
+            software / guard_ul * 100.0
+        )),
+    )
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn fig14a_shows_phases() {
-        let out = super::run_a(1);
+        let out = Fig14a.run(&Params::default()).render();
         assert!(out.contains("RMS"));
         assert!(out.lines().count() > 20);
     }
 
     #[test]
     fn fig14b_reports_p99() {
-        let out = super::run_b(200, 1);
+        let out = report_b(200, 1).render();
         assert!(out.contains("p99"));
         assert!(out.contains("281.9"));
     }

@@ -1,18 +1,35 @@
 //! Fig. 15 — first convergence time.
+//!
+//! Each point is dozens of independent `(pattern, seed)` convergence
+//! trials, so this is the flagship customer of the parallel sweep engine:
+//! the pattern × trial matrix fans out over `arachnet_sim::sweep` and the
+//! per-trial seeds derive from the trial index alone, making the table
+//! bit-identical at any thread count.
 
 use arachnet_sim::metrics::five_num;
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::first_convergence_time;
+use arachnet_sim::sweep::{run_matrix, SweepConfig};
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-fn measure(patterns: &[Pattern], trials: u64, seed: u64, title: &str, note: &str) -> String {
-    let cap = 500_000;
+/// Convergence-slot cap (trials that never converge count as the cap).
+const CAP: u64 = 500_000;
+
+fn measure(
+    patterns: &[Pattern],
+    trials: u64,
+    sweep: &SweepConfig,
+    title: &str,
+    note: &str,
+) -> Report {
+    let matrix = run_matrix(sweep, patterns, trials, |p, _trial, seed| {
+        first_convergence_time(p, seed, CAP, false).unwrap_or(CAP) as f64
+    });
     let mut rows = Vec::new();
-    for p in patterns {
-        let times: Vec<f64> = (0..trials)
-            .map(|t| first_convergence_time(p, seed ^ t, cap, false).unwrap_or(cap) as f64)
-            .collect();
+    for (p, cell) in patterns.iter().zip(&matrix) {
+        let times: Vec<f64> = cell.iter().filter_map(|r| r.as_ref().ok()).copied().collect();
         let s = five_num(&times);
         rows.push(vec![
             p.name.to_string(),
@@ -25,24 +42,45 @@ fn measure(patterns: &[Pattern], trials: u64, seed: u64, title: &str, note: &str
             f(s.max, 0),
         ]);
     }
-    let mut out = render::table(
-        title,
-        &[
-            "pattern", "util", "tags", "min", "q1", "median", "q3", "max",
-        ],
-        &rows,
-    );
-    out.push_str(note);
-    out.push('\n');
-    out
+    Report::single(
+        Section::new(
+            title,
+            &[
+                "pattern", "util", "tags", "min", "q1", "median", "q3", "max",
+            ],
+            rows,
+        )
+        .with_note(note),
+    )
 }
 
 /// Fig. 15(a): fixed tag count (c1–c5), utilization sweep.
-pub fn run_a(trials: u64, seed: u64) -> String {
+pub struct Fig15a;
+
+impl Experiment for Fig15a {
+    fn id(&self) -> &'static str {
+        "fig15a"
+    }
+
+    fn title(&self) -> &'static str {
+        "First convergence time, fixed 12 tags"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 15(a)"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report_a(params.scale(3, 50), &params.sweep())
+    }
+}
+
+/// Fig. 15(a) at an explicit trial count and sweep configuration.
+pub fn report_a(trials: u64, sweep: &SweepConfig) -> Report {
     measure(
         &Pattern::fixed_tag_family(),
         trials,
-        seed,
+        sweep,
         "Fig. 15(a) — First convergence time (slots), fixed 12 tags",
         "paper: median rises steeply with utilization — 139 slots at U=0.38 (c1) to 1712 at \
          U=1.0 (c5).",
@@ -50,11 +88,32 @@ pub fn run_a(trials: u64, seed: u64) -> String {
 }
 
 /// Fig. 15(b): fixed utilization 0.75 (c2, c6–c9).
-pub fn run_b(trials: u64, seed: u64) -> String {
+pub struct Fig15b;
+
+impl Experiment for Fig15b {
+    fn id(&self) -> &'static str {
+        "fig15b"
+    }
+
+    fn title(&self) -> &'static str {
+        "First convergence time, fixed utilization 0.75"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 15(b)"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report_b(params.scale(3, 50), &params.sweep())
+    }
+}
+
+/// Fig. 15(b) at an explicit trial count and sweep configuration.
+pub fn report_b(trials: u64, sweep: &SweepConfig) -> Report {
     measure(
         &Pattern::fixed_util_family(),
         trials,
-        seed,
+        sweep,
         "Fig. 15(b) — First convergence time (slots), fixed utilization 0.75",
         "paper: similar medians across tag counts — slot utilization, not tag count, is the \
          predominant factor.",
@@ -63,11 +122,21 @@ pub fn run_b(trials: u64, seed: u64) -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn quick_runs_produce_tables() {
-        let a = super::run_a(2, 1);
+        let sweep = SweepConfig::new(1).with_threads(2);
+        let a = report_a(2, &sweep).render();
         assert!(a.contains("c5"));
-        let b = super::run_b(2, 1);
+        let b = report_b(2, &sweep).render();
         assert!(b.contains("c9"));
+    }
+
+    #[test]
+    fn sweep_table_is_thread_count_invariant() {
+        let one = report_a(2, &SweepConfig::new(7).with_threads(1)).render();
+        let four = report_a(2, &SweepConfig::new(7).with_threads(4)).render();
+        assert_eq!(one, four);
     }
 }

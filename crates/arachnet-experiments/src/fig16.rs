@@ -2,13 +2,42 @@
 
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+use arachnet_sim::sweep::{run_trials, SweepConfig};
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-/// Runs c3 for `slots` slots and prints the windowed trajectory plus the
-/// whole-run averages the paper reports.
-pub fn run(slots: u64, seed: u64) -> String {
-    let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), seed));
+/// Fig. 16 experiment: one recorded trajectory plus a multi-seed sweep of
+/// the whole-run averages.
+pub struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+
+    fn title(&self) -> &'static str {
+        "Long-running slot statistics (pattern c3)"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 16"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report(
+            params.scale(1_000, 10_000),
+            params.scale(4, 8),
+            &params.sweep(),
+        )
+    }
+}
+
+/// Runs c3 for `slots` slots (trajectory from the sweep's base seed) and
+/// sweeps `extra_seeds` further runs in parallel for the whole-run
+/// averages the paper reports.
+pub fn report(slots: u64, extra_seeds: u64, sweep: &SweepConfig) -> Report {
+    let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), sweep.base_seed));
     sim.record_trajectory(true);
     let run = sim.run(slots);
     let stride = (slots / 20).max(1) as usize;
@@ -22,28 +51,47 @@ pub fn run(slots: u64, seed: u64) -> String {
             vec![format!("{i}"), f(ne, 3), f(col, 3), bar]
         })
         .collect();
-    let mut out = render::table(
-        &format!(
-            "Fig. 16 — Non-empty / collision ratio over {slots} slots (32-slot window, pattern c3)"
-        ),
-        &["slot", "non-empty", "collision", "non-empty bar"],
-        &rows,
-    );
-    out.push_str(&format!(
-        "whole-run averages: non-empty = {:.3} (paper: 0.812; theoretical upper bound \
-         0.84375), collision = {:.3} (paper: 0.056).\nfluctuations stem from DL beacon loss \
-         (slot desynchronization) and UL decode failures.\n",
-        run.non_empty_ratio, run.collision_ratio
-    ));
-    out
+    // Whole-run averages across an independent seed sweep (parallel).
+    let sweep_runs = run_trials(sweep, extra_seeds, |_trial, seed| {
+        let mut s = SlotSim::new(SlotSimConfig::new(Pattern::c3(), seed));
+        let r = s.run(slots);
+        (r.non_empty_ratio, r.collision_ratio)
+    });
+    let ne: Vec<f64> = sweep_runs.iter().filter_map(|r| r.as_ref().ok()).map(|&(a, _)| a).collect();
+    let col: Vec<f64> = sweep_runs.iter().filter_map(|r| r.as_ref().ok()).map(|&(_, b)| b).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Report::single(
+        Section::new(
+            format!(
+                "Fig. 16 — Non-empty / collision ratio over {slots} slots (32-slot window, \
+                 pattern c3)"
+            ),
+            &["slot", "non-empty", "collision", "non-empty bar"],
+            rows,
+        )
+        .with_note(format!(
+            "whole-run averages: non-empty = {:.3} (paper: 0.812; theoretical upper bound \
+             0.84375), collision = {:.3} (paper: 0.056).\nacross {} independent seeds: \
+             non-empty = {:.3}, collision = {:.3}.\nfluctuations stem from DL beacon loss \
+             (slot desynchronization) and UL decode failures.",
+            run.non_empty_ratio,
+            run.collision_ratio,
+            ne.len(),
+            mean(&ne),
+            mean(&col),
+        )),
+    )
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn quick_run_reports_averages() {
-        let out = super::run(500, 1);
+        let out = report(500, 2, &SweepConfig::new(1).with_threads(2)).render();
         assert!(out.contains("whole-run averages"));
         assert!(out.contains("0.84375"));
+        assert!(out.contains("across 2 independent seeds"));
     }
 }

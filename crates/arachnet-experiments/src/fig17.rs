@@ -2,49 +2,69 @@
 
 use arachnet_sensors::StrainSensor;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-/// Sweeps the displacement −10…+10 cm for the three gauges (Tags A/B/C).
-pub fn run() -> String {
-    let gauges = [
-        ("Tag A", StrainSensor::default().with_gain_factor(1.0)),
-        ("Tag B", StrainSensor::default().with_gain_factor(0.85)),
-        ("Tag C", StrainSensor::default().with_gain_factor(1.15)),
-    ];
-    let mut rows = Vec::new();
-    for step in 0..=10 {
-        let d = -0.10 + 0.02 * f64::from(step);
-        let mut row = vec![f(d * 100.0, 0)];
-        for (_, g) in &gauges {
-            row.push(f(g.voltage(d), 3));
-        }
-        row.push(format!("{}", gauges[0].1.sample(d)));
-        rows.push(row);
+/// Fig. 17(b) experiment: displacement sweep −10…+10 cm for three gauges.
+pub struct Fig17b;
+
+impl Experiment for Fig17b {
+    fn id(&self) -> &'static str {
+        "fig17b"
     }
-    let mut out = render::table(
-        "Fig. 17(b) — Sensor voltage vs displacement",
-        &[
-            "disp (cm)",
-            "Tag A (V)",
-            "Tag B (V)",
-            "Tag C (V)",
-            "ADC code (A)",
-        ],
-        &rows,
-    );
-    out.push_str(
-        "paper: a clear correlation between voltage and displacement over ±10 cm, three \
-         gauges with distinct slopes,\nreadings carried as the 12-bit UL payload. Sampling \
-         costs ~1 mW, hence at most one sample per slot.\n",
-    );
-    out
+
+    fn title(&self) -> &'static str {
+        "Sensor voltage vs displacement"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 17(b)"
+    }
+
+    fn run(&self, _params: &Params) -> Report {
+        let gauges = [
+            ("Tag A", StrainSensor::default().with_gain_factor(1.0)),
+            ("Tag B", StrainSensor::default().with_gain_factor(0.85)),
+            ("Tag C", StrainSensor::default().with_gain_factor(1.15)),
+        ];
+        let mut rows = Vec::new();
+        for step in 0..=10 {
+            let d = -0.10 + 0.02 * f64::from(step);
+            let mut row = vec![f(d * 100.0, 0)];
+            for (_, g) in &gauges {
+                row.push(f(g.voltage(d), 3));
+            }
+            row.push(format!("{}", gauges[0].1.sample(d)));
+            rows.push(row);
+        }
+        Report::single(
+            Section::new(
+                "Fig. 17(b) — Sensor voltage vs displacement",
+                &[
+                    "disp (cm)",
+                    "Tag A (V)",
+                    "Tag B (V)",
+                    "Tag C (V)",
+                    "ADC code (A)",
+                ],
+                rows,
+            )
+            .with_note(
+                "paper: a clear correlation between voltage and displacement over ±10 cm, three \
+                 gauges with distinct slopes,\nreadings carried as the 12-bit UL payload. \
+                 Sampling costs ~1 mW, hence at most one sample per slot.",
+            ),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn sweep_covers_range_and_monotone() {
-        let out = super::run();
+        let out = Fig17b.run(&Params::default()).render();
         assert!(out.contains("-10"));
         assert!(out.contains("10"));
         assert!(out.contains("Tag C"));

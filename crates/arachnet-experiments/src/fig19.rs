@@ -1,14 +1,45 @@
 //! Fig. 19 / Appendix B — the ALOHA baseline.
 
 use arachnet_sim::aloha::{run_aloha, AlohaConfig};
+use arachnet_sim::metrics::five_num;
+use arachnet_sim::sweep::{run_trials, SweepConfig};
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-/// Runs the 10 000 s ALOHA simulation and prints the per-tag bars.
-pub fn run(duration_s: f64, seed: u64) -> String {
+/// Fig. 19 experiment: the ALOHA simulation, per-tag table from the base
+/// seed plus a parallel seed sweep of the overall success rate.
+pub struct Fig19;
+
+impl Experiment for Fig19 {
+    fn id(&self) -> &'static str {
+        "fig19"
+    }
+
+    fn title(&self) -> &'static str {
+        "ALOHA baseline"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Fig. 19 / Appendix B"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report(
+            if params.quick { 1_000.0 } else { 10_000.0 },
+            params.scale(3, 8),
+            &params.sweep(),
+        )
+    }
+}
+
+/// Runs the ALOHA simulation for `duration_s` at the sweep's base seed and
+/// sweeps `extra_seeds` further runs in parallel for the success-rate
+/// spread.
+pub fn report(duration_s: f64, extra_seeds: u64, sweep: &SweepConfig) -> Report {
     let run = run_aloha(&AlohaConfig {
         duration_s,
-        seed,
+        seed: sweep.base_seed,
         ..AlohaConfig::default()
     });
     let rows: Vec<Vec<String>> = run
@@ -24,26 +55,45 @@ pub fn run(duration_s: f64, seed: u64) -> String {
             ]
         })
         .collect();
-    let mut out = render::table(
-        &format!("Fig. 19 — ALOHA baseline over {duration_s:.0} s"),
-        &["Tag", "charge (s)", "total TX", "collided TX", "success %"],
-        &rows,
-    );
-    out.push_str(&format!(
-        "overall collision-free: {:.1} % (paper: 34.0 %; our calibrated deployment charges \
-         faster overall, loading the channel harder).\npaper: fast chargers dominate the \
-         channel yet still collide in most attempts — ALOHA is both inefficient and unfair;\n\
-         compare the protocol's long-run collision ratio of ~0.06 (Fig. 16).\n",
-        run.overall_success_rate() * 100.0
-    ));
-    out
+    let sweep_rates = run_trials(sweep, extra_seeds, |_trial, seed| {
+        run_aloha(&AlohaConfig {
+            duration_s,
+            seed,
+            ..AlohaConfig::default()
+        })
+        .overall_success_rate()
+            * 100.0
+    });
+    let rates: Vec<f64> = sweep_rates.iter().filter_map(|r| r.as_ref().ok()).copied().collect();
+    let s = five_num(&rates);
+    Report::single(
+        Section::new(
+            format!("Fig. 19 — ALOHA baseline over {duration_s:.0} s"),
+            &["Tag", "charge (s)", "total TX", "collided TX", "success %"],
+            rows,
+        )
+        .with_note(format!(
+            "overall collision-free: {:.1} % (paper: 34.0 %; our calibrated deployment charges \
+             faster overall, loading the channel harder).\nacross {} independent seeds: median \
+             {:.1} %, range {:.1}–{:.1} %.\npaper: fast chargers dominate the channel yet still \
+             collide in most attempts — ALOHA is both inefficient and unfair;\ncompare the \
+             protocol's long-run collision ratio of ~0.06 (Fig. 16).",
+            run.overall_success_rate() * 100.0,
+            rates.len(),
+            s.median,
+            s.min,
+            s.max,
+        )),
+    )
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn short_run_prints_all_tags() {
-        let out = super::run(500.0, 1);
+        let out = report(500.0, 2, &SweepConfig::new(1).with_threads(2)).render();
         assert_eq!(
             out.lines()
                 .filter(|l| l.trim_start().starts_with(char::is_numeric))
@@ -51,5 +101,6 @@ mod tests {
             12
         );
         assert!(out.contains("overall collision-free"));
+        assert!(out.contains("independent seeds"));
     }
 }

@@ -1,9 +1,16 @@
 //! # arachnet-experiments — regenerating every table and figure
 //!
-//! One runner per evaluation artifact, each printing the measured values
-//! next to the paper's reported numbers. The `repro` binary exposes them
-//! as subcommands (`repro fig11a`, `repro table2`, `repro all`, …); the
-//! Criterion benches in `crates/bench` call the same runners.
+//! One [`report::Experiment`] implementation per evaluation artifact, each
+//! producing a structured [`report::Report`] that prints the measured
+//! values next to the paper's reported numbers. The [`registry`] holds the
+//! full list; the `repro` binary exposes it as subcommands (`repro
+//! fig11a`, `repro table2`, `repro all`, `repro list`, …) and the bench
+//! suite in `crates/bench` runs the same registry end to end.
+//!
+//! Trial-heavy experiments (Fig. 15/16/19, the ablations, vanilla) fan
+//! their `(pattern, seed)` matrices out over `arachnet_sim::sweep`, so
+//! they parallelize across cores while staying bit-identical at any
+//! thread count.
 //!
 //! | module | artifact |
 //! |--------|----------|
@@ -25,7 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod registry;
 pub mod render;
+pub mod report;
 
 pub mod ablation;
 pub mod ambient;
@@ -44,3 +53,5 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod vanilla;
+
+pub use report::{Experiment, Params, Report, Section};

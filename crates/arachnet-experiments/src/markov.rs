@@ -5,11 +5,34 @@ use arachnet_core::slot::Period;
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
+
+/// Appendix C experiment: exact chain analysis cross-checked against
+/// simulation.
+pub struct Markov;
+
+impl Experiment for Markov {
+    fn id(&self) -> &'static str {
+        "markov"
+    }
+
+    fn title(&self) -> &'static str {
+        "Absorbing Markov chain: exact analysis vs simulation"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Appendix C"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report(params.scale(5, 30))
+    }
+}
 
 /// Analyzes several small configurations exactly and cross-checks the
-/// expected convergence against simulation.
-pub fn run(sim_trials: u64) -> String {
+/// expected convergence against `sim_trials` simulated runs each.
+pub fn report(sim_trials: u64) -> Report {
     let configs: Vec<(&str, Vec<u32>)> = vec![
         ("1 tag p2", vec![2]),
         ("2 tags p2 (U=1.0)", vec![2, 2]),
@@ -30,43 +53,39 @@ pub fn run(sim_trials: u64) -> String {
         // slots to absorption; the simulator's convergence detector needs
         // an extra clean streak, so compare the *absorption* event directly
         // by running until all settled.
-        let mean_sim = if *name != "1 tag p2" || true {
-            let pattern = Pattern {
-                name: "markov-x",
-                tags: periods
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| (i as u8 + 1, Period::new(p).unwrap()))
-                    .collect(),
-            };
-            let mut total = 0u64;
-            for t in 0..sim_trials {
-                let mut sim = SlotSim::new(SlotSimConfig::ideal(pattern.clone(), 1000 + t));
-                sim.run(2);
-                sim.reset_network();
-                let mut slots = 0u64;
-                loop {
-                    sim.step();
-                    slots += 1;
-                    let settled = sim.settled_schedules();
-                    let all = settled.len() == periods.len();
-                    let clean = (0..settled.len()).all(|i| {
-                        ((i + 1)..settled.len())
-                            .all(|j| !settled[i].1.conflicts_with(&settled[j].1))
-                    });
-                    if all && clean {
-                        break;
-                    }
-                    if slots > 100_000 {
-                        break;
-                    }
-                }
-                total += slots;
-            }
-            total as f64 / sim_trials as f64
-        } else {
-            0.0
+        let pattern = Pattern {
+            name: "markov-x",
+            tags: periods
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (i as u8 + 1, Period::new(p).unwrap()))
+                .collect(),
         };
+        let mut total = 0u64;
+        for t in 0..sim_trials {
+            let mut sim = SlotSim::new(SlotSimConfig::ideal(pattern.clone(), 1000 + t));
+            sim.run(2);
+            sim.reset_network();
+            let mut slots = 0u64;
+            loop {
+                sim.step();
+                slots += 1;
+                let settled = sim.settled_schedules();
+                let all = settled.len() == periods.len();
+                let clean = (0..settled.len()).all(|i| {
+                    ((i + 1)..settled.len())
+                        .all(|j| !settled[i].1.conflicts_with(&settled[j].1))
+                });
+                if all && clean {
+                    break;
+                }
+                if slots > 100_000 {
+                    break;
+                }
+            }
+            total += slots;
+        }
+        let mean_sim = total as f64 / sim_trials as f64;
         rows.push(vec![
             name.to_string(),
             format!("{}", a.num_states),
@@ -80,32 +99,33 @@ pub fn run(sim_trials: u64) -> String {
             f(mean_sim, 2),
         ]);
     }
-    let mut out = render::table(
-        "Appendix C — Absorbing Markov chain: exact analysis vs simulation",
-        &[
-            "config",
-            "states",
-            "absorbing",
-            "absorbing chain",
-            "E[slots] exact",
-            "E[slots] simulated",
-        ],
-        &rows,
-    );
-    out.push_str(
-        "\"absorbing chain = yes\" machine-checks Lemma 3: every reachable state reaches a \
-         collision-free all-SETTLE state.\nExact expectations come from solving the \
-         first-step equations; simulated means track them up to the one-slot feedback delay \
-         (the simulator's ACK arrives with the next beacon).\n",
-    );
-    out
+    Report::single(
+        Section::new(
+            "Appendix C — Absorbing Markov chain: exact analysis vs simulation",
+            &[
+                "config",
+                "states",
+                "absorbing",
+                "absorbing chain",
+                "E[slots] exact",
+                "E[slots] simulated",
+            ],
+            rows,
+        )
+        .with_note(
+            "\"absorbing chain = yes\" machine-checks Lemma 3: every reachable state reaches a \
+             collision-free all-SETTLE state.\nExact expectations come from solving the \
+             first-step equations; simulated means track them up to the one-slot feedback delay \
+             (the simulator's ACK arrives with the next beacon).",
+        ),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn analysis_table_renders() {
-        let out = super::run(3);
+        let out = super::report(3).render();
         assert!(out.contains("absorbing chain"));
         assert!(!out.contains(" NO"), "a chain failed verification:\n{out}");
     }
@@ -113,7 +133,7 @@ mod tests {
     #[test]
     fn exact_and_simulated_agree_for_single_tag() {
         // E[slots] for one p=2 tag is exactly 1.5.
-        let out = super::run(40);
+        let out = super::report(40).render();
         let line = out
             .lines()
             .find(|l| l.contains("1 tag p2"))

@@ -1,0 +1,89 @@
+//! The static experiment registry.
+//!
+//! Every evaluation artifact registers exactly one [`Experiment`]
+//! implementation here, in the paper's presentation order. The `repro`
+//! binary, the bench suite, and the smoke tests are all driven off this
+//! single list — adding an experiment means adding one line to [`ALL`].
+
+use crate::report::Experiment;
+
+use crate::ablation::{Ablation, AblationDrive, AblationLateArrival, AblationStages};
+use crate::ambient::Ambient;
+use crate::fdma::Fdma;
+use crate::fig11::{Fig11a, Fig11b};
+use crate::fig12::Fig12;
+use crate::fig13::{Fig13a, Fig13b};
+use crate::fig14::{Fig14a, Fig14b};
+use crate::fig15::{Fig15a, Fig15b};
+use crate::fig16::Fig16;
+use crate::fig17::Fig17b;
+use crate::fig19::Fig19;
+use crate::markov::Markov;
+use crate::table1::Table1;
+use crate::table2::Table2;
+use crate::table3::Table3;
+use crate::table4::Table4;
+use crate::vanilla::Vanilla;
+
+/// All registered experiments, in the paper's presentation order.
+pub static ALL: &[&'static dyn Experiment] = &[
+    &Table1,
+    &Fig11a,
+    &Fig11b,
+    &Table2,
+    &Fig12,
+    &Fig13a,
+    &Fig13b,
+    &Fig14a,
+    &Fig14b,
+    &Table3,
+    &Fig15a,
+    &Fig15b,
+    &Fig16,
+    &Fig17b,
+    &Fig19,
+    &Table4,
+    &Markov,
+    &Ablation,
+    &AblationLateArrival,
+    &AblationDrive,
+    &AblationStages,
+    &Ambient,
+    &Fdma,
+    &Vanilla,
+];
+
+/// Iterates every registered experiment in presentation order.
+pub fn all() -> impl Iterator<Item = &'static dyn Experiment> {
+    ALL.iter().copied()
+}
+
+/// Looks an experiment up by its `repro` subcommand id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    all().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_lowercase() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in all() {
+            assert!(seen.insert(e.id()), "duplicate id {}", e.id());
+            assert_eq!(e.id(), e.id().to_lowercase());
+            assert!(!e.title().is_empty());
+            assert!(!e.paper_anchor().is_empty());
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_id() {
+        for e in all() {
+            let found = find(e.id()).expect("id registered");
+            assert_eq!(found.id(), e.id());
+        }
+        assert!(find("no-such-experiment").is_none());
+    }
+}

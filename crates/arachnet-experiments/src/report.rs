@@ -1,0 +1,199 @@
+//! The `Experiment` abstraction: structured reports, run parameters, and
+//! the trait every artifact regenerator implements.
+//!
+//! Historically each experiment was an ad-hoc `pub fn run(n, seed) ->
+//! String` with its trial counts hard-coded into the `repro` binary. The
+//! redesigned API inverts that: an [`Experiment`] owns its identity
+//! (`id`/`title`/`paper_anchor`) *and* its quick/full trial counts, takes a
+//! uniform [`Params`], and returns a [`Report`] of structured sections
+//! (headers + rows + notes) that callers can either inspect or
+//! [`render`](Report::render) to the classic text tables. The static
+//! registry in [`crate::registry`] is the single source of truth the
+//! `repro` binary, the benches, and the smoke tests all iterate.
+
+use arachnet_sim::sweep::SweepConfig;
+
+use crate::render;
+
+/// Uniform run parameters for every experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Quick mode: reduced trial counts (each experiment owns the actual
+    /// numbers; full mode matches the paper's scale where tractable).
+    pub quick: bool,
+    /// Experiment seed (drives every random stream).
+    pub seed: u64,
+    /// Worker threads for sweep-backed experiments; `None` uses all cores.
+    pub threads: Option<usize>,
+}
+
+impl Params {
+    /// Quick-mode parameters.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            quick: true,
+            seed,
+            threads: None,
+        }
+    }
+
+    /// Full-scale parameters.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            quick: false,
+            seed,
+            threads: None,
+        }
+    }
+
+    /// Pins the worker-thread count (sweep-backed experiments only).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Picks the quick or full variant of a count.
+    pub fn scale(&self, quick: u64, full: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// The sweep configuration implied by these parameters: base seed from
+    /// [`Params::seed`], worker count from [`Params::threads`].
+    pub fn sweep(&self) -> SweepConfig {
+        let cfg = SweepConfig::new(self.seed);
+        match self.threads {
+            Some(t) => cfg.with_threads(t),
+            None => cfg,
+        }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick(1)
+    }
+}
+
+/// One table of an experiment's output: a title, column headers, data
+/// rows, and free-form notes (the "paper says" anchors).
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (cells are pre-formatted strings).
+    pub rows: Vec<Vec<String>>,
+    /// Notes printed after the table, one per line.
+    pub notes: Vec<String>,
+}
+
+impl Section {
+    /// Builds a section from a title, headers, and rows.
+    pub fn new(title: impl Into<String>, headers: &[&str], rows: Vec<Vec<String>>) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a note line (chainable).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the section as an aligned text table plus its notes.
+    pub fn render(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        let mut out = render::table(&self.title, &headers, &self.rows);
+        for note in &self.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A structured experiment result: one or more [`Section`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// The sections, in print order.
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    /// A report with a single section.
+    pub fn single(section: Section) -> Self {
+        Self {
+            sections: vec![section],
+        }
+    }
+
+    /// A report over several sections.
+    pub fn sections(sections: Vec<Section>) -> Self {
+        Self { sections }
+    }
+
+    /// Renders every section, separated by blank lines.
+    pub fn render(&self) -> String {
+        self.sections
+            .iter()
+            .map(Section::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// An artifact regenerator: every table/figure of the paper implements
+/// this, and the static registry ([`crate::registry`]) lists them all.
+///
+/// `Sync` is a supertrait so trait objects can live in statics.
+pub trait Experiment: Sync {
+    /// Stable command-line identifier (`repro <id>`).
+    fn id(&self) -> &'static str;
+    /// One-line human title.
+    fn title(&self) -> &'static str;
+    /// Where in the paper the artifact lives (e.g. `"Fig. 15(a)"`).
+    fn paper_anchor(&self) -> &'static str;
+    /// Regenerates the artifact.
+    fn run(&self, params: &Params) -> Report;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_scale_picks_by_mode() {
+        assert_eq!(Params::quick(1).scale(3, 50), 3);
+        assert_eq!(Params::full(1).scale(3, 50), 50);
+    }
+
+    #[test]
+    fn params_sweep_carries_seed_and_threads() {
+        let cfg = Params::quick(42).with_threads(2).sweep();
+        assert_eq!(cfg.base_seed, 42);
+        assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn report_render_concatenates_sections_and_notes() {
+        let r = Report::sections(vec![
+            Section::new("A", &["x"], vec![vec!["1".into()]]).with_note("note a"),
+            Section::new("B", &["y"], vec![vec!["2".into()]]),
+        ]);
+        let out = r.render();
+        assert!(out.contains("A\n"));
+        assert!(out.contains("note a"));
+        let a_pos = out.find("note a").unwrap();
+        let b_pos = out.find('B').unwrap();
+        assert!(a_pos < b_pos, "sections render in order");
+    }
+}

@@ -2,51 +2,71 @@
 
 use arachnet_energy::ledger::PowerMode;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-/// Prints the measured RX/TX/IDLE rows next to the paper's.
-pub fn run() -> String {
-    let modes = [
-        ("RX", PowerMode::rx_default(), (6.4, 12.4, 24.8)),
-        ("TX", PowerMode::tx_default(), (4.7, 25.5, 51.0)),
-        ("IDLE", PowerMode::Idle, (0.6, 3.8, 7.6)),
-    ];
-    let rows: Vec<Vec<String>> = modes
-        .iter()
-        .map(|(name, mode, (p_mcu, p_tot, p_pow))| {
-            vec![
-                name.to_string(),
-                f(mode.mcu_current() * 1e6, 1),
-                f(*p_mcu, 1),
-                f(mode.total_current() * 1e6, 1),
-                f(*p_tot, 1),
-                f(mode.power() * 1e6, 1),
-                f(*p_pow, 1),
-            ]
-        })
-        .collect();
-    let mut out = render::table(
-        "Table 2 — Tag power consumption (derived from ISR duty cycles, 2.0 V supply)",
-        &[
-            "Mode", "MCU uA", "(paper)", "total uA", "(paper)", "power uW", "(paper)",
-        ],
-        &rows,
-    );
-    let active = arachnet_energy::ledger::MCU_ACTIVE_A;
-    let rx_saving = 1.0 - PowerMode::rx_default().mcu_current() / active;
-    out.push_str(&format!(
-        "interrupt-driven design saves {:.0} % of MCU current vs continuous active mode \
-         (paper: \"over 80 %\").\n",
-        rx_saving * 100.0
-    ));
-    out
+/// Table 2 experiment.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Tag power consumption by mode"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Table 2"
+    }
+
+    fn run(&self, _params: &Params) -> Report {
+        let modes = [
+            ("RX", PowerMode::rx_default(), (6.4, 12.4, 24.8)),
+            ("TX", PowerMode::tx_default(), (4.7, 25.5, 51.0)),
+            ("IDLE", PowerMode::Idle, (0.6, 3.8, 7.6)),
+        ];
+        let rows: Vec<Vec<String>> = modes
+            .iter()
+            .map(|(name, mode, (p_mcu, p_tot, p_pow))| {
+                vec![
+                    name.to_string(),
+                    f(mode.mcu_current() * 1e6, 1),
+                    f(*p_mcu, 1),
+                    f(mode.total_current() * 1e6, 1),
+                    f(*p_tot, 1),
+                    f(mode.power() * 1e6, 1),
+                    f(*p_pow, 1),
+                ]
+            })
+            .collect();
+        let active = arachnet_energy::ledger::MCU_ACTIVE_A;
+        let rx_saving = 1.0 - PowerMode::rx_default().mcu_current() / active;
+        Report::single(
+            Section::new(
+                "Table 2 — Tag power consumption (derived from ISR duty cycles, 2.0 V supply)",
+                &[
+                    "Mode", "MCU uA", "(paper)", "total uA", "(paper)", "power uW", "(paper)",
+                ],
+                rows,
+            )
+            .with_note(format!(
+                "interrupt-driven design saves {:.0} % of MCU current vs continuous active mode \
+                 (paper: \"over 80 %\").",
+                rx_saving * 100.0
+            )),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn rows_present_and_close() {
-        let out = super::run();
+        let out = Table2.run(&Params::default()).render();
         for label in ["RX", "TX", "IDLE"] {
             assert!(out.contains(label));
         }

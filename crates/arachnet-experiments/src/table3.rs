@@ -3,61 +3,81 @@
 use arachnet_core::slot::Period;
 use arachnet_sim::patterns::Pattern;
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-/// Prints the pattern table exactly as the paper lays it out.
-pub fn run() -> String {
-    let patterns = Pattern::table3();
-    let count = |p: &Pattern, period: u32| {
-        p.tags
-            .iter()
-            .filter(|&&(_, pp)| pp == Period::new(period).unwrap())
-            .count()
-    };
-    let mut rows = Vec::new();
-    for period in [4u32, 8, 16, 32] {
-        let mut row = vec![format!("{period} slots")];
-        for p in &patterns {
-            row.push(format!("{}", count(p, period)));
+/// Table 3 experiment.
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Tag transmission patterns c1-c9"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Table 3"
+    }
+
+    fn run(&self, _params: &Params) -> Report {
+        let patterns = Pattern::table3();
+        let count = |p: &Pattern, period: u32| {
+            p.tags
+                .iter()
+                .filter(|&&(_, pp)| pp == Period::new(period).unwrap())
+                .count()
+        };
+        let mut rows = Vec::new();
+        for period in [4u32, 8, 16, 32] {
+            let mut row = vec![format!("{period} slots")];
+            for p in &patterns {
+                row.push(format!("{}", count(p, period)));
+            }
+            rows.push(row);
         }
-        rows.push(row);
+        let mut tagrow = vec!["Tag #".to_string()];
+        let mut utilrow = vec!["Slot Util.".to_string()];
+        for p in &patterns {
+            tagrow.push(format!("{}", p.len()));
+            utilrow.push(f(p.utilization(), 3));
+        }
+        rows.push(tagrow);
+        rows.push(utilrow);
+        Report::single(
+            Section::new(
+                "Table 3 — Tag transmission patterns",
+                &[
+                    "TX Period",
+                    "c1",
+                    "c2",
+                    "c3",
+                    "c4",
+                    "c5",
+                    "c6",
+                    "c7",
+                    "c8",
+                    "c9",
+                ],
+                rows,
+            )
+            .with_note(
+                "c1–c5: 12 tags, utilization sweep 0.375→1.0; c2,c6–c9: utilization 0.75 with \
+                 11/10/8/6 tags\n(excluding the tags listed in the paper's footnotes).",
+            ),
+        )
     }
-    let mut tagrow = vec!["Tag #".to_string()];
-    let mut utilrow = vec!["Slot Util.".to_string()];
-    for p in &patterns {
-        tagrow.push(format!("{}", p.len()));
-        utilrow.push(f(p.utilization(), 3));
-    }
-    rows.push(tagrow);
-    rows.push(utilrow);
-    let mut out = render::table(
-        "Table 3 — Tag transmission patterns",
-        &[
-            "TX Period",
-            "c1",
-            "c2",
-            "c3",
-            "c4",
-            "c5",
-            "c6",
-            "c7",
-            "c8",
-            "c9",
-        ],
-        &rows,
-    );
-    out.push_str(
-        "c1–c5: 12 tags, utilization sweep 0.375→1.0; c2,c6–c9: utilization 0.75 with \
-         11/10/8/6 tags\n(excluding the tags listed in the paper's footnotes).\n",
-    );
-    out
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn matches_paper_values() {
-        let out = super::run();
+        let out = Table3.run(&Params::default()).render();
         assert!(out.contains("0.844")); // c3 = 0.84375 rounded
         assert!(out.contains("1.000")); // c5
         assert!(out.contains("c9"));

@@ -2,14 +2,40 @@
 
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
+use arachnet_sim::sweep::{run_matrix, SweepConfig};
 use arachnet_sim::vanilla::{run_vanilla, VanillaConfig};
 
-use crate::render::{self, f};
+use crate::render::f;
+use crate::report::{Experiment, Params, Report, Section};
 
-/// Head-to-head over c3 at several beacon-loss rates.
-pub fn run(slots: u64, seed: u64) -> String {
-    let mut rows = Vec::new();
-    for &loss in &[0.0, 0.001, 0.005, 0.02] {
+/// Vanilla-vs-distributed experiment.
+pub struct Vanilla;
+
+impl Experiment for Vanilla {
+    fn id(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn title(&self) -> &'static str {
+        "Vanilla centralized allocation vs the distributed protocol"
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        "Sec. 5.2"
+    }
+
+    fn run(&self, params: &Params) -> Report {
+        report(params.scale(3_000, 20_000), &params.sweep())
+    }
+}
+
+/// Head-to-head over c3 at several beacon-loss rates. Each loss-rate cell
+/// (vanilla run + distributed run) is one trial of a parallel sweep.
+pub fn report(slots: u64, sweep: &SweepConfig) -> Report {
+    let losses = [0.0f64, 0.001, 0.005, 0.02];
+    // One matrix cell per loss rate; the cell's seed is scheduling-
+    // independent, so the whole table is bit-identical at any thread count.
+    let cells = run_matrix(sweep, &losses, 1, |&loss, _trial, seed| {
         let v = run_vanilla(
             &VanillaConfig {
                 pattern: Pattern::c3(),
@@ -25,11 +51,16 @@ pub fn run(slots: u64, seed: u64) -> String {
             ..SlotSimConfig::new(Pattern::c3(), seed)
         });
         let d = sim.run(slots);
+        (v.collision_ratio, v.tail_collision_ratio, d.collision_ratio)
+    });
+    let mut rows = Vec::new();
+    for (&loss, cell) in losses.iter().zip(&cells) {
+        let &(vc, vt, dc) = cell[0].as_ref().expect("trial panicked");
         rows.push(vec![
             format!("{:.1}%", loss * 100.0),
-            f(v.collision_ratio, 3),
-            f(v.tail_collision_ratio, 3),
-            f(d.collision_ratio, 3),
+            f(vc, 3),
+            f(vt, 3),
+            f(dc, 3),
         ]);
     }
     // The staggered-start case: vanilla cannot even begin.
@@ -38,7 +69,7 @@ pub fn run(slots: u64, seed: u64) -> String {
             pattern: Pattern::c3(),
             dl_loss_prob: 0.0,
             staggered_start: true,
-            seed,
+            seed: sweep.base_seed,
         },
         slots,
     );
@@ -48,25 +79,36 @@ pub fn run(slots: u64, seed: u64) -> String {
         f(v.tail_collision_ratio, 3),
         "converges".into(),
     ]);
-    let mut out = render::table(
-        &format!("Sec. 5.2 — vanilla centralized allocation vs the distributed protocol (c3, {slots} slots)"),
-        &["DL loss", "vanilla collisions", "vanilla tail", "distributed collisions"],
-        &rows,
-    );
-    out.push_str(
-        "the vanilla scheme is perfect in a perfect world and decays monotonically under beacon \
-         loss (Eq. 3's offset\nshifts accumulate; nothing ever migrates back). The distributed \
-         protocol absorbs the same losses with a\nbounded, stationary collision ratio — the \
-         paper's core argument for Secs. 5.3–5.6.\n",
-    );
-    out
+    Report::single(
+        Section::new(
+            format!(
+                "Sec. 5.2 — vanilla centralized allocation vs the distributed protocol (c3, \
+                 {slots} slots)"
+            ),
+            &[
+                "DL loss",
+                "vanilla collisions",
+                "vanilla tail",
+                "distributed collisions",
+            ],
+            rows,
+        )
+        .with_note(
+            "the vanilla scheme is perfect in a perfect world and decays monotonically under \
+             beacon loss (Eq. 3's offset\nshifts accumulate; nothing ever migrates back). The \
+             distributed protocol absorbs the same losses with a\nbounded, stationary collision \
+             ratio — the paper's core argument for Secs. 5.3–5.6.",
+        ),
+    )
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn comparison_renders_and_shows_decay() {
-        let out = super::run(3_000, 1);
+        let out = report(3_000, &SweepConfig::new(1).with_threads(2)).render();
         assert!(out.contains("vanilla tail"));
         assert!(out.contains("staggered"));
     }

@@ -13,19 +13,26 @@
 //!   offsets (Fig. 13), ping-pong latency (Fig. 14).
 //!
 //! Plus the workload definitions ([`patterns`]: Table 3's nine
-//! configurations), the contention baseline ([`aloha`]: Appendix B), and
-//! statistics helpers ([`metrics`]).
+//! configurations), the contention baseline ([`aloha`]: Appendix B),
+//! statistics helpers ([`metrics`]), validating configuration builders
+//! ([`config`]), and the deterministic parallel trial runner ([`sweep`])
+//! that fans pattern × seed matrices over a worker pool with bit-identical
+//! results at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aloha;
+pub mod config;
 pub mod cosim;
 pub mod metrics;
 pub mod patterns;
 pub mod slotsim;
+pub mod sweep;
 pub mod vanilla;
 pub mod wavesim;
 
+pub use config::{AlohaConfigBuilder, ConfigError, CoSimConfigBuilder, SlotSimConfigBuilder};
 pub use patterns::Pattern;
 pub use slotsim::{SlotSim, SlotSimConfig};
+pub use sweep::{run_matrix, run_trials, SweepConfig, SweepSummary};

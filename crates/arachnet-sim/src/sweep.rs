@@ -1,0 +1,322 @@
+//! Deterministic parallel trial runner.
+//!
+//! The evaluation sweeps (Fig. 15's 9 patterns × dozens of convergence
+//! trials, Fig. 19's ALOHA runs, the ablations) are embarrassingly
+//! parallel: every trial is a pure function of `(pattern, seed)`. This
+//! module runs such sweeps over a `std::thread::scope` worker pool while
+//! keeping results **bit-identical at any thread count**:
+//!
+//! * each trial's seed is derived from the sweep's base seed and the trial
+//!   index alone ([`trial_seed`], a splitmix64 finalizer) — never from
+//!   which worker picks the job up;
+//! * workers pull job indices from a shared atomic counter and keep
+//!   `(index, result)` pairs locally; the results are merged by index
+//!   after the pool joins, so scheduling order cannot leak into output
+//!   order;
+//! * every trial runs under `catch_unwind`, so one panicking trial shows
+//!   up as an [`TrialPanic`] in its slot instead of poisoning the sweep.
+//!
+//! ```
+//! use arachnet_sim::sweep::{SweepConfig, run_trials};
+//!
+//! let cfg = SweepConfig::new(42).with_threads(4);
+//! let squares = run_trials(&cfg, 8, |trial, _seed| trial * trial);
+//! assert_eq!(squares[3], Ok(9));
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metrics::{five_num, Ecdf, FiveNum};
+
+/// Sweep configuration: worker count and base seed.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads. `1` runs inline on the calling thread.
+    pub threads: usize,
+    /// Base seed; trial `i` runs with [`trial_seed`]`(base_seed, i)`.
+    pub base_seed: u64,
+}
+
+impl SweepConfig {
+    /// A sweep seeded with `base_seed`, using all available cores (or the
+    /// `ARACHNET_SWEEP_THREADS` environment override).
+    pub fn new(base_seed: u64) -> Self {
+        let threads = std::env::var("ARACHNET_SWEEP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self {
+            threads,
+            base_seed,
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// A trial that panicked instead of returning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialPanic {
+    /// Index of the panicking trial.
+    pub trial: u64,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {} panicked: {}", self.trial, self.message)
+    }
+}
+
+impl std::error::Error for TrialPanic {}
+
+/// Per-trial outcome: the trial's value, or the panic that ate it.
+pub type TrialResult<T> = Result<T, TrialPanic>;
+
+/// Derives trial `index`'s seed from the sweep's base seed using the
+/// splitmix64 finalizer, so neighbouring trials get decorrelated streams
+/// and the mapping is independent of worker scheduling.
+pub fn trial_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `trials` independent trials of `f(trial_index, trial_seed)` across
+/// the worker pool and returns results ordered by trial index. Bit-identical
+/// at any thread count; a panicking trial yields `Err(TrialPanic)` in its
+/// slot.
+pub fn run_trials<T, F>(cfg: &SweepConfig, trials: u64, f: F) -> Vec<TrialResult<T>>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    let one_trial = |i: u64| -> (u64, TrialResult<T>) {
+        let seed = trial_seed(cfg.base_seed, i);
+        let r = catch_unwind(AssertUnwindSafe(|| f(i, seed))).map_err(|p| TrialPanic {
+            trial: i,
+            message: panic_text(p),
+        });
+        (i, r)
+    };
+
+    let workers = cfg.threads.clamp(1, trials.max(1) as usize);
+    let mut indexed: Vec<(u64, TrialResult<T>)> = if workers <= 1 {
+        (0..trials).map(one_trial).collect()
+    } else {
+        let next_job = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next_job.fetch_add(1, Ordering::Relaxed);
+                            if i >= trials {
+                                break;
+                            }
+                            local.push(one_trial(i));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker thread panicked"))
+                .collect()
+        })
+    };
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs a `cells × trials` matrix (e.g. Table 3 patterns × seeds) over one
+/// shared worker pool, returning `results[cell][trial]` ordered like the
+/// inputs. A trial's seed depends only on `(base_seed, cell index, trial
+/// index)` — never on worker scheduling — so the whole matrix is
+/// bit-identical at any thread count.
+pub fn run_matrix<P, T, F>(
+    cfg: &SweepConfig,
+    cells: &[P],
+    trials: u64,
+    f: F,
+) -> Vec<Vec<TrialResult<T>>>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P, u64, u64) -> T + Sync,
+{
+    let total = cells.len() as u64 * trials;
+    let flat = run_trials(cfg, total, |job, _job_seed| {
+        let cell = (job / trials.max(1)) as usize;
+        let trial = job % trials.max(1);
+        let seed = trial_seed(trial_seed(cfg.base_seed, cell as u64), trial);
+        f(&cells[cell], trial, seed)
+    });
+    let mut out: Vec<Vec<TrialResult<T>>> = Vec::with_capacity(cells.len());
+    let mut it = flat.into_iter();
+    for _ in 0..cells.len() {
+        out.push(it.by_ref().take(trials as usize).collect());
+    }
+    out
+}
+
+/// Aggregate of a sweep of scalar trials: five-number summary, empirical
+/// CDF, and the panics that were excluded from both.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Trials that returned a value.
+    pub ok: usize,
+    /// Trials that panicked.
+    pub panics: Vec<TrialPanic>,
+    /// Five-number summary over the successful trials.
+    pub stats: FiveNum,
+    /// Empirical CDF over the successful trials.
+    pub ecdf: Ecdf,
+}
+
+/// Reduces scalar trial results to a [`SweepSummary`] (panics set aside,
+/// statistics over the survivors).
+pub fn summarize(results: &[TrialResult<f64>]) -> SweepSummary {
+    let mut values = Vec::with_capacity(results.len());
+    let mut panics = Vec::new();
+    for r in results {
+        match r {
+            Ok(v) => values.push(*v),
+            Err(p) => panics.push(p.clone()),
+        }
+    }
+    SweepSummary {
+        ok: values.len(),
+        panics,
+        stats: five_num(&values),
+        ecdf: Ecdf::new(&values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::Pattern;
+    use crate::slotsim::first_convergence_time;
+
+    #[test]
+    fn results_are_ordered_by_trial_index() {
+        let cfg = SweepConfig::new(7).with_threads(4);
+        let out = run_trials(&cfg, 64, |i, _| i);
+        let expect: Vec<_> = (0..64).map(Ok).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn bit_identical_at_any_thread_count() {
+        // The acceptance property of the whole module: 1 worker and N
+        // workers produce byte-for-byte identical sweeps (seeds derive from
+        // the trial index, never the scheduler).
+        let run_at = |threads| {
+            let cfg = SweepConfig::new(42).with_threads(threads);
+            run_trials(&cfg, 24, |_i, seed| {
+                first_convergence_time(&Pattern::c1(), seed, 50_000, true)
+            })
+        };
+        let single = run_at(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(single, run_at(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_across_thread_counts() {
+        let cells = [1u64, 2, 3];
+        let run_at = |threads| {
+            let cfg = SweepConfig::new(9).with_threads(threads);
+            run_matrix(&cfg, &cells, 5, |&c, t, seed| (c, t, seed))
+        };
+        let single = run_at(1);
+        assert_eq!(single, run_at(4));
+        assert_eq!(single, run_at(7));
+        assert_eq!(single.len(), 3);
+        assert!(single.iter().all(|row| row.len() == 5));
+        // Distinct cells must not share trial seeds.
+        let seeds: std::collections::HashSet<u64> = single
+            .iter()
+            .flatten()
+            .map(|r| r.as_ref().unwrap().2)
+            .collect();
+        assert_eq!(seeds.len(), 15);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_trial() {
+        let cfg = SweepConfig::new(1).with_threads(3);
+        let out = run_trials(&cfg, 10, |i, _| {
+            assert!(i != 7, "trial seven always fails");
+            i * 2
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.trial, 7);
+                assert!(p.message.contains("seven"), "{}", p.message);
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn summarize_splits_values_and_panics() {
+        let cfg = SweepConfig::new(3).with_threads(2);
+        let out = run_trials(&cfg, 9, |i, _| {
+            assert!(i % 4 != 3, "boom");
+            i as f64
+        });
+        let s = summarize(&out);
+        assert_eq!(s.ok, 7);
+        assert_eq!(s.panics.len(), 2);
+        assert_eq!(s.stats.min, 0.0);
+        assert_eq!(s.stats.max, 8.0);
+        assert_eq!(s.ecdf.len(), 7);
+    }
+
+    #[test]
+    fn trial_seeds_are_decorrelated() {
+        let a = trial_seed(1, 0);
+        let b = trial_seed(1, 1);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8);
+    }
+
+    #[test]
+    fn zero_trials_is_fine() {
+        let cfg = SweepConfig::new(5).with_threads(4);
+        let out = run_trials(&cfg, 0, |i, _| i);
+        assert!(out.is_empty());
+        let m = run_matrix(&cfg, &[1, 2], 0, |_, _, _| 0u8);
+        assert_eq!(m, vec![Vec::new(), Vec::new()]);
+    }
+}

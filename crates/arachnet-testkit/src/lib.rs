@@ -1,0 +1,95 @@
+//! # arachnet-testkit — hermetic property testing for the ARACHNET workspace
+//!
+//! A small, zero-dependency property-testing harness, built because the
+//! workspace must compile and test **offline**: no crates.io, no proptest.
+//! It provides the three things the test suites actually use:
+//!
+//! * **seeded generators** ([`gen::Gen`] and the combinators in [`gen`]) —
+//!   every random draw comes from [`arachnet_core::rng::TagRng`], the same
+//!   deterministic xorshift64* generator the simulators use, so a test
+//!   failure is exactly reproducible from its seed;
+//! * **bounded shrinking** — when a property is falsified, the harness
+//!   walks generator-supplied shrink candidates (smaller numbers, shorter
+//!   vectors, earlier enum choices) until no candidate fails or the step
+//!   budget runs out, then reports the minimal counterexample it found;
+//! * **failure-seed replay** — every failure message carries the per-case
+//!   seed and the environment variable (`ARACHNET_TESTKIT_REPLAY`) that
+//!   reruns exactly that case, shrinking included; [`runner::replay`] does
+//!   the same programmatically.
+//!
+//! ```
+//! use arachnet_testkit::gen;
+//! use arachnet_testkit::runner::check;
+//! use arachnet_testkit::prop_assert;
+//!
+//! // Addition of small numbers is commutative.
+//! let pairs = gen::zip(gen::u64_range(0, 1000), gen::u64_range(0, 1000));
+//! check("add_commutes", &pairs, |&(a, b)| {
+//!     prop_assert!(a + b == b + a, "{a} + {b}");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Environment knobs:
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `ARACHNET_TESTKIT_CASES`  | cases per property (default 96) |
+//! | `ARACHNET_TESTKIT_SEED`   | base seed for the case sweep (default 0xA12A_C4E7) |
+//! | `ARACHNET_TESTKIT_REPLAY` | run only this per-case seed, then shrink |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod runner;
+
+pub use gen::Gen;
+pub use runner::{check, check_with, replay, Config, Failure};
+
+/// Asserts a condition inside a property closure, returning `Err` (not
+/// panicking) so the harness can shrink. With a single argument the error
+/// message is the stringified condition; extra arguments are a format
+/// string.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property closure (both must be
+/// `Debug`), returning `Err` so the harness can shrink.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counts as a pass) when a precondition does not
+/// hold — the moral equivalent of proptest's `prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

@@ -1,121 +1,21 @@
-//! One benchmark per evaluation artifact: `cargo bench` regenerates every
-//! table and figure's code path (with reduced trial counts) and measures
-//! how long the regeneration takes. The full-scale outputs come from the
-//! `repro` binary; these benches guarantee the harness stays runnable.
+//! One benchmark per evaluation artifact: every registered experiment is
+//! run in quick mode through the same `Experiment` trait the `repro`
+//! binary uses, so `cargo bench` both regenerates every artifact's code
+//! path and measures it. Emits `BENCH_experiments.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use arachnet_experiments::registry;
+use arachnet_experiments::report::Params;
+use bench::{Suite, SuiteConfig};
 
-use arachnet_experiments as x;
-
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.bench_function("table1_slot_allocation", |b| {
-        b.iter(|| black_box(x::table1::run()))
-    });
-    g.bench_function("table2_power", |b| b.iter(|| black_box(x::table2::run())));
-    g.bench_function("table3_patterns", |b| {
-        b.iter(|| black_box(x::table3::run()))
-    });
-    g.bench_function("table4_comparison", |b| {
-        b.iter(|| black_box(x::table4::run()))
-    });
-    g.finish();
+fn main() {
+    // Experiment runs are whole-artifact regenerations (milliseconds to
+    // seconds each), so cap the sample count below the hot-path default.
+    let mut cfg = SuiteConfig::default();
+    cfg.samples = cfg.samples.min(10);
+    let mut s = Suite::with_config("experiments", cfg);
+    let params = Params::quick(1);
+    for exp in registry::all() {
+        s.bench(&format!("repro/{}", exp.id()), || exp.run(&params));
+    }
+    s.finish();
 }
-
-fn bench_energy_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_energy");
-    g.bench_function("fig11a_amplified_voltage", |b| {
-        b.iter(|| black_box(x::fig11::run_a()))
-    });
-    g.bench_function("fig11b_charging_time", |b| {
-        b.iter(|| black_box(x::fig11::run_b()))
-    });
-    g.finish();
-}
-
-fn bench_comm_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_fig13_comm");
-    g.sample_size(10);
-    g.bench_function("fig12_uplink_snr_loss", |b| {
-        b.iter(|| black_box(x::fig12::run(2, 1)))
-    });
-    g.bench_function("fig13a_downlink_loss", |b| {
-        b.iter(|| black_box(x::fig13::run_a(20, 1)))
-    });
-    g.bench_function("fig13b_sync_offsets", |b| {
-        b.iter(|| black_box(x::fig13::run_b(1)))
-    });
-    g.finish();
-}
-
-fn bench_network_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_fig15_fig16_network");
-    g.sample_size(10);
-    g.bench_function("fig14a_pingpong_waveform", |b| {
-        b.iter(|| black_box(x::fig14::run_a(1)))
-    });
-    g.bench_function("fig14b_pingpong_cdf", |b| {
-        b.iter(|| black_box(x::fig14::run_b(200, 1)))
-    });
-    g.bench_function("fig15a_convergence_fixed_tags", |b| {
-        b.iter(|| black_box(x::fig15::run_a(1, 1)))
-    });
-    g.bench_function("fig15b_convergence_fixed_util", |b| {
-        b.iter(|| black_box(x::fig15::run_b(1, 1)))
-    });
-    g.bench_function("fig16_long_run_1k", |b| {
-        b.iter(|| black_box(x::fig16::run(1_000, 1)))
-    });
-    g.finish();
-}
-
-fn bench_case_studies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig17_fig19_appendices");
-    g.sample_size(10);
-    g.bench_function("fig17b_strain_sweep", |b| {
-        b.iter(|| black_box(x::fig17::run()))
-    });
-    g.bench_function("fig19_aloha_1ks", |b| {
-        b.iter(|| black_box(x::fig19::run(1_000.0, 1)))
-    });
-    g.bench_function("appendixC_markov", |b| {
-        b.iter(|| black_box(x::markov::run(2)))
-    });
-    g.finish();
-}
-
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
-    g.bench_function("ablation_stages", |b| {
-        b.iter(|| black_box(x::ablation::run_stages()))
-    });
-    g.bench_function("ambient_harvesting", |b| {
-        b.iter(|| black_box(x::ambient::run()))
-    });
-    g.bench_function("vanilla_vs_distributed_3k", |b| {
-        b.iter(|| black_box(x::vanilla::run(3_000, 1)))
-    });
-    g.bench_function("fdma_parallel_decode", |b| {
-        b.iter(|| black_box(x::fdma::run(1, 1)))
-    });
-    g.bench_function("cosim_waveform_slot", |b| {
-        use arachnet_core::slot::Period;
-        use arachnet_sim::cosim::{CoSim, CoSimConfig};
-        let p = |v| Period::new(v).unwrap();
-        let mut sim = CoSim::new(CoSimConfig::new(vec![(8, p(2)), (7, p(4))], 1));
-        b.iter(|| black_box(sim.step()))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_energy_figures,
-    bench_comm_figures,
-    bench_network_figures,
-    bench_case_studies,
-    bench_extensions
-);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Hot-path microbenchmarks: the per-sample and per-slot costs that bound
 //! the reader's real-time budget (Sec. 6.1 claims real-time operation at a
-//! 500 kHz sample rate).
+//! 500 kHz sample rate). Runs on the in-tree harness; emits
+//! `BENCH_hot_paths.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use bench::{black_box, Suite};
 
 use arachnet_core::bits::BitBuf;
 use arachnet_core::crc::crc8_bits;
@@ -21,46 +22,33 @@ use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
 use biw_channel::pzt::PztState;
 
-fn bench_codecs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codecs");
+fn bench_codecs(s: &mut Suite) {
     let pkt = UlPacket::new(7, 0xABC).unwrap();
     let bits = pkt.to_bits();
-    g.throughput(Throughput::Elements(bits.len() as u64));
-    g.bench_function("ul_packet_encode", |b| {
-        b.iter(|| black_box(UlPacket::new(7, 0xABC).unwrap().to_bits()))
+    s.bench("codecs/ul_packet_encode", || {
+        UlPacket::new(7, 0xABC).unwrap().to_bits()
     });
-    g.bench_function("ul_packet_parse", |b| {
-        b.iter(|| black_box(UlPacket::from_bits(&bits).unwrap()))
+    s.bench("codecs/ul_packet_parse", || {
+        UlPacket::from_bits(&bits).unwrap()
+    });
+    s.bench("codecs/fm0_encode_32b", || {
+        let mut e = Fm0Encoder::new();
+        e.encode(bits.iter())
     });
     let mut enc = Fm0Encoder::new();
     let raw = enc.encode(bits.iter());
-    g.bench_function("fm0_encode_32b", |b| {
-        b.iter(|| {
-            let mut e = Fm0Encoder::new();
-            black_box(e.encode(bits.iter()))
-        })
-    });
-    g.bench_function("fm0_decode_64b", |b| {
-        b.iter(|| black_box(fm0::decode(&raw, true).unwrap()))
-    });
-    g.bench_function("pie_encode_10b", |b| {
-        let beacon_bits = BitBuf::from_u32(0b1101001010, 10);
-        b.iter(|| black_box(pie::encode(beacon_bits.iter())))
-    });
-    g.bench_function("crc8_24b", |b| {
-        let msg = BitBuf::from_u32(0xABCDE5, 24);
-        b.iter(|| black_box(crc8_bits(msg.iter())))
-    });
-    g.finish();
+    s.bench("codecs/fm0_decode_64b", || fm0::decode(&raw, true).unwrap());
+    let beacon_bits = BitBuf::from_u32(0b1101001010, 10);
+    s.bench("codecs/pie_encode_10b", || pie::encode(beacon_bits.iter()));
+    let msg = BitBuf::from_u32(0xABCDE5, 24);
+    s.bench("codecs/crc8_24b", || crc8_bits(msg.iter()));
 }
 
-fn bench_dsp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dsp");
+fn bench_dsp(s: &mut Suite) {
     let signal: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.71).sin()).collect();
-    g.throughput(Throughput::Elements(8192));
-    g.bench_function("fft_8192", |b| b.iter(|| black_box(fft_real(&signal))));
-    g.bench_function("welch_psd_8192", |b| {
-        b.iter(|| black_box(welch_psd(&signal, 500e3, 1024, Window::Hann)))
+    s.bench("dsp/fft_8192", || fft_real(&signal));
+    s.bench("dsp/welch_psd_8192", || {
+        welch_psd(&signal, 500e3, 1024, Window::Hann)
     });
     let mut seed = 1u64;
     let mut noise = move || {
@@ -79,15 +67,12 @@ fn bench_dsp(c: &mut Criterion) {
             c + Cplx::new(noise() * 0.05, noise() * 0.05)
         })
         .collect();
-    g.bench_function("cluster_iq_1500", |b| {
-        b.iter(|| black_box(cluster_iq(&iq, ClusterConfig::default())))
+    s.bench("dsp/cluster_iq_1500", || {
+        cluster_iq(&iq, ClusterConfig::default())
     });
-    g.finish();
 }
 
-fn bench_rx_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rx_chain");
-    g.sample_size(20);
+fn bench_rx_chain(s: &mut Suite) {
     let ch = BiwChannel::paper(ChannelConfig {
         noise: NoiseConfig::default(),
         ..ChannelConfig::default()
@@ -102,41 +87,23 @@ fn bench_rx_chain(c: &mut Criterion) {
     let len = states.len();
     let wave = ch.uplink_waveform(&[(8, &states)], len);
     let rx = UplinkReceiver::new(RxConfig::default());
-    g.throughput(Throughput::Elements(wave.len() as u64));
-    g.bench_function("process_slot_375bps", |b| {
-        b.iter(|| black_box(rx.process_slot(&wave)))
-    });
-    g.bench_function("uplink_snr", |b| {
-        b.iter(|| black_box(rx.uplink_snr_db(&wave)))
-    });
-    g.finish();
+    s.bench("rx_chain/process_slot_375bps", || rx.process_slot(&wave));
+    s.bench("rx_chain/uplink_snr", || rx.uplink_snr_db(&wave));
 }
 
-fn bench_slotsim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("slotsim");
-    g.bench_function("step_c3_12tags", |b| {
-        let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), 1));
-        b.iter(|| black_box(sim.step()))
+fn bench_slotsim(s: &mut Suite) {
+    let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), 1));
+    s.bench("slotsim/step_c3_12tags", move || black_box(sim.step()));
+    s.bench("slotsim/converge_c1", || {
+        arachnet_sim::slotsim::first_convergence_time(&Pattern::c1(), 9, 100_000, true)
     });
-    g.sample_size(10);
-    g.bench_function("converge_c1", |b| {
-        b.iter(|| {
-            black_box(arachnet_sim::slotsim::first_convergence_time(
-                &Pattern::c1(),
-                9,
-                100_000,
-                true,
-            ))
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_codecs,
-    bench_dsp,
-    bench_rx_chain,
-    bench_slotsim
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("hot_paths");
+    bench_codecs(&mut s);
+    bench_dsp(&mut s);
+    bench_rx_chain(&mut s);
+    bench_slotsim(&mut s);
+    s.finish();
+}

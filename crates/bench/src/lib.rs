@@ -1,12 +1,274 @@
-//! # bench — Criterion benchmarks for ARACHNET
+//! # bench — in-tree statistical benchmark harness for ARACHNET
 //!
-//! Two suites:
+//! Criterion is a heavy external dependency and the workspace must build
+//! offline, so this crate carries its own minimal harness: warmup, batch
+//! calibration, a fixed number of wall-clock samples, median/p95 summary,
+//! and a hand-rolled JSON emit to `BENCH_<suite>.json` at the workspace
+//! root so CI (or a human) can diff runs.
+//!
+//! Two suites live under `benches/`:
 //!
 //! * `hot_paths` — throughput of the building blocks a real reader would
 //!   care about: codecs, CRC, FFT/PSD, the RX chain over one slot, IQ
 //!   clustering, and slot-simulator stepping;
 //! * `experiments` — one benchmark per evaluation table/figure, invoking
-//!   the same runners as the `repro` binary with reduced trial counts (so
-//!   `cargo bench` regenerates every artifact's code path and measures it).
+//!   the same runners as the `repro` binary with reduced trial counts.
 //!
-//! Run: `cargo bench -p bench`.
+//! Run: `cargo bench -p bench`. Environment knobs:
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `ARACHNET_BENCH_SAMPLES` | samples per benchmark (default 30) |
+//! | `ARACHNET_BENCH_SAMPLE_MS` | target wall-clock per sample (default 10) |
+//! | `ARACHNET_BENCH_WARMUP_MS` | warmup before sampling (default 100) |
+//! | `ARACHNET_BENCH_DIR` | output directory for `BENCH_*.json` |
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+use arachnet_sim::metrics::{mean, percentile};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Harness configuration; [`SuiteConfig::default`] reads the
+/// `ARACHNET_BENCH_*` environment variables.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Wall-clock samples collected per benchmark.
+    pub samples: u64,
+    /// Target duration of one sample; the batch size (iterations per
+    /// sample) is calibrated so a sample takes roughly this long.
+    pub sample_time: Duration,
+    /// Warmup time before calibration and sampling.
+    pub warmup: Duration,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            samples: env_u64("ARACHNET_BENCH_SAMPLES", 30),
+            sample_time: Duration::from_millis(env_u64("ARACHNET_BENCH_SAMPLE_MS", 10)),
+            warmup: Duration::from_millis(env_u64("ARACHNET_BENCH_WARMUP_MS", 100)),
+        }
+    }
+}
+
+/// Summary statistics over the per-iteration wall-clock of one benchmark,
+/// in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample.
+    pub ns_min: f64,
+    /// Median sample — the headline number (robust to scheduler noise).
+    pub ns_median: f64,
+    /// 95th-percentile sample — the tail a real-time budget cares about.
+    pub ns_p95: f64,
+    /// Arithmetic mean of the samples.
+    pub ns_mean: f64,
+    /// Slowest sample.
+    pub ns_max: f64,
+}
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (`group/case` by convention).
+    pub name: String,
+    /// Calibrated iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples collected.
+    pub samples: u64,
+    /// Per-iteration wall-clock statistics.
+    pub stats: Stats,
+}
+
+/// A named collection of benchmarks; accumulates results and emits a text
+/// table plus `BENCH_<suite>.json` on [`Suite::finish`].
+pub struct Suite {
+    name: String,
+    cfg: SuiteConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// Starts a suite with configuration from the environment.
+    pub fn new(name: &str) -> Self {
+        Suite {
+            name: name.to_string(),
+            cfg: SuiteConfig::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Starts a suite with an explicit configuration.
+    pub fn with_config(name: &str, cfg: SuiteConfig) -> Self {
+        Suite {
+            name: name.to_string(),
+            cfg,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f`: warmup, batch-size calibration, then
+    /// `cfg.samples` timed batches. The closure's return value is passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        // Warmup: run until the warmup budget is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.cfg.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Calibrate: estimate per-iteration cost from the warmup and pick a
+        // batch size that makes one sample last ~sample_time.
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let target_ns = self.cfg.sample_time.as_nanos() as f64;
+        let iters = (target_ns / per_iter.max(1.0)).ceil().max(1.0) as u64;
+
+        let mut per_iter_ns = Vec::with_capacity(self.cfg.samples as usize);
+        for _ in 0..self.cfg.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+        let stats = Stats {
+            ns_min: per_iter_ns[0],
+            ns_median: percentile(&per_iter_ns, 50.0),
+            ns_p95: percentile(&per_iter_ns, 95.0),
+            ns_mean: mean(&per_iter_ns),
+            ns_max: *per_iter_ns.last().unwrap(),
+        };
+        let result = BenchResult {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: self.cfg.samples,
+            stats,
+        };
+        println!(
+            "{:<44} median {:>12}  p95 {:>12}  ({} iters x {} samples)",
+            result.name,
+            fmt_ns(stats.ns_median),
+            fmt_ns(stats.ns_p95),
+            iters,
+            self.cfg.samples
+        );
+        self.results.push(result);
+    }
+
+    /// Prints the summary and writes `BENCH_<suite>.json`. Returns the path
+    /// written.
+    pub fn finish(self) -> std::path::PathBuf {
+        let dir = std::env::var("ARACHNET_BENCH_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| {
+                // Workspace root: two levels above this crate's manifest.
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+            });
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let json = self.to_json();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+        path
+    }
+
+    /// Renders the suite as a JSON document (stable key order, no external
+    /// serializer).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", self.name));
+        out.push_str(&format!("  \"samples_per_bench\": {},\n", self.cfg.samples));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"ns_min\": {:.1}, \"ns_median\": {:.1}, \"ns_p95\": {:.1}, \
+                 \"ns_mean\": {:.1}, \"ns_max\": {:.1}}}{}",
+                r.name,
+                r.iters_per_sample,
+                r.samples,
+                r.stats.ns_min,
+                r.stats.ns_median,
+                r.stats.ns_p95,
+                r.stats.ns_mean,
+                r.stats.ns_max,
+                if i + 1 == self.results.len() { "\n" } else { ",\n" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Formats a nanosecond figure with a human-friendly unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SuiteConfig {
+        SuiteConfig {
+            samples: 5,
+            sample_time: Duration::from_micros(200),
+            warmup: Duration::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn bench_produces_ordered_stats() {
+        let mut s = Suite::with_config("unit", tiny());
+        s.bench("noop_sum", || (0..100u64).sum::<u64>());
+        let r = &s.results[0];
+        assert!(r.stats.ns_min <= r.stats.ns_median);
+        assert!(r.stats.ns_median <= r.stats.ns_p95);
+        assert!(r.stats.ns_p95 <= r.stats.ns_max);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut s = Suite::with_config("unit", tiny());
+        s.bench("a", || 1 + 1);
+        s.bench("b", || 2 + 2);
+        let json = s.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"ns_median\""));
+        assert_eq!(json.matches("{\"name\"").count(), 2);
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,52 +1,96 @@
-//! Property-based tests over the acoustic channel.
+//! Property-based tests over the acoustic channel (arachnet-testkit).
 
+use arachnet_testkit::gen;
+use arachnet_testkit::{check, prop_assert, prop_assert_eq};
 use biw_channel::propagation::PathSpec;
 use biw_channel::pzt::{Pzt, PztState};
 use biw_channel::resonator::{synthesize_drive, DriveScheme};
-use proptest::prelude::*;
 
-proptest! {
-    /// Path gain decreases monotonically with distance and with every kind
-    /// of junction, and always lies in (0, 1] beyond the reference.
-    #[test]
-    fn gain_monotonicity(len in 0.3f64..5.0, seams in 0u8..4, perps in 0u8..3) {
-        let p = PathSpec { length_m: len, seam_junctions: seams, perp_junctions: perps };
-        let further = PathSpec { length_m: len + 0.1, ..p };
-        let seamier = PathSpec { seam_junctions: seams + 1, ..p };
-        let cornier = PathSpec { perp_junctions: perps + 1, ..p };
+/// Path gain decreases monotonically with distance and with every kind of
+/// junction, and always lies in (0, 1] beyond the reference.
+#[test]
+fn gain_monotonicity() {
+    let g = gen::zip3(
+        gen::f64_range(0.3, 5.0),
+        gen::u8_range(0, 4),
+        gen::u8_range(0, 3),
+    );
+    check("gain_monotonicity", &g, |&(len, seams, perps)| {
+        let p = PathSpec {
+            length_m: len,
+            seam_junctions: seams,
+            perp_junctions: perps,
+        };
+        let further = PathSpec {
+            length_m: len + 0.1,
+            ..p
+        };
+        let seamier = PathSpec {
+            seam_junctions: seams + 1,
+            ..p
+        };
+        let cornier = PathSpec {
+            perp_junctions: perps + 1,
+            ..p
+        };
         prop_assert!(p.gain() > 0.0 && p.gain() <= 1.0);
         prop_assert!(further.gain() < p.gain());
         prop_assert!(seamier.gain() < p.gain());
-        prop_assert!(cornier.gain() < seamier.gain(), "perpendicular must cost more than a seam");
+        prop_assert!(
+            cornier.gain() < seamier.gain(),
+            "perpendicular must cost more than a seam"
+        );
         prop_assert!((p.round_trip_gain() - p.gain() * p.gain()).abs() < 1e-15);
-    }
+        Ok(())
+    });
+}
 
-    /// Delay is linear in path length.
-    #[test]
-    fn delay_linearity(len in 0.1f64..5.0, k in 1.0f64..3.0) {
-        let a = PathSpec { length_m: len, seam_junctions: 0, perp_junctions: 0 };
-        let b = PathSpec { length_m: len * k, ..a };
+/// Delay is linear in path length.
+#[test]
+fn delay_linearity() {
+    let g = gen::zip(gen::f64_range(0.1, 5.0), gen::f64_range(1.0, 3.0));
+    check("delay_linearity", &g, |&(len, k)| {
+        let a = PathSpec {
+            length_m: len,
+            seam_junctions: 0,
+            perp_junctions: 0,
+        };
+        let b = PathSpec {
+            length_m: len * k,
+            ..a
+        };
         prop_assert!((b.delay_s() - k * a.delay_s()).abs() < 1e-15);
-    }
+        Ok(())
+    });
+}
 
-    /// Reflection is linear and the reflective state always returns more
-    /// than the absorptive one.
-    #[test]
-    fn pzt_reflection_properties(amp in 0.0f64..10.0) {
+/// Reflection is linear and the reflective state always returns more than
+/// the absorptive one.
+#[test]
+fn pzt_reflection_properties() {
+    check("pzt_reflection_properties", &gen::f64_range(0.0, 10.0), |&amp| {
         let p = Pzt::arachnet_tag();
         prop_assert!(p.reflect(amp, PztState::Reflective) >= p.reflect(amp, PztState::Absorptive));
-        prop_assert!((p.reflect(2.0 * amp, PztState::Reflective)
-            - 2.0 * p.reflect(amp, PztState::Reflective)).abs() < 1e-12);
-    }
+        prop_assert!(
+            (p.reflect(2.0 * amp, PztState::Reflective) - 2.0 * p.reflect(amp, PztState::Reflective))
+                .abs()
+                < 1e-12
+        );
+        Ok(())
+    });
+}
 
-    /// Synthesized drive waveforms have the right length and bounded
-    /// amplitude for any level pattern.
-    #[test]
-    fn drive_synthesis_bounds(levels in prop::collection::vec(any::<bool>(), 1..20), amp in 0.1f64..5.0) {
+/// Synthesized drive waveforms have the right length and bounded amplitude
+/// for any level pattern.
+#[test]
+fn drive_synthesis_bounds() {
+    let g = gen::zip(gen::vec(gen::boolean(), 1, 19), gen::f64_range(0.1, 5.0));
+    check("drive_synthesis_bounds", &g, |(levels, amp)| {
         for scheme in [DriveScheme::PlainOok, DriveScheme::paper_default()] {
-            let d = synthesize_drive(scheme, &levels, 50, 500_000.0, 90_000.0, amp);
+            let d = synthesize_drive(scheme, levels, 50, 500_000.0, 90_000.0, *amp);
             prop_assert_eq!(d.len(), levels.len() * 50);
             prop_assert!(d.iter().all(|x| x.abs() <= amp + 1e-12));
         }
-    }
+        Ok(())
+    });
 }

@@ -18,14 +18,48 @@
 //! `quickstart`), the evaluation regenerators in the `repro` binary of
 //! `arachnet-experiments`, and the paper-vs-measured record in
 //! `EXPERIMENTS.md`.
+//!
+//! The [`prelude`] re-exports the high-level API most downstream code
+//! wants: the validating config builders and the [`prelude::Experiment`]
+//! registry types.
 
 #![forbid(unsafe_code)]
 
 pub use arachnet_core as core_protocol;
 pub use arachnet_dsp as dsp;
 pub use arachnet_energy as energy;
+pub use arachnet_experiments as experiments;
 pub use arachnet_reader as reader;
 pub use arachnet_sensors as sensors;
 pub use arachnet_sim as sim;
 pub use arachnet_tag as tag;
 pub use biw_channel as channel;
+
+/// The high-level API in one import: validating simulator config
+/// builders, the parallel sweep engine, and the experiment registry.
+///
+/// ```
+/// use arachnet::prelude::*;
+///
+/// let cfg = SlotSimConfig::builder(sim::patterns::Pattern::c3(), 1)
+///     .dl_loss_prob(0.005)
+///     .build()
+///     .unwrap();
+/// # let _ = cfg;
+/// let report = experiments::registry::find("table3")
+///     .unwrap()
+///     .run(&Params::quick(1));
+/// assert!(report.render().contains("c9"));
+/// ```
+pub mod prelude {
+    pub use crate::{experiments, sim};
+    pub use arachnet_experiments::registry;
+    pub use arachnet_experiments::report::{Experiment, Params, Report, Section};
+    pub use arachnet_sim::aloha::AlohaConfig;
+    pub use arachnet_sim::config::{
+        AlohaConfigBuilder, ConfigError, CoSimConfigBuilder, SlotSimConfigBuilder,
+    };
+    pub use arachnet_sim::cosim::CoSimConfig;
+    pub use arachnet_sim::slotsim::SlotSimConfig;
+    pub use arachnet_sim::sweep::{run_matrix, run_trials, SweepConfig, SweepSummary};
+}

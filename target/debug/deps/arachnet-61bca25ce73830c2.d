@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arachnet-61bca25ce73830c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarachnet-61bca25ce73830c2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libarachnet-61bca25ce73830c2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arachnet-a8dec6958b093e95.d: src/lib.rs
+
+/root/repo/target/debug/deps/arachnet-a8dec6958b093e95: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/arachnet_dsp-7a0b111d4fdb6254.d: crates/arachnet-dsp/src/lib.rs crates/arachnet-dsp/src/cluster.rs crates/arachnet-dsp/src/correlate.rs crates/arachnet-dsp/src/cplx.rs crates/arachnet-dsp/src/decimate.rs crates/arachnet-dsp/src/envelope.rs crates/arachnet-dsp/src/fft.rs crates/arachnet-dsp/src/fir.rs crates/arachnet-dsp/src/freq.rs crates/arachnet-dsp/src/goertzel.rs crates/arachnet-dsp/src/iir.rs crates/arachnet-dsp/src/nco.rs crates/arachnet-dsp/src/pipeline.rs crates/arachnet-dsp/src/psd.rs crates/arachnet-dsp/src/schmitt.rs crates/arachnet-dsp/src/window.rs
+
+/root/repo/target/debug/deps/arachnet_dsp-7a0b111d4fdb6254: crates/arachnet-dsp/src/lib.rs crates/arachnet-dsp/src/cluster.rs crates/arachnet-dsp/src/correlate.rs crates/arachnet-dsp/src/cplx.rs crates/arachnet-dsp/src/decimate.rs crates/arachnet-dsp/src/envelope.rs crates/arachnet-dsp/src/fft.rs crates/arachnet-dsp/src/fir.rs crates/arachnet-dsp/src/freq.rs crates/arachnet-dsp/src/goertzel.rs crates/arachnet-dsp/src/iir.rs crates/arachnet-dsp/src/nco.rs crates/arachnet-dsp/src/pipeline.rs crates/arachnet-dsp/src/psd.rs crates/arachnet-dsp/src/schmitt.rs crates/arachnet-dsp/src/window.rs
+
+crates/arachnet-dsp/src/lib.rs:
+crates/arachnet-dsp/src/cluster.rs:
+crates/arachnet-dsp/src/correlate.rs:
+crates/arachnet-dsp/src/cplx.rs:
+crates/arachnet-dsp/src/decimate.rs:
+crates/arachnet-dsp/src/envelope.rs:
+crates/arachnet-dsp/src/fft.rs:
+crates/arachnet-dsp/src/fir.rs:
+crates/arachnet-dsp/src/freq.rs:
+crates/arachnet-dsp/src/goertzel.rs:
+crates/arachnet-dsp/src/iir.rs:
+crates/arachnet-dsp/src/nco.rs:
+crates/arachnet-dsp/src/pipeline.rs:
+crates/arachnet-dsp/src/psd.rs:
+crates/arachnet-dsp/src/schmitt.rs:
+crates/arachnet-dsp/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/arachnet_energy-22b3da23d0f0c5bf.d: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+/root/repo/target/debug/deps/libarachnet_energy-22b3da23d0f0c5bf.rlib: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+/root/repo/target/debug/deps/libarachnet_energy-22b3da23d0f0c5bf.rmeta: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+crates/arachnet-energy/src/lib.rs:
+crates/arachnet-energy/src/ambient.rs:
+crates/arachnet-energy/src/cutoff.rs:
+crates/arachnet-energy/src/harvester.rs:
+crates/arachnet-energy/src/ledger.rs:
+crates/arachnet-energy/src/multiplier.rs:
+crates/arachnet-energy/src/storage.rs:

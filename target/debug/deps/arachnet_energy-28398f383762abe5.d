@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/arachnet_energy-28398f383762abe5.d: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+/root/repo/target/debug/deps/arachnet_energy-28398f383762abe5: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+crates/arachnet-energy/src/lib.rs:
+crates/arachnet-energy/src/ambient.rs:
+crates/arachnet-energy/src/cutoff.rs:
+crates/arachnet-energy/src/harvester.rs:
+crates/arachnet-energy/src/ledger.rs:
+crates/arachnet-energy/src/multiplier.rs:
+crates/arachnet-energy/src/storage.rs:

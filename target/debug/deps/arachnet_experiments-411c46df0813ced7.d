@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/arachnet_experiments-411c46df0813ced7.d: crates/arachnet-experiments/src/lib.rs crates/arachnet-experiments/src/registry.rs crates/arachnet-experiments/src/render.rs crates/arachnet-experiments/src/report.rs crates/arachnet-experiments/src/ablation.rs crates/arachnet-experiments/src/ambient.rs crates/arachnet-experiments/src/fdma.rs crates/arachnet-experiments/src/fig11.rs crates/arachnet-experiments/src/fig12.rs crates/arachnet-experiments/src/fig13.rs crates/arachnet-experiments/src/fig14.rs crates/arachnet-experiments/src/fig15.rs crates/arachnet-experiments/src/fig16.rs crates/arachnet-experiments/src/fig17.rs crates/arachnet-experiments/src/fig19.rs crates/arachnet-experiments/src/markov.rs crates/arachnet-experiments/src/table1.rs crates/arachnet-experiments/src/table2.rs crates/arachnet-experiments/src/table3.rs crates/arachnet-experiments/src/table4.rs crates/arachnet-experiments/src/vanilla.rs
+
+/root/repo/target/debug/deps/libarachnet_experiments-411c46df0813ced7.rlib: crates/arachnet-experiments/src/lib.rs crates/arachnet-experiments/src/registry.rs crates/arachnet-experiments/src/render.rs crates/arachnet-experiments/src/report.rs crates/arachnet-experiments/src/ablation.rs crates/arachnet-experiments/src/ambient.rs crates/arachnet-experiments/src/fdma.rs crates/arachnet-experiments/src/fig11.rs crates/arachnet-experiments/src/fig12.rs crates/arachnet-experiments/src/fig13.rs crates/arachnet-experiments/src/fig14.rs crates/arachnet-experiments/src/fig15.rs crates/arachnet-experiments/src/fig16.rs crates/arachnet-experiments/src/fig17.rs crates/arachnet-experiments/src/fig19.rs crates/arachnet-experiments/src/markov.rs crates/arachnet-experiments/src/table1.rs crates/arachnet-experiments/src/table2.rs crates/arachnet-experiments/src/table3.rs crates/arachnet-experiments/src/table4.rs crates/arachnet-experiments/src/vanilla.rs
+
+/root/repo/target/debug/deps/libarachnet_experiments-411c46df0813ced7.rmeta: crates/arachnet-experiments/src/lib.rs crates/arachnet-experiments/src/registry.rs crates/arachnet-experiments/src/render.rs crates/arachnet-experiments/src/report.rs crates/arachnet-experiments/src/ablation.rs crates/arachnet-experiments/src/ambient.rs crates/arachnet-experiments/src/fdma.rs crates/arachnet-experiments/src/fig11.rs crates/arachnet-experiments/src/fig12.rs crates/arachnet-experiments/src/fig13.rs crates/arachnet-experiments/src/fig14.rs crates/arachnet-experiments/src/fig15.rs crates/arachnet-experiments/src/fig16.rs crates/arachnet-experiments/src/fig17.rs crates/arachnet-experiments/src/fig19.rs crates/arachnet-experiments/src/markov.rs crates/arachnet-experiments/src/table1.rs crates/arachnet-experiments/src/table2.rs crates/arachnet-experiments/src/table3.rs crates/arachnet-experiments/src/table4.rs crates/arachnet-experiments/src/vanilla.rs
+
+crates/arachnet-experiments/src/lib.rs:
+crates/arachnet-experiments/src/registry.rs:
+crates/arachnet-experiments/src/render.rs:
+crates/arachnet-experiments/src/report.rs:
+crates/arachnet-experiments/src/ablation.rs:
+crates/arachnet-experiments/src/ambient.rs:
+crates/arachnet-experiments/src/fdma.rs:
+crates/arachnet-experiments/src/fig11.rs:
+crates/arachnet-experiments/src/fig12.rs:
+crates/arachnet-experiments/src/fig13.rs:
+crates/arachnet-experiments/src/fig14.rs:
+crates/arachnet-experiments/src/fig15.rs:
+crates/arachnet-experiments/src/fig16.rs:
+crates/arachnet-experiments/src/fig17.rs:
+crates/arachnet-experiments/src/fig19.rs:
+crates/arachnet-experiments/src/markov.rs:
+crates/arachnet-experiments/src/table1.rs:
+crates/arachnet-experiments/src/table2.rs:
+crates/arachnet-experiments/src/table3.rs:
+crates/arachnet-experiments/src/table4.rs:
+crates/arachnet-experiments/src/vanilla.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arachnet_reader-94470d960a719f43.d: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+/root/repo/target/debug/deps/libarachnet_reader-94470d960a719f43.rlib: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+/root/repo/target/debug/deps/libarachnet_reader-94470d960a719f43.rmeta: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+crates/arachnet-reader/src/lib.rs:
+crates/arachnet-reader/src/driver.rs:
+crates/arachnet-reader/src/fdma.rs:
+crates/arachnet-reader/src/pipeline.rs:
+crates/arachnet-reader/src/rx.rs:
+crates/arachnet-reader/src/tx.rs:

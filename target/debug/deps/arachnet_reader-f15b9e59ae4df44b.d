@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arachnet_reader-f15b9e59ae4df44b.d: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+/root/repo/target/debug/deps/arachnet_reader-f15b9e59ae4df44b: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+crates/arachnet-reader/src/lib.rs:
+crates/arachnet-reader/src/driver.rs:
+crates/arachnet-reader/src/fdma.rs:
+crates/arachnet-reader/src/pipeline.rs:
+crates/arachnet-reader/src/rx.rs:
+crates/arachnet-reader/src/tx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arachnet_sensors-19acfbd77c92f74a.d: crates/arachnet-sensors/src/lib.rs
+
+/root/repo/target/debug/deps/arachnet_sensors-19acfbd77c92f74a: crates/arachnet-sensors/src/lib.rs
+
+crates/arachnet-sensors/src/lib.rs:

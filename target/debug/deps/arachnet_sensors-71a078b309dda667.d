@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arachnet_sensors-71a078b309dda667.d: crates/arachnet-sensors/src/lib.rs
+
+/root/repo/target/debug/deps/libarachnet_sensors-71a078b309dda667.rlib: crates/arachnet-sensors/src/lib.rs
+
+/root/repo/target/debug/deps/libarachnet_sensors-71a078b309dda667.rmeta: crates/arachnet-sensors/src/lib.rs
+
+crates/arachnet-sensors/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/arachnet_sim-f24ca4eeed1dfc2e.d: crates/arachnet-sim/src/lib.rs crates/arachnet-sim/src/aloha.rs crates/arachnet-sim/src/config.rs crates/arachnet-sim/src/cosim.rs crates/arachnet-sim/src/metrics.rs crates/arachnet-sim/src/patterns.rs crates/arachnet-sim/src/slotsim.rs crates/arachnet-sim/src/sweep.rs crates/arachnet-sim/src/vanilla.rs crates/arachnet-sim/src/wavesim.rs
+
+/root/repo/target/debug/deps/libarachnet_sim-f24ca4eeed1dfc2e.rlib: crates/arachnet-sim/src/lib.rs crates/arachnet-sim/src/aloha.rs crates/arachnet-sim/src/config.rs crates/arachnet-sim/src/cosim.rs crates/arachnet-sim/src/metrics.rs crates/arachnet-sim/src/patterns.rs crates/arachnet-sim/src/slotsim.rs crates/arachnet-sim/src/sweep.rs crates/arachnet-sim/src/vanilla.rs crates/arachnet-sim/src/wavesim.rs
+
+/root/repo/target/debug/deps/libarachnet_sim-f24ca4eeed1dfc2e.rmeta: crates/arachnet-sim/src/lib.rs crates/arachnet-sim/src/aloha.rs crates/arachnet-sim/src/config.rs crates/arachnet-sim/src/cosim.rs crates/arachnet-sim/src/metrics.rs crates/arachnet-sim/src/patterns.rs crates/arachnet-sim/src/slotsim.rs crates/arachnet-sim/src/sweep.rs crates/arachnet-sim/src/vanilla.rs crates/arachnet-sim/src/wavesim.rs
+
+crates/arachnet-sim/src/lib.rs:
+crates/arachnet-sim/src/aloha.rs:
+crates/arachnet-sim/src/config.rs:
+crates/arachnet-sim/src/cosim.rs:
+crates/arachnet-sim/src/metrics.rs:
+crates/arachnet-sim/src/patterns.rs:
+crates/arachnet-sim/src/slotsim.rs:
+crates/arachnet-sim/src/sweep.rs:
+crates/arachnet-sim/src/vanilla.rs:
+crates/arachnet-sim/src/wavesim.rs:

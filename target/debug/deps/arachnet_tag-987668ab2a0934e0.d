@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arachnet_tag-987668ab2a0934e0.d: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+/root/repo/target/debug/deps/libarachnet_tag-987668ab2a0934e0.rlib: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+/root/repo/target/debug/deps/libarachnet_tag-987668ab2a0934e0.rmeta: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+crates/arachnet-tag/src/lib.rs:
+crates/arachnet-tag/src/demod.rs:
+crates/arachnet-tag/src/device.rs:
+crates/arachnet-tag/src/mcu.rs:
+crates/arachnet-tag/src/modulator.rs:
+crates/arachnet-tag/src/subcarrier.rs:

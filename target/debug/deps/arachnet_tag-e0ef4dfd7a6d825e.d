@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arachnet_tag-e0ef4dfd7a6d825e.d: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+/root/repo/target/debug/deps/arachnet_tag-e0ef4dfd7a6d825e: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+crates/arachnet-tag/src/lib.rs:
+crates/arachnet-tag/src/demod.rs:
+crates/arachnet-tag/src/device.rs:
+crates/arachnet-tag/src/mcu.rs:
+crates/arachnet-tag/src/modulator.rs:
+crates/arachnet-tag/src/subcarrier.rs:

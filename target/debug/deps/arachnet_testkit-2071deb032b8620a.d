@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arachnet_testkit-2071deb032b8620a.d: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+/root/repo/target/debug/deps/libarachnet_testkit-2071deb032b8620a.rlib: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+/root/repo/target/debug/deps/libarachnet_testkit-2071deb032b8620a.rmeta: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+crates/arachnet-testkit/src/lib.rs:
+crates/arachnet-testkit/src/gen.rs:
+crates/arachnet-testkit/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arachnet_testkit-8a954dbaf31171f4.d: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+/root/repo/target/debug/deps/arachnet_testkit-8a954dbaf31171f4: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+crates/arachnet-testkit/src/lib.rs:
+crates/arachnet-testkit/src/gen.rs:
+crates/arachnet-testkit/src/runner.rs:

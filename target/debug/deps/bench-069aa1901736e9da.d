@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-069aa1901736e9da.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-069aa1901736e9da.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-069aa1901736e9da.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

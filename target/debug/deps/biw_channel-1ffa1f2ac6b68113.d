@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/biw_channel-1ffa1f2ac6b68113.d: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+/root/repo/target/debug/deps/biw_channel-1ffa1f2ac6b68113: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+crates/biw-channel/src/lib.rs:
+crates/biw-channel/src/channel.rs:
+crates/biw-channel/src/geometry.rs:
+crates/biw-channel/src/noise.rs:
+crates/biw-channel/src/propagation.rs:
+crates/biw-channel/src/pzt.rs:
+crates/biw-channel/src/resonator.rs:

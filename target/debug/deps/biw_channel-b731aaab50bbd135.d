@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/biw_channel-b731aaab50bbd135.d: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+/root/repo/target/debug/deps/libbiw_channel-b731aaab50bbd135.rlib: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+/root/repo/target/debug/deps/libbiw_channel-b731aaab50bbd135.rmeta: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+crates/biw-channel/src/lib.rs:
+crates/biw-channel/src/channel.rs:
+crates/biw-channel/src/geometry.rs:
+crates/biw-channel/src/noise.rs:
+crates/biw-channel/src/propagation.rs:
+crates/biw-channel/src/pzt.rs:
+crates/biw-channel/src/resonator.rs:

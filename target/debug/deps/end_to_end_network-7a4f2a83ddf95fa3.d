@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_network-7a4f2a83ddf95fa3.d: tests/end_to_end_network.rs
+
+/root/repo/target/debug/deps/end_to_end_network-7a4f2a83ddf95fa3: tests/end_to_end_network.rs
+
+tests/end_to_end_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-127659e1dfb6f880.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-127659e1dfb6f880: tests/fault_injection.rs
+
+tests/fault_injection.rs:

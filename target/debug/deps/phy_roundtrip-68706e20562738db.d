@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phy_roundtrip-68706e20562738db.d: tests/phy_roundtrip.rs
+
+/root/repo/target/debug/deps/phy_roundtrip-68706e20562738db: tests/phy_roundtrip.rs
+
+tests/phy_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-011e55e32d7b635a.d: crates/arachnet-dsp/tests/props.rs
+
+/root/repo/target/debug/deps/props-011e55e32d7b635a: crates/arachnet-dsp/tests/props.rs
+
+crates/arachnet-dsp/tests/props.rs:

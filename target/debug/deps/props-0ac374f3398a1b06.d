@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0ac374f3398a1b06.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-0ac374f3398a1b06: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-47fa869c412b3581.d: crates/arachnet-energy/tests/props.rs
+
+/root/repo/target/debug/deps/props-47fa869c412b3581: crates/arachnet-energy/tests/props.rs
+
+crates/arachnet-energy/tests/props.rs:

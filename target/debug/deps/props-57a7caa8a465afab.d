@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-57a7caa8a465afab.d: crates/biw-channel/tests/props.rs
+
+/root/repo/target/debug/deps/props-57a7caa8a465afab: crates/biw-channel/tests/props.rs
+
+crates/biw-channel/tests/props.rs:

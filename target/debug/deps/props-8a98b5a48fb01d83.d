@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-8a98b5a48fb01d83.d: crates/arachnet-tag/tests/props.rs
+
+/root/repo/target/debug/deps/props-8a98b5a48fb01d83: crates/arachnet-tag/tests/props.rs
+
+crates/arachnet-tag/tests/props.rs:

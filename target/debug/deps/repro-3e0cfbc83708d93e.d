@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-3e0cfbc83708d93e.d: crates/arachnet-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-3e0cfbc83708d93e: crates/arachnet-experiments/src/bin/repro.rs
+
+crates/arachnet-experiments/src/bin/repro.rs:

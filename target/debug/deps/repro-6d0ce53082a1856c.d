@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6d0ce53082a1856c.d: crates/arachnet-experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6d0ce53082a1856c: crates/arachnet-experiments/src/bin/repro.rs
+
+crates/arachnet-experiments/src/bin/repro.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/repro_smoke-9c924e3de36ad556.d: tests/repro_smoke.rs tests/../EXPERIMENTS.md
+
+/root/repo/target/debug/deps/repro_smoke-9c924e3de36ad556: tests/repro_smoke.rs tests/../EXPERIMENTS.md
+
+tests/repro_smoke.rs:
+tests/../EXPERIMENTS.md:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selftest-b1e7b72d4027f0a6.d: crates/arachnet-testkit/tests/selftest.rs
+
+/root/repo/target/debug/deps/selftest-b1e7b72d4027f0a6: crates/arachnet-testkit/tests/selftest.rs
+
+crates/arachnet-testkit/tests/selftest.rs:

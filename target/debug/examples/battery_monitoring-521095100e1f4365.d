@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/battery_monitoring-521095100e1f4365.d: examples/battery_monitoring.rs
+
+/root/repo/target/debug/examples/battery_monitoring-521095100e1f4365: examples/battery_monitoring.rs
+
+examples/battery_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cold_start-f830f0a5dca7afb3.d: examples/cold_start.rs
+
+/root/repo/target/debug/examples/cold_start-f830f0a5dca7afb3: examples/cold_start.rs
+
+examples/cold_start.rs:

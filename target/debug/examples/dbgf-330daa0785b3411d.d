@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbgf-330daa0785b3411d.d: crates/arachnet-reader/examples/dbgf.rs
+
+/root/repo/target/debug/examples/dbgf-330daa0785b3411d: crates/arachnet-reader/examples/dbgf.rs
+
+crates/arachnet-reader/examples/dbgf.rs:

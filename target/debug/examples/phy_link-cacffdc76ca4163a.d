@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phy_link-cacffdc76ca4163a.d: examples/phy_link.rs
+
+/root/repo/target/debug/examples/phy_link-cacffdc76ca4163a: examples/phy_link.rs
+
+examples/phy_link.rs:

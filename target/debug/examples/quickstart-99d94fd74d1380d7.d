@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-99d94fd74d1380d7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-99d94fd74d1380d7: examples/quickstart.rs
+
+examples/quickstart.rs:

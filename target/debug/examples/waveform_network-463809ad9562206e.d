@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform_network-463809ad9562206e.d: examples/waveform_network.rs
+
+/root/repo/target/debug/examples/waveform_network-463809ad9562206e: examples/waveform_network.rs
+
+examples/waveform_network.rs:

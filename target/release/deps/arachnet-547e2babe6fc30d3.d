@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arachnet-547e2babe6fc30d3.d: src/lib.rs
+
+/root/repo/target/release/deps/arachnet-547e2babe6fc30d3: src/lib.rs
+
+src/lib.rs:

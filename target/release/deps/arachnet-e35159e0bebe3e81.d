@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arachnet-e35159e0bebe3e81.d: src/lib.rs
+
+/root/repo/target/release/deps/libarachnet-e35159e0bebe3e81.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libarachnet-e35159e0bebe3e81.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/arachnet_core-2a000c01d844c619.d: crates/arachnet-core/src/lib.rs crates/arachnet-core/src/bits.rs crates/arachnet-core/src/convergence.rs crates/arachnet-core/src/crc.rs crates/arachnet-core/src/fm0.rs crates/arachnet-core/src/mac/mod.rs crates/arachnet-core/src/mac/reader.rs crates/arachnet-core/src/mac/tag.rs crates/arachnet-core/src/markov.rs crates/arachnet-core/src/packet.rs crates/arachnet-core/src/pie.rs crates/arachnet-core/src/rates.rs crates/arachnet-core/src/rng.rs crates/arachnet-core/src/slot.rs
+
+/root/repo/target/release/deps/libarachnet_core-2a000c01d844c619.rlib: crates/arachnet-core/src/lib.rs crates/arachnet-core/src/bits.rs crates/arachnet-core/src/convergence.rs crates/arachnet-core/src/crc.rs crates/arachnet-core/src/fm0.rs crates/arachnet-core/src/mac/mod.rs crates/arachnet-core/src/mac/reader.rs crates/arachnet-core/src/mac/tag.rs crates/arachnet-core/src/markov.rs crates/arachnet-core/src/packet.rs crates/arachnet-core/src/pie.rs crates/arachnet-core/src/rates.rs crates/arachnet-core/src/rng.rs crates/arachnet-core/src/slot.rs
+
+/root/repo/target/release/deps/libarachnet_core-2a000c01d844c619.rmeta: crates/arachnet-core/src/lib.rs crates/arachnet-core/src/bits.rs crates/arachnet-core/src/convergence.rs crates/arachnet-core/src/crc.rs crates/arachnet-core/src/fm0.rs crates/arachnet-core/src/mac/mod.rs crates/arachnet-core/src/mac/reader.rs crates/arachnet-core/src/mac/tag.rs crates/arachnet-core/src/markov.rs crates/arachnet-core/src/packet.rs crates/arachnet-core/src/pie.rs crates/arachnet-core/src/rates.rs crates/arachnet-core/src/rng.rs crates/arachnet-core/src/slot.rs
+
+crates/arachnet-core/src/lib.rs:
+crates/arachnet-core/src/bits.rs:
+crates/arachnet-core/src/convergence.rs:
+crates/arachnet-core/src/crc.rs:
+crates/arachnet-core/src/fm0.rs:
+crates/arachnet-core/src/mac/mod.rs:
+crates/arachnet-core/src/mac/reader.rs:
+crates/arachnet-core/src/mac/tag.rs:
+crates/arachnet-core/src/markov.rs:
+crates/arachnet-core/src/packet.rs:
+crates/arachnet-core/src/pie.rs:
+crates/arachnet-core/src/rates.rs:
+crates/arachnet-core/src/rng.rs:
+crates/arachnet-core/src/slot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/arachnet_energy-82d29e70ab1d483f.d: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+/root/repo/target/release/deps/arachnet_energy-82d29e70ab1d483f: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+crates/arachnet-energy/src/lib.rs:
+crates/arachnet-energy/src/ambient.rs:
+crates/arachnet-energy/src/cutoff.rs:
+crates/arachnet-energy/src/harvester.rs:
+crates/arachnet-energy/src/ledger.rs:
+crates/arachnet-energy/src/multiplier.rs:
+crates/arachnet-energy/src/storage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/arachnet_energy-f12b3eb6d92f9d49.d: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+/root/repo/target/release/deps/libarachnet_energy-f12b3eb6d92f9d49.rlib: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+/root/repo/target/release/deps/libarachnet_energy-f12b3eb6d92f9d49.rmeta: crates/arachnet-energy/src/lib.rs crates/arachnet-energy/src/ambient.rs crates/arachnet-energy/src/cutoff.rs crates/arachnet-energy/src/harvester.rs crates/arachnet-energy/src/ledger.rs crates/arachnet-energy/src/multiplier.rs crates/arachnet-energy/src/storage.rs
+
+crates/arachnet-energy/src/lib.rs:
+crates/arachnet-energy/src/ambient.rs:
+crates/arachnet-energy/src/cutoff.rs:
+crates/arachnet-energy/src/harvester.rs:
+crates/arachnet-energy/src/ledger.rs:
+crates/arachnet-energy/src/multiplier.rs:
+crates/arachnet-energy/src/storage.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/arachnet_reader-159c1152fd0fa427.d: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+/root/repo/target/release/deps/arachnet_reader-159c1152fd0fa427: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+crates/arachnet-reader/src/lib.rs:
+crates/arachnet-reader/src/driver.rs:
+crates/arachnet-reader/src/fdma.rs:
+crates/arachnet-reader/src/pipeline.rs:
+crates/arachnet-reader/src/rx.rs:
+crates/arachnet-reader/src/tx.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/arachnet_reader-a4129a8cee92611e.d: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+/root/repo/target/release/deps/libarachnet_reader-a4129a8cee92611e.rlib: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+/root/repo/target/release/deps/libarachnet_reader-a4129a8cee92611e.rmeta: crates/arachnet-reader/src/lib.rs crates/arachnet-reader/src/driver.rs crates/arachnet-reader/src/fdma.rs crates/arachnet-reader/src/pipeline.rs crates/arachnet-reader/src/rx.rs crates/arachnet-reader/src/tx.rs
+
+crates/arachnet-reader/src/lib.rs:
+crates/arachnet-reader/src/driver.rs:
+crates/arachnet-reader/src/fdma.rs:
+crates/arachnet-reader/src/pipeline.rs:
+crates/arachnet-reader/src/rx.rs:
+crates/arachnet-reader/src/tx.rs:

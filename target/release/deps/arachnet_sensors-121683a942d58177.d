@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arachnet_sensors-121683a942d58177.d: crates/arachnet-sensors/src/lib.rs
+
+/root/repo/target/release/deps/arachnet_sensors-121683a942d58177: crates/arachnet-sensors/src/lib.rs
+
+crates/arachnet-sensors/src/lib.rs:

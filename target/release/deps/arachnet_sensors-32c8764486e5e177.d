@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arachnet_sensors-32c8764486e5e177.d: crates/arachnet-sensors/src/lib.rs
+
+/root/repo/target/release/deps/libarachnet_sensors-32c8764486e5e177.rlib: crates/arachnet-sensors/src/lib.rs
+
+/root/repo/target/release/deps/libarachnet_sensors-32c8764486e5e177.rmeta: crates/arachnet-sensors/src/lib.rs
+
+crates/arachnet-sensors/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/arachnet_tag-0ae1a67073a40990.d: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+/root/repo/target/release/deps/arachnet_tag-0ae1a67073a40990: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+crates/arachnet-tag/src/lib.rs:
+crates/arachnet-tag/src/demod.rs:
+crates/arachnet-tag/src/device.rs:
+crates/arachnet-tag/src/mcu.rs:
+crates/arachnet-tag/src/modulator.rs:
+crates/arachnet-tag/src/subcarrier.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/arachnet_tag-ebcc2e7ea27682cc.d: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+/root/repo/target/release/deps/libarachnet_tag-ebcc2e7ea27682cc.rlib: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+/root/repo/target/release/deps/libarachnet_tag-ebcc2e7ea27682cc.rmeta: crates/arachnet-tag/src/lib.rs crates/arachnet-tag/src/demod.rs crates/arachnet-tag/src/device.rs crates/arachnet-tag/src/mcu.rs crates/arachnet-tag/src/modulator.rs crates/arachnet-tag/src/subcarrier.rs
+
+crates/arachnet-tag/src/lib.rs:
+crates/arachnet-tag/src/demod.rs:
+crates/arachnet-tag/src/device.rs:
+crates/arachnet-tag/src/mcu.rs:
+crates/arachnet-tag/src/modulator.rs:
+crates/arachnet-tag/src/subcarrier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/arachnet_testkit-453b105150687393.d: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+/root/repo/target/release/deps/libarachnet_testkit-453b105150687393.rlib: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+/root/repo/target/release/deps/libarachnet_testkit-453b105150687393.rmeta: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+crates/arachnet-testkit/src/lib.rs:
+crates/arachnet-testkit/src/gen.rs:
+crates/arachnet-testkit/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arachnet_testkit-cf72c96d8407b78b.d: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+/root/repo/target/release/deps/arachnet_testkit-cf72c96d8407b78b: crates/arachnet-testkit/src/lib.rs crates/arachnet-testkit/src/gen.rs crates/arachnet-testkit/src/runner.rs
+
+crates/arachnet-testkit/src/lib.rs:
+crates/arachnet-testkit/src/gen.rs:
+crates/arachnet-testkit/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-e2c72e9e9a60af63.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-e2c72e9e9a60af63.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-e2c72e9e9a60af63.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

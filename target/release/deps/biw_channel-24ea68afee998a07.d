@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/biw_channel-24ea68afee998a07.d: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+/root/repo/target/release/deps/libbiw_channel-24ea68afee998a07.rlib: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+/root/repo/target/release/deps/libbiw_channel-24ea68afee998a07.rmeta: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+crates/biw-channel/src/lib.rs:
+crates/biw-channel/src/channel.rs:
+crates/biw-channel/src/geometry.rs:
+crates/biw-channel/src/noise.rs:
+crates/biw-channel/src/propagation.rs:
+crates/biw-channel/src/pzt.rs:
+crates/biw-channel/src/resonator.rs:

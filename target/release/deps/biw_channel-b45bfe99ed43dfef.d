@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/biw_channel-b45bfe99ed43dfef.d: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+/root/repo/target/release/deps/biw_channel-b45bfe99ed43dfef: crates/biw-channel/src/lib.rs crates/biw-channel/src/channel.rs crates/biw-channel/src/geometry.rs crates/biw-channel/src/noise.rs crates/biw-channel/src/propagation.rs crates/biw-channel/src/pzt.rs crates/biw-channel/src/resonator.rs
+
+crates/biw-channel/src/lib.rs:
+crates/biw-channel/src/channel.rs:
+crates/biw-channel/src/geometry.rs:
+crates/biw-channel/src/noise.rs:
+crates/biw-channel/src/propagation.rs:
+crates/biw-channel/src/pzt.rs:
+crates/biw-channel/src/resonator.rs:

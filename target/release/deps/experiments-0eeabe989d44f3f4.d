@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-0eeabe989d44f3f4.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/release/deps/experiments-0eeabe989d44f3f4: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

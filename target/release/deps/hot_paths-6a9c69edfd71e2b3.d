@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hot_paths-6a9c69edfd71e2b3.d: crates/bench/benches/hot_paths.rs
+
+/root/repo/target/release/deps/hot_paths-6a9c69edfd71e2b3: crates/bench/benches/hot_paths.rs
+
+crates/bench/benches/hot_paths.rs:

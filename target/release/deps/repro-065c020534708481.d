@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-065c020534708481.d: crates/arachnet-experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-065c020534708481: crates/arachnet-experiments/src/bin/repro.rs
+
+crates/arachnet-experiments/src/bin/repro.rs:

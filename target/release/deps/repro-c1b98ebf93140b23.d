@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c1b98ebf93140b23.d: crates/arachnet-experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c1b98ebf93140b23: crates/arachnet-experiments/src/bin/repro.rs
+
+crates/arachnet-experiments/src/bin/repro.rs:

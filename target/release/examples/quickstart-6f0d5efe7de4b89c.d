@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6f0d5efe7de4b89c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6f0d5efe7de4b89c: examples/quickstart.rs
+
+examples/quickstart.rs:

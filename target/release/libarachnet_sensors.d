@@ -1,0 +1,1 @@
+/root/repo/target/release/libarachnet_sensors.rlib: /root/repo/crates/arachnet-sensors/src/lib.rs

@@ -1,66 +1,104 @@
 //! Smoke test: every evaluation artifact stays regenerable.
 //!
-//! Runs each `repro` runner at minimal scale and checks for its key
-//! markers — the cheap guarantee that no refactor silently breaks the
-//! reproduction harness.
+//! Drives the experiment registry end to end at quick scale and checks
+//! each report for its key markers — the cheap guarantee that no refactor
+//! silently breaks the reproduction harness. Also asserts the registry
+//! covers every `repro <id>` mentioned in EXPERIMENTS.md, so the docs and
+//! the code cannot drift apart.
 
-use arachnet_experiments as x;
+use std::collections::BTreeSet;
 
-fn check(name: &str, out: &str, markers: &[&str]) {
-    assert!(!out.trim().is_empty(), "{name}: empty output");
-    for m in markers {
-        assert!(out.contains(m), "{name}: missing marker {m:?} in:\n{out}");
+use arachnet_experiments::registry;
+use arachnet_experiments::report::Params;
+
+/// Every `repro <id>` token in EXPERIMENTS.md (excluding `all`).
+fn documented_ids() -> BTreeSet<String> {
+    let doc = include_str!("../EXPERIMENTS.md");
+    let mut ids = BTreeSet::new();
+    for (pos, _) in doc.match_indices("repro ") {
+        let rest = &doc[pos + "repro ".len()..];
+        let id: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+            .collect();
+        if id.chars().any(|c| c.is_ascii_alphabetic()) && id != "all" {
+            ids.insert(id);
+        }
+    }
+    ids
+}
+
+#[test]
+fn registry_covers_every_documented_experiment() {
+    let ids = documented_ids();
+    assert!(
+        ids.len() >= 15,
+        "EXPERIMENTS.md should document most artifacts, found {ids:?}"
+    );
+    for id in &ids {
+        assert!(
+            registry::find(id).is_some(),
+            "EXPERIMENTS.md documents `repro {id}` but the registry has no such experiment"
+        );
     }
 }
 
 #[test]
-fn tables_regenerate() {
-    check("table1", &x::table1::run(), &["exactly one transmitter: yes"]);
-    check("table2", &x::table2::run(), &["RX", "51.0"]);
-    check("table3", &x::table3::run(), &["c9", "1.000"]);
-    check("table4", &x::table4::run(), &["ARACHNET", "Battery-free"]);
+fn registry_ids_resolve_and_describe_themselves() {
+    let mut seen = BTreeSet::new();
+    for e in registry::all() {
+        assert!(seen.insert(e.id()), "duplicate id {}", e.id());
+        assert!(registry::find(e.id()).is_some());
+        assert!(!e.title().is_empty(), "{}: empty title", e.id());
+        assert!(!e.paper_anchor().is_empty(), "{}: empty anchor", e.id());
+    }
+    assert!(seen.len() >= 20, "registry unexpectedly small: {seen:?}");
+}
+
+/// Key output markers per experiment id: the numbers and labels a correct
+/// reproduction must emit.
+fn markers(id: &str) -> &'static [&'static str] {
+    match id {
+        "table1" => &["exactly one transmitter: yes"],
+        "table2" => &["RX", "51.0"],
+        "table3" => &["c9", "1.000"],
+        "table4" => &["ARACHNET", "Battery-free"],
+        "fig11a" => &["4.74", "Tag"],
+        "fig11b" => &["net power", "resume"],
+        "fig12a12b" => &["93.75", "3000", "Tag 11"],
+        "fig13a" => &["2000", "Tag 4"],
+        "fig13b" => &["max |offset|"],
+        "fig14a" => &["RMS"],
+        "fig14b" => &["p99", "281.9"],
+        "fig15a" => &["c5", "median"],
+        "fig15b" => &["c9"],
+        "fig16" => &["whole-run averages", "0.84375"],
+        "fig17b" => &["Tag C", "ADC"],
+        "fig19" => &["overall collision-free"],
+        "markov" => &["absorbing chain", "yes"],
+        "ablation" => &["full protocol", "N = 6"],
+        "ablation-latearrival" => &["settled tags"],
+        "ablation-drive" => &["plain OOK"],
+        "ablation-stages" => &["12/12"],
+        "ambient" => &["highway", "RX sustained"],
+        "fdma" => &["concurrent tags"],
+        "vanilla" => &["vanilla tail", "staggered"],
+        _ => &[],
+    }
 }
 
 #[test]
-fn energy_figures_regenerate() {
-    check("fig11a", &x::fig11::run_a(), &["4.74", "Tag"]);
-    check("fig11b", &x::fig11::run_b(), &["net power", "resume"]);
-}
-
-#[test]
-fn communication_figures_regenerate() {
-    check("fig12", &x::fig12::run(1, 9), &["93.75", "3000", "Tag 11"]);
-    check("fig13a", &x::fig13::run_a(5, 9), &["2000", "Tag 4"]);
-    check("fig13b", &x::fig13::run_b(9), &["max |offset|"]);
-}
-
-#[test]
-fn network_figures_regenerate() {
-    check("fig14a", &x::fig14::run_a(9), &["RMS"]);
-    check("fig14b", &x::fig14::run_b(50, 9), &["p99", "281.9"]);
-    check("fig15a", &x::fig15::run_a(1, 9), &["c5", "median"]);
-    check("fig15b", &x::fig15::run_b(1, 9), &["c9"]);
-    check("fig16", &x::fig16::run(300, 9), &["whole-run averages", "0.84375"]);
-}
-
-#[test]
-fn case_studies_regenerate() {
-    check("fig17b", &x::fig17::run(), &["Tag C", "ADC"]);
-    check("fig19", &x::fig19::run(300.0, 9), &["overall collision-free"]);
-    check("markov", &x::markov::run(1), &["absorbing chain", "yes"]);
-}
-
-#[test]
-fn extensions_regenerate() {
-    check("ablation", &x::ablation::run_protocol(1, 9), &["full protocol", "N = 6"]);
-    check(
-        "ablation-latearrival",
-        &x::ablation::run_late_arrival(1, 9),
-        &["settled tags"],
-    );
-    check("ablation-drive", &x::ablation::run_drive_scheme(10, 9), &["plain OOK"]);
-    check("ablation-stages", &x::ablation::run_stages(), &["12/12"]);
-    check("ambient", &x::ambient::run(), &["highway", "RX sustained"]);
-    check("fdma", &x::fdma::run(1, 9), &["concurrent tags"]);
-    check("vanilla", &x::vanilla::run(1_000, 9), &["vanilla tail", "staggered"]);
+fn every_registered_experiment_regenerates() {
+    let params = Params::quick(9);
+    for e in registry::all() {
+        let out = e.run(&params).render();
+        assert!(!out.trim().is_empty(), "{}: empty output", e.id());
+        for m in markers(e.id()) {
+            assert!(
+                out.contains(m),
+                "{}: missing marker {m:?} in:\n{out}",
+                e.id()
+            );
+        }
+    }
 }
