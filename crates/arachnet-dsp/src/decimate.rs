@@ -59,12 +59,20 @@ impl Decimator {
     /// Processes a block, returning the decimated samples.
     pub fn process_block(&mut self, input: &[f64]) -> Vec<f64> {
         let mut out = Vec::with_capacity(input.len() / self.factor + 1);
+        self.process_block_into(input, &mut out);
+        out
+    }
+
+    /// Processes a block into caller-owned storage (cleared and refilled;
+    /// capacity reused across calls).
+    pub fn process_block_into(&mut self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(input.len() / self.factor + 1);
         for &x in input {
             if let Some(y) = self.push(x) {
                 out.push(y);
             }
         }
-        out
     }
 
     /// Clears filter state and phase.

@@ -59,7 +59,16 @@ impl EnvelopeDetector {
 
     /// Processes a block.
     pub fn process_block(&mut self, input: &[f64]) -> Vec<f64> {
-        input.iter().map(|&x| self.process(x)).collect()
+        let mut out = Vec::new();
+        self.process_block_into(input, &mut out);
+        out
+    }
+
+    /// Processes a block into caller-owned storage (cleared and refilled;
+    /// capacity reused across calls).
+    pub fn process_block_into(&mut self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(input.iter().map(|&x| self.process(x)));
     }
 
     /// Clears state.

@@ -75,7 +75,77 @@ impl DownConverter {
 
     /// Mixes a block.
     pub fn mix_block(&mut self, input: &[f64]) -> Vec<Cplx> {
-        input.iter().map(|&x| self.mix(x)).collect()
+        let mut out = Vec::new();
+        self.mix_block_into(input, &mut out);
+        out
+    }
+
+    /// Mixes a block into caller-owned storage (cleared and refilled;
+    /// capacity reused across calls).
+    pub fn mix_block_into(&mut self, input: &[f64], out: &mut Vec<Cplx>) {
+        out.clear();
+        out.extend(input.iter().map(|&x| self.mix(x)));
+    }
+}
+
+/// Tabulated conjugate mixer for carriers whose frequency divides the
+/// sample rate rationally: when `carrier · p / fs` is an integer for some
+/// small period `p`, the oscillator `e^{-jωn}` repeats exactly every `p`
+/// samples, so down-conversion becomes a table lookup per sample — no trig
+/// and no accumulated phase error, ever.
+#[derive(Debug, Clone)]
+pub struct CarrierTable {
+    table: Vec<Cplx>,
+}
+
+impl CarrierTable {
+    /// Builds the table when an exact period `p ≤ max_period` exists;
+    /// `None` otherwise (callers fall back to [`DownConverter`]).
+    pub fn exact(fs: f64, carrier: f64, max_period: usize) -> Option<Self> {
+        if !(fs > 0.0) || !(carrier > 0.0) {
+            return None;
+        }
+        let period = (1..=max_period).find(|&p| {
+            let cycles = carrier * p as f64 / fs;
+            cycles >= 1.0 - 1e-9 && (cycles - cycles.round()).abs() < 1e-9
+        })?;
+        let w = 2.0 * PI * carrier / fs;
+        Some(Self {
+            table: (0..period).map(|n| Cplx::cis(-w * n as f64)).collect(),
+        })
+    }
+
+    /// The exact period in samples.
+    pub fn period(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Conjugate-oscillator phasor `e^{-jωn}` at absolute sample index `n`.
+    pub fn phasor(&self, n: usize) -> Cplx {
+        self.table[n % self.table.len()]
+    }
+
+    /// The full one-period phasor table. Long per-sample loops should index
+    /// this with a wrapping counter instead of calling
+    /// [`CarrierTable::phasor`] — same values, no division per sample.
+    pub fn phasors(&self) -> &[Cplx] {
+        &self.table
+    }
+
+    /// Down-converts a real block starting at phase zero into `out`
+    /// (cleared and refilled; capacity reused).
+    pub fn mix_block_into(&self, input: &[f64], out: &mut Vec<Cplx>) {
+        out.clear();
+        out.reserve(input.len());
+        let p = self.table.len();
+        let mut phase = 0;
+        for &x in input {
+            out.push(self.table[phase] * x);
+            phase += 1;
+            if phase == p {
+                phase = 0;
+            }
+        }
     }
 }
 
@@ -146,6 +216,38 @@ mod tests {
         }
         let f_est = acc.arg() / (2.0 * PI) * fs;
         assert!((f_est - 1_000.0).abs() < 20.0, "estimated offset {f_est}");
+    }
+
+    #[test]
+    fn carrier_table_matches_down_converter() {
+        let fs = 500_000.0;
+        let fc = 90_000.0;
+        let tab = CarrierTable::exact(fs, fc, 4096).expect("90k/500k has period 50");
+        assert_eq!(tab.period(), 50);
+        let input: Vec<f64> = (0..1_000)
+            .map(|i| (2.0 * PI * fc * i as f64 / fs).cos() + 0.1 * (i as f64 * 0.7).sin())
+            .collect();
+        let mut dc = DownConverter::new(fs, fc);
+        let reference = dc.mix_block(&input);
+        let mut out = Vec::new();
+        tab.mix_block_into(&input, &mut out);
+        for (i, (a, b)) in out.iter().zip(&reference).enumerate() {
+            assert!(
+                (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9,
+                "sample {i}: {a:?} vs {b:?}"
+            );
+        }
+        // Phasor accessor agrees with the block path.
+        for n in [0usize, 49, 50, 137] {
+            let z = tab.phasor(n);
+            let want = Cplx::cis(-2.0 * PI * fc / fs * (n % 50) as f64);
+            assert!((z.re - want.re).abs() < 1e-12 && (z.im - want.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn carrier_table_rejects_irrational_ratio() {
+        assert!(CarrierTable::exact(44_100.0, 12_345.678, 4096).is_none());
     }
 
     #[test]

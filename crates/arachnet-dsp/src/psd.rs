@@ -8,11 +8,11 @@
 //! signal band itself).
 
 use crate::cplx::Cplx;
-use crate::fft::fft_in_place;
+use crate::fft::RealFft;
 use crate::window::Window;
 
 /// A one-sided PSD estimate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Psd {
     /// Power density per bin (linear units, power / Hz).
     pub density: Vec<f64>,
@@ -44,40 +44,91 @@ impl Psd {
     }
 }
 
+/// Reusable scratch for [`welch_psd_into`]: window coefficients, the
+/// real-FFT plan and working buffers, re-planned only when the segment
+/// length or window changes. One scratch per worker makes repeated PSD
+/// estimation allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct WelchScratch {
+    seg_len: usize,
+    window: Option<Window>,
+    coeffs: Vec<f64>,
+    win_power: f64,
+    plan: Option<RealFft>,
+    spec: Vec<Cplx>,
+    acc: Vec<f64>,
+}
+
+impl WelchScratch {
+    fn ensure(&mut self, seg_len: usize, window: Window) {
+        if self.seg_len != seg_len || self.window != Some(window) {
+            self.seg_len = seg_len;
+            self.window = Some(window);
+            self.coeffs = window.coefficients(seg_len);
+            self.win_power = window.power(seg_len);
+            self.plan = Some(RealFft::new(seg_len));
+        }
+    }
+}
+
 /// Welch PSD of a real signal: segments of `seg_len` (power of two) with
 /// 50 % overlap, windowed, averaged.
 pub fn welch_psd(signal: &[f64], sample_rate: f64, seg_len: usize, window: Window) -> Psd {
+    let mut scratch = WelchScratch::default();
+    let mut out = Psd {
+        density: Vec::new(),
+        bin_hz: 0.0,
+    };
+    welch_psd_into(signal, sample_rate, seg_len, window, &mut scratch, &mut out);
+    out
+}
+
+/// [`welch_psd`] into caller-owned storage: `out.density` is cleared and
+/// refilled (capacity reused) and `scratch` carries the plan and working
+/// buffers across calls, so the estimator allocates nothing once warm.
+pub fn welch_psd_into(
+    signal: &[f64],
+    sample_rate: f64,
+    seg_len: usize,
+    window: Window,
+    scratch: &mut WelchScratch,
+    out: &mut Psd,
+) {
     assert!(
         seg_len.is_power_of_two(),
         "segment length must be a power of two"
     );
     assert!(signal.len() >= seg_len, "signal shorter than one segment");
-    let coeffs = window.coefficients(seg_len);
-    let win_power = window.power(seg_len);
+    scratch.ensure(seg_len, window);
+    let WelchScratch {
+        coeffs,
+        win_power,
+        plan,
+        spec,
+        acc,
+        ..
+    } = scratch;
+    let plan = plan.as_mut().expect("plan set by ensure");
     let hop = seg_len / 2;
     let half = seg_len / 2 + 1;
-    let mut acc = vec![0.0f64; half];
+    acc.clear();
+    acc.resize(half, 0.0);
     let mut segments = 0usize;
-    let mut buf = vec![Cplx::ZERO; seg_len];
     let mut start = 0;
     while start + seg_len <= signal.len() {
-        for i in 0..seg_len {
-            buf[i] = Cplx::new(signal[start + i] * coeffs[i], 0.0);
-        }
-        fft_in_place(&mut buf);
+        plan.process_windowed(&signal[start..start + seg_len], coeffs, spec);
         for (i, slot) in acc.iter_mut().enumerate() {
             // One-sided: double everything except DC and Nyquist.
             let scale = if i == 0 || i == seg_len / 2 { 1.0 } else { 2.0 };
-            *slot += scale * buf[i].norm_sq();
+            *slot += scale * spec[i].norm_sq();
         }
         segments += 1;
         start += hop;
     }
-    let norm = 1.0 / (sample_rate * win_power * segments as f64);
-    Psd {
-        density: acc.into_iter().map(|p| p * norm).collect(),
-        bin_hz: sample_rate / seg_len as f64,
-    }
+    let norm = 1.0 / (sample_rate * *win_power * segments as f64);
+    out.bin_hz = sample_rate / seg_len as f64;
+    out.density.clear();
+    out.density.extend(acc.iter().map(|p| p * norm));
 }
 
 /// The paper's SNR metric: power in the signal band over power in the
@@ -202,6 +253,28 @@ mod tests {
         let psd = welch_psd(&sig, fs, 1024, Window::Hann);
         let snr = band_snr_db(&psd, 1_900.0, 2_100.0, 500.0, 4_500.0);
         assert!(snr > 40.0, "pure tone SNR should be huge, got {snr}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_exact_and_allocation_free() {
+        let fs = 10_000.0;
+        let sig = tone(1_250.0, fs, 8192, 1.0);
+        let fresh = welch_psd(&sig, fs, 1024, Window::Hann);
+        let mut scratch = WelchScratch::default();
+        let mut out = Psd {
+            density: Vec::new(),
+            bin_hz: 0.0,
+        };
+        welch_psd_into(&sig, fs, 1024, Window::Hann, &mut scratch, &mut out);
+        assert_eq!(out.density, fresh.density);
+        let ptr = out.density.as_ptr();
+        // Warm call: same plan, reused storage, identical result.
+        welch_psd_into(&sig, fs, 1024, Window::Hann, &mut scratch, &mut out);
+        assert_eq!(out.density, fresh.density);
+        assert_eq!(out.density.as_ptr(), ptr);
+        // Re-planning on a size change still works.
+        welch_psd_into(&sig, fs, 512, Window::Rectangular, &mut scratch, &mut out);
+        assert_eq!(out.density.len(), 257);
     }
 
     #[test]

@@ -73,6 +73,22 @@ impl Schmitt {
         (levels, edges)
     }
 
+    /// Edge-only block processing into caller-owned storage: `edges` is
+    /// cleared and refilled (capacity reused), and no level stream is
+    /// materialized — the allocation-free path for edge-triggered decoders.
+    pub fn process_edges_into(&mut self, input: &[f64], edges: &mut Vec<Edge>) {
+        edges.clear();
+        for (i, &x) in input.iter().enumerate() {
+            let before = self.state;
+            let after = self.process(x);
+            if !before && after {
+                edges.push(Edge::Rising(i));
+            } else if before && !after {
+                edges.push(Edge::Falling(i));
+            }
+        }
+    }
+
     /// Forces the output low.
     pub fn reset(&mut self) {
         self.state = false;
@@ -125,6 +141,17 @@ mod tests {
             edges,
             vec![Edge::Rising(1), Edge::Falling(3), Edge::Rising(4)]
         );
+    }
+
+    #[test]
+    fn edges_into_matches_with_edges() {
+        let input = [0.0, 0.7, 0.7, 0.1, 0.7, 0.2];
+        let mut a = Schmitt::new(0.6, 0.4);
+        let (_, expect) = a.process_with_edges(&input);
+        let mut b = Schmitt::new(0.6, 0.4);
+        let mut edges = vec![Edge::Rising(999)]; // stale content must be cleared
+        b.process_edges_into(&input, &mut edges);
+        assert_eq!(edges, expect);
     }
 
     #[test]

@@ -236,25 +236,38 @@ impl Experiment for AblationDrive {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report_drive(params.scale(50, 400), params.seed)
+        report_drive(params.scale(50, 400), &params.sweep())
     }
 }
 
 /// Drive-scheme ablation (Sec. 4.1): plain OOK's ring tail vs the paper's
-/// FSK-in/OOK-out on downlink loss, `n` beacons per cell.
-pub fn report_drive(n: u64, seed: u64) -> Report {
+/// FSK-in/OOK-out on downlink loss, `n` beacons per cell. The
+/// (scheme × rate × beacon) trials fan out over the sweep worker pool.
+pub fn report_drive(n: u64, sweep: &SweepConfig) -> Report {
     let schemes = [
         ("FSK in / OOK out (paper)", DriveScheme::paper_default()),
         ("plain OOK (ring tail)", DriveScheme::PlainOok),
     ];
     let rates = [250.0, 500.0, 1_000.0];
+    let sims: Vec<WaveSim> = schemes
+        .iter()
+        .map(|&(_, scheme)| WaveSim::paper(sweep.base_seed).with_drive_scheme(scheme))
+        .collect();
+    let cells: Vec<(usize, f64)> = (0..schemes.len())
+        .flat_map(|si| rates.iter().map(move |&bps| (si, bps)))
+        .collect();
+    let matrix = run_matrix(sweep, &cells, n, |&(si, bps), _trial, seed| {
+        sims[si].downlink_beacon(8, bps, seed)
+    });
     let mut rows = Vec::new();
-    for (name, scheme) in schemes {
-        let sim = WaveSim::paper(seed).with_drive_scheme(scheme);
+    for (si, (name, _)) in schemes.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        for &bps in &rates {
-            let r = sim.downlink_trial(8, bps, n);
-            row.push(format!("{}/{}", r.lost, r.sent));
+        for ri in 0..rates.len() {
+            let lost = matrix[si * rates.len() + ri]
+                .iter()
+                .filter(|r| !matches!(r, Ok(true)))
+                .count();
+            row.push(format!("{lost}/{n}"));
         }
         rows.push(row);
     }
@@ -368,7 +381,7 @@ mod tests {
 
     #[test]
     fn drive_scheme_shows_ring_damage() {
-        let out = report_drive(40, 5).render();
+        let out = report_drive(40, &SweepConfig::new(5).with_threads(2)).render();
         assert!(out.contains("plain OOK"));
         // Parse the two 1000 bps cells: plain OOK must lose at least as
         // many beacons as the paper scheme.

@@ -3,6 +3,8 @@
 use arachnet_core::packet::UlPacket;
 use arachnet_core::rng::TagRng;
 use arachnet_reader::fdma::{FdmaConfig, FdmaReceiver};
+use arachnet_sim::sweep::{run_matrix, SweepConfig};
+use arachnet_sim::wavesim::with_phy_scratch;
 use arachnet_tag::subcarrier::SubcarrierChannel;
 use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
@@ -28,7 +30,7 @@ impl Experiment for Fdma {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report(params.scale(3, 10), params.seed)
+        report(params.scale(3, 10), &params.sweep())
     }
 }
 
@@ -49,8 +51,12 @@ fn chips_to_states(chips: &[bool], spc: f64, lead: usize) -> Vec<PztState> {
 }
 
 /// Concurrent-tag sweep: how many FDMA channels decode cleanly in one
-/// slot, and the resulting aggregate throughput vs single-tag FM0.
-pub fn report(trials: u64, seed: u64) -> Report {
+/// slot, and the resulting aggregate throughput vs single-tag FM0. The
+/// (concurrent × slot) trials fan out over the sweep worker pool: the
+/// channel is built once, and each slot's noise and payloads are pure
+/// functions of the sweep seed, so results are bit-identical at any
+/// thread count.
+pub fn report(trials: u64, sweep: &SweepConfig) -> Report {
     let cfg = FdmaConfig::default();
     let rx = FdmaReceiver::new(cfg);
     // Evaluation tags and subcarrier channels (distinct cycle counts).
@@ -68,47 +74,55 @@ pub fn report(trials: u64, seed: u64) -> Report {
             );
         }
     }
-    let mut rows = Vec::new();
-    for concurrent in 1..=assignments.len() {
-        let mut ok = 0u64;
-        let mut total = 0u64;
-        for t in 0..trials {
-            let ch = BiwChannel::paper(ChannelConfig {
-                noise: NoiseConfig {
-                    floor_sigma: 0.013,
-                    ..NoiseConfig::default()
-                },
-                seed: seed ^ (t << 16) ^ concurrent as u64,
-                ..ChannelConfig::default()
-            });
-            let mut rng = TagRng::new(seed ^ t ^ (concurrent as u64) << 8);
-            let subset = &assignments[..concurrent];
-            let mut streams = Vec::new();
-            let mut packets = Vec::new();
-            let mut max_len = 0;
-            for &(tid, sub) in subset {
-                let pkt = UlPacket::new(tid % 16, (rng.next_u64() & 0xFFF) as u16).unwrap();
-                let chips = sub.modulate(&pkt.to_bits());
-                let spc = cfg.sample_rate / (cfg.bit_rate * f64::from(sub.chips_per_bit()));
-                let states = chips_to_states(&chips, spc, spc as usize);
-                max_len = max_len.max(states.len());
-                streams.push((tid, states));
-                packets.push(pkt);
-            }
-            let refs: Vec<(u8, &[PztState])> =
-                streams.iter().map(|(t, s)| (*t, s.as_slice())).collect();
-            let wave = ch.uplink_waveform(&refs, max_len + 2_000);
-            let channels: Vec<SubcarrierChannel> = subset.iter().map(|&(_, s)| s).collect();
-            for (decode, expect) in rx.decode_all(&wave, &channels).iter().zip(&packets) {
+    let ch = BiwChannel::paper(ChannelConfig {
+        noise: NoiseConfig {
+            floor_sigma: 0.013,
+            ..NoiseConfig::default()
+        },
+        seed: sweep.base_seed,
+        ..ChannelConfig::default()
+    });
+    let cells: Vec<usize> = (1..=assignments.len()).collect();
+    let matrix = run_matrix(sweep, &cells, trials, |&concurrent, _trial, seed| {
+        let mut rng = TagRng::new(seed);
+        let subset = &assignments[..concurrent];
+        let mut streams = Vec::new();
+        let mut packets = Vec::new();
+        let mut max_len = 0;
+        for &(tid, sub) in subset {
+            let pkt = UlPacket::new(tid % 16, (rng.next_u64() & 0xFFF) as u16).unwrap();
+            let chips = sub.modulate(&pkt.to_bits());
+            let spc = cfg.sample_rate / (cfg.bit_rate * f64::from(sub.chips_per_bit()));
+            let states = chips_to_states(&chips, spc, spc as usize);
+            max_len = max_len.max(states.len());
+            streams.push((tid, states));
+            packets.push(pkt);
+        }
+        let refs: Vec<(u8, &[PztState])> =
+            streams.iter().map(|(t, s)| (*t, s.as_slice())).collect();
+        let channels: Vec<SubcarrierChannel> = subset.iter().map(|&(_, s)| s).collect();
+        with_phy_scratch(|s| {
+            ch.uplink_waveform_seeded_into(&refs, max_len + 2_000, seed, &mut s.wave);
+            let mut ok = 0u64;
+            let mut total = 0u64;
+            for (decode, expect) in rx.decode_all(&s.wave, &channels).iter().zip(&packets) {
                 total += 1;
                 if decode.packet == Some(*expect) {
                     ok += 1;
                 }
             }
-        }
+            (ok, total)
+        })
+    });
+    let mut rows = Vec::new();
+    for (&concurrent, cell) in cells.iter().zip(&matrix) {
+        let (ok, total) = cell
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .fold((0u64, 0u64), |(a, b), &(o, t)| (a + o, b + t));
         // Aggregate throughput: concurrent packets per slot × success rate,
         // normalized to the single-FM0-packet baseline.
-        let success = ok as f64 / total as f64;
+        let success = ok as f64 / total.max(1) as f64;
         rows.push(vec![
             format!("{concurrent}"),
             format!("{ok}/{total}"),
@@ -138,9 +152,11 @@ pub fn report(trials: u64, seed: u64) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use super::SweepConfig;
+
     #[test]
     fn fdma_study_shows_parallel_gain() {
-        let out = super::report(2, 3).render();
+        let out = super::report(2, &SweepConfig::new(3)).render();
         assert!(out.contains("concurrent tags"));
         // The 2-concurrent row must exist and decode something.
         let line = out

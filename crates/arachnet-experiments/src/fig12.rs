@@ -1,7 +1,13 @@
 //! Fig. 12 — uplink SNR (a) and packet loss (b) vs bit rate.
+//!
+//! The (tag × rate × packet) trials fan out over `arachnet_sim::sweep`:
+//! every packet is a pure function of its sweep seed, so the tables are
+//! bit-identical at any `--threads` count.
 
 use arachnet_core::rates::ul_rates;
-use arachnet_sim::wavesim::WaveSim;
+use arachnet_reader::rx::UplinkReceiver;
+use arachnet_sim::sweep::{run_matrix, SweepConfig};
+use arachnet_sim::wavesim::{with_phy_scratch, WaveSim};
 
 use crate::render::f;
 use crate::report::{Experiment, Params, Report, Section};
@@ -28,23 +34,59 @@ impl Experiment for Fig12 {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report(params.scale(20, 200), params.seed)
+        report(params.scale(20, 200), &params.sweep())
     }
 }
 
+/// One point of the Fig. 12 matrix: a tag, a rate, and the receiver tuned
+/// for that rate (built once per cell, not per packet).
+struct Cell {
+    tid: u8,
+    rx: UplinkReceiver,
+}
+
 /// Both panels at an explicit packet count (the trait impl picks 20/200).
-pub fn report(n: u64, seed: u64) -> Report {
-    let sim = WaveSim::paper(seed);
+/// Packets fan out over the sweep worker pool.
+pub fn report(n: u64, sweep: &SweepConfig) -> Report {
+    let sim = WaveSim::paper(sweep.base_seed);
     let rates = ul_rates();
+    let cells: Vec<Cell> = TAGS
+        .iter()
+        .flat_map(|&tid| {
+            rates.iter().map(move |r| (tid, r.bps))
+        })
+        .map(|(tid, bps)| Cell {
+            tid,
+            rx: sim.uplink_rx(bps),
+        })
+        .collect();
+    // Trial 0 of each cell also measures the representative-waveform SNR.
+    let matrix = run_matrix(sweep, &cells, n, |cell, trial, seed| {
+        with_phy_scratch(|s| {
+            let ok = sim.uplink_packet(&cell.rx, cell.tid, seed, s);
+            let snr = (trial == 0).then(|| sim.uplink_snr(&cell.rx, cell.tid, s));
+            (ok, snr)
+        })
+    });
     let mut snr_rows = Vec::new();
     let mut loss_rows = Vec::new();
-    for &tid in &TAGS {
+    for (ti, &tid) in TAGS.iter().enumerate() {
         let mut snr_row = vec![format!("Tag {tid}")];
         let mut loss_row = vec![format!("Tag {tid}")];
-        for r in &rates {
-            let res = sim.uplink_trial(tid, r.bps, n);
-            snr_row.push(f(res.snr_db, 1));
-            loss_row.push(format!("{}", res.lost));
+        for (ri, _) in rates.iter().enumerate() {
+            let cell = &matrix[ti * rates.len() + ri];
+            // A trial that errored out counts as a lost packet.
+            let lost = cell
+                .iter()
+                .filter(|r| !matches!(r, Ok((true, _))))
+                .count();
+            let snr_db = cell
+                .iter()
+                .filter_map(|r| r.as_ref().ok().and_then(|(_, snr)| *snr))
+                .next()
+                .unwrap_or(f64::NAN);
+            snr_row.push(f(snr_db, 1));
+            loss_row.push(format!("{lost}"));
         }
         snr_rows.push(snr_row);
         loss_rows.push(loss_row);
@@ -78,11 +120,20 @@ pub fn report(n: u64, seed: u64) -> Report {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn quick_run_has_all_rates() {
-        let out = super::report(2, 1).render();
+        let out = report(2, &SweepConfig::new(1)).render();
         assert!(out.contains("93.75"));
         assert!(out.contains("3000"));
         assert!(out.contains("Tag 11"));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_tables() {
+        let one = report(3, &SweepConfig::new(5).with_threads(1)).render();
+        let four = report(3, &SweepConfig::new(5).with_threads(4)).render();
+        assert_eq!(one, four);
     }
 }

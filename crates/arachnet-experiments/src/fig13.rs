@@ -1,6 +1,7 @@
 //! Fig. 13 — downlink packet loss (a) and synchronization offset (b).
 
 use arachnet_core::rates::DL_RATES_BPS;
+use arachnet_sim::sweep::{run_matrix, SweepConfig};
 use arachnet_sim::wavesim::WaveSim;
 
 use crate::render::f;
@@ -23,20 +24,34 @@ impl Experiment for Fig13a {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report_a(params.scale(100, 1_000), params.seed)
+        report_a(params.scale(100, 1_000), &params.sweep())
     }
 }
 
 /// Fig. 13(a) at an explicit beacon count (the trait impl picks 100/1000).
-pub fn report_a(n: u64, seed: u64) -> Report {
-    let sim = WaveSim::paper(seed);
+/// The (tag × rate × beacon) trials fan out over the sweep worker pool;
+/// every beacon is a pure function of its sweep seed, so the table is
+/// bit-identical at any thread count.
+pub fn report_a(n: u64, sweep: &SweepConfig) -> Report {
+    let sim = WaveSim::paper(sweep.base_seed);
     let tags = [8u8, 4, 11];
+    let cells: Vec<(u8, f64)> = tags
+        .iter()
+        .flat_map(|&tid| DL_RATES_BPS.iter().map(move |&bps| (tid, bps)))
+        .collect();
+    let matrix = run_matrix(sweep, &cells, n, |&(tid, bps), _trial, seed| {
+        sim.downlink_beacon(tid, bps, seed)
+    });
     let mut rows = Vec::new();
-    for &tid in &tags {
+    for (ti, &tid) in tags.iter().enumerate() {
         let mut row = vec![format!("Tag {tid}")];
-        for &bps in &DL_RATES_BPS {
-            let r = sim.downlink_trial(tid, bps, n);
-            row.push(format!("{}", r.lost));
+        for ri in 0..DL_RATES_BPS.len() {
+            // Errored trials count as lost beacons.
+            let lost = matrix[ti * DL_RATES_BPS.len() + ri]
+                .iter()
+                .filter(|r| !matches!(r, Ok(true)))
+                .count();
+            row.push(format!("{lost}"));
         }
         rows.push(row);
     }
@@ -102,9 +117,16 @@ mod tests {
 
     #[test]
     fn fig13a_covers_rates() {
-        let out = report_a(5, 1).render();
+        let out = report_a(5, &SweepConfig::new(1)).render();
         assert!(out.contains("2000"));
         assert!(out.contains("Tag 4"));
+    }
+
+    #[test]
+    fn fig13a_is_thread_count_invariant() {
+        let one = report_a(6, &SweepConfig::new(4).with_threads(1)).render();
+        let four = report_a(6, &SweepConfig::new(4).with_threads(4)).render();
+        assert_eq!(one, four);
     }
 
     #[test]

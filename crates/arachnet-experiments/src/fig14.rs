@@ -1,6 +1,7 @@
 //! Fig. 14 — the ping-pong test: raw waveform (a) and latency CDF (b).
 
 use arachnet_sim::metrics::Ecdf;
+use arachnet_sim::sweep::{run_trials, SweepConfig};
 use arachnet_sim::wavesim::WaveSim;
 use biw_channel::noise::NoiseConfig;
 
@@ -69,14 +70,19 @@ impl Experiment for Fig14b {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report_b(params.scale(200, 1_000) as usize, params.seed)
+        report_b(params.scale(200, 1_000) as usize, &params.sweep())
     }
 }
 
 /// Fig. 14(b) at an explicit round count (the trait impl picks 200/1000).
-pub fn report_b(n: usize, seed: u64) -> Report {
-    let sim = WaveSim::paper(seed);
-    let samples = sim.ping_pong_samples(n);
+/// Rounds fan out over the sweep worker pool; each is a pure function of
+/// its sweep seed, so the CDF is bit-identical at any thread count.
+pub fn report_b(n: usize, sweep: &SweepConfig) -> Report {
+    let sim = WaveSim::paper(sweep.base_seed);
+    let samples: Vec<_> = run_trials(sweep, n as u64, |_i, seed| sim.ping_pong_sample(seed))
+        .into_iter()
+        .filter_map(|r| r.ok())
+        .collect();
     let stage1: Vec<f64> = samples.iter().map(|p| p.stage1_s).collect();
     let stage2: Vec<f64> = samples.iter().map(|p| p.stage2_s).collect();
     let total: Vec<f64> = samples.iter().map(|p| p.total()).collect();
@@ -128,8 +134,15 @@ mod tests {
 
     #[test]
     fn fig14b_reports_p99() {
-        let out = report_b(200, 1).render();
+        let out = report_b(200, &SweepConfig::new(1)).render();
         assert!(out.contains("p99"));
         assert!(out.contains("281.9"));
+    }
+
+    #[test]
+    fn fig14b_is_thread_count_invariant() {
+        let one = report_b(64, &SweepConfig::new(2).with_threads(1)).render();
+        let four = report_b(64, &SweepConfig::new(2).with_threads(4)).render();
+        assert_eq!(one, four);
     }
 }

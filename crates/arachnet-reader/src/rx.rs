@@ -22,10 +22,34 @@ use arachnet_core::fm0::{self, Fm0Encoder};
 use arachnet_core::packet::{UlPacket, UL_PREAMBLE};
 use arachnet_dsp::cluster::{cluster_iq, ClusterConfig};
 use arachnet_dsp::cplx::Cplx;
-use arachnet_dsp::nco::DownConverter;
-use arachnet_dsp::psd::{welch_psd, Psd};
+use arachnet_dsp::nco::{CarrierTable, DownConverter};
+use arachnet_dsp::psd::{welch_psd, welch_psd_into, Psd, WelchScratch};
 use arachnet_dsp::schmitt::{Edge, Schmitt};
 use arachnet_dsp::window::Window;
+
+/// Reusable per-worker working set for the RX chain. Every buffer the
+/// mix → decimate → slice → decode pipeline needs lives here, so a warm
+/// receiver processes slots without allocating (`cluster_iq`'s interior
+/// work is bounded by its ~1500-point sub-sample, independent of waveform
+/// length). Scratch contents never influence results — only capacities
+/// persist between calls — so sharing one scratch per worker thread keeps
+/// sweep results bit-identical at any thread count.
+#[derive(Debug, Clone, Default)]
+pub struct RxScratch {
+    iq: Vec<Cplx>,
+    tmp: Vec<Cplx>,
+    proj: Vec<f64>,
+    sorted: Vec<f64>,
+    steps: Vec<f64>,
+    steps_sorted: Vec<f64>,
+    settled: Vec<Cplx>,
+    sub: Vec<Cplx>,
+    edges: Vec<Edge>,
+    cleaned: Vec<f64>,
+    corr: Vec<f64>,
+    welch: WelchScratch,
+    psd: Psd,
+}
 
 /// Receiver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +116,8 @@ pub struct UplinkReceiver {
     cfg: RxConfig,
     /// FM0 raw-bit expansion of the UL preamble (16 raw bits).
     preamble_raw: Vec<bool>,
+    /// Exact-period conjugate-carrier table (None → trig fallback).
+    carrier_tab: Option<CarrierTable>,
 }
 
 impl UplinkReceiver {
@@ -99,7 +125,12 @@ impl UplinkReceiver {
     pub fn new(cfg: RxConfig) -> Self {
         let mut enc = Fm0Encoder::new();
         let preamble_raw = enc.encode(UL_PREAMBLE.iter().copied()).to_bools();
-        Self { cfg, preamble_raw }
+        let carrier_tab = CarrierTable::exact(cfg.sample_rate, cfg.carrier_hz, 4096);
+        Self {
+            cfg,
+            preamble_raw,
+            carrier_tab,
+        }
     }
 
     /// Configuration.
@@ -145,27 +176,63 @@ impl UplinkReceiver {
     /// decimation: a single boxcar leaves ~1 % of the 2·f_c mixing image,
     /// which is comparable to the modulation contrast of the weakest tags;
     /// squaring the rejection buries it.
-    fn to_baseband(&self, wave: &[f64]) -> Vec<Cplx> {
-        let mut mixer = DownConverter::new(self.cfg.sample_rate, self.cfg.carrier_hz);
+    fn to_baseband_into(&self, wave: &[f64], iq: &mut Vec<Cplx>, tmp: &mut Vec<Cplx>) {
         let d = self.decimation();
-        let mixed: Vec<Cplx> = wave.iter().map(|&x| mixer.mix(x)).collect();
-        // First boxcar via prefix sums.
-        let boxcar = |input: &[Cplx]| -> Vec<Cplx> {
-            let mut out = Vec::with_capacity(input.len());
-            let mut acc = Cplx::ZERO;
-            for (i, &z) in input.iter().enumerate() {
-                acc += z;
-                if i >= d {
-                    acc -= input[i - d];
-                    out.push(acc / d as f64);
-                } else {
-                    out.push(acc / (i + 1) as f64);
-                }
-            }
-            out
+        // Single fused pass: mix → boxcar → boxcar → keep every d-th
+        // sample. Arithmetically identical to materializing each stage
+        // (same running sums, same divisions, in the same order) but only
+        // two length-d rings stay live — no full-rate buffers — and the
+        // second boxcar's division runs only at the samples the decimator
+        // keeps, since every other quotient would be thrown away.
+        iq.clear();
+        iq.reserve(wave.len().div_ceil(d));
+        tmp.clear();
+        tmp.resize(2 * d, Cplx::ZERO);
+        let (ring1, ring2) = tmp.split_at_mut(d);
+        let mut mixer = match &self.carrier_tab {
+            Some(_) => None,
+            None => Some(DownConverter::new(self.cfg.sample_rate, self.cfg.carrier_hz)),
         };
-        let smoothed = boxcar(&boxcar(&mixed));
-        smoothed.into_iter().step_by(d).collect()
+        let phasors = self.carrier_tab.as_ref().map(|t| t.phasors());
+        let mut ph = 0usize;
+        let p = phasors.map_or(1, <[Cplx]>::len);
+        let (mut acc1, mut acc2) = (Cplx::ZERO, Cplx::ZERO);
+        let mut idx = 0usize; // i mod d, wrapping — ring slot and keep mark
+        for (i, &x) in wave.iter().enumerate() {
+            let z = match phasors {
+                Some(tab) => {
+                    let z = tab[ph] * x;
+                    ph += 1;
+                    if ph == p {
+                        ph = 0;
+                    }
+                    z
+                }
+                None => mixer.as_mut().expect("fallback mixer").mix(x),
+            };
+            acc1 += z;
+            let o1 = if i >= d {
+                acc1 -= ring1[idx];
+                acc1 / d as f64
+            } else {
+                acc1 / (i + 1) as f64
+            };
+            ring1[idx] = z;
+            acc2 += o1;
+            if i >= d {
+                acc2 -= ring2[idx];
+                if idx == 0 {
+                    iq.push(acc2 / d as f64);
+                }
+            } else if idx == 0 {
+                iq.push(acc2 / (i + 1) as f64);
+            }
+            ring2[idx] = o1;
+            idx += 1;
+            if idx == d {
+                idx = 0;
+            }
+        }
     }
 
     /// Processes one slot's waveform.
@@ -176,15 +243,34 @@ impl UplinkReceiver {
     /// moves (the classic backscatter blind spot), but the modulation axis
     /// in the IQ plane always carries the full swing.
     pub fn process_slot(&self, wave: &[f64]) -> SlotRx {
+        self.process_slot_with(wave, &mut RxScratch::default())
+    }
+
+    /// [`UplinkReceiver::process_slot`] over a caller-owned scratch: bit-
+    /// identical results, but a warm scratch makes the whole chain
+    /// allocation-free. Keep one scratch per worker thread.
+    pub fn process_slot_with(&self, wave: &[f64], scratch: &mut RxScratch) -> SlotRx {
         if wave.len() < 64 {
             return SlotRx::empty();
         }
-        let iq = self.to_baseband(wave);
+        let RxScratch {
+            iq,
+            tmp,
+            proj,
+            sorted,
+            steps,
+            steps_sorted,
+            settled,
+            sub,
+            edges,
+            ..
+        } = scratch;
+        self.to_baseband_into(wave, iq, tmp);
         let n = iq.len() as f64;
         let mean = iq.iter().fold(Cplx::ZERO, |a, &z| a + z) / n;
         // 2×2 covariance → principal axis.
         let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
-        for &z in &iq {
+        for &z in iq.iter() {
             let d = z - mean;
             sxx += d.re * d.re;
             sxy += d.re * d.im;
@@ -192,19 +278,21 @@ impl UplinkReceiver {
         }
         let theta = 0.5 * (2.0 * sxy).atan2(sxx - syy);
         let (ct, st) = (theta.cos(), theta.sin());
-        let proj: Vec<f64> = iq
-            .iter()
-            .map(|z| (z.re - mean.re) * ct + (z.im - mean.im) * st)
-            .collect();
+        proj.clear();
+        proj.extend(
+            iq.iter()
+                .map(|z| (z.re - mean.re) * ct + (z.im - mean.im) * st),
+        );
 
         // Adaptive slicing thresholds from projection percentiles.
-        let mut sorted = proj.clone();
+        sorted.clear();
+        sorted.extend_from_slice(proj);
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
         let (lo, hi) = (p(0.05), p(0.95));
         let mid = 0.5 * (lo + hi);
         let range = hi - lo;
-        let clusters = self.count_clusters(&iq);
+        let clusters = Self::count_clusters(iq, steps, steps_sorted, settled, sub);
         let collision = clusters > 2;
         let leak_scale = mean.abs().max(1e-12);
         if range < self.cfg.min_contrast * leak_scale {
@@ -219,10 +307,10 @@ impl UplinkReceiver {
         }
 
         let mut slicer = Schmitt::new(mid + 0.2 * range * 0.5, mid - 0.2 * range * 0.5);
-        let (_levels, edges) = slicer.process_with_edges(&proj);
+        slicer.process_edges_into(proj, edges);
         // The PCA axis sign is arbitrary; the decoder's dual-polarity scan
         // absorbs it.
-        let packet = self.decode_edges_internal(&edges);
+        let packet = self.decode_edges_internal(edges);
         SlotRx {
             packet,
             collision,
@@ -237,35 +325,46 @@ impl UplinkReceiver {
     /// sit between constellation points and inflate the within-cluster
     /// spread, hiding weak tags' states; they are removed by a local
     /// derivative test before clustering.
-    fn count_clusters(&self, iq: &[Cplx]) -> usize {
+    fn count_clusters(
+        iq: &[Cplx],
+        steps: &mut Vec<f64>,
+        steps_sorted: &mut Vec<f64>,
+        settled: &mut Vec<Cplx>,
+        sub: &mut Vec<Cplx>,
+    ) -> usize {
         if iq.len() < 3 {
             return 1;
         }
         // Local step sizes; settled samples move far less than ramps. The
         // cutoff keys on the large (ramp) steps — a median-based cutoff
         // collapses on noiseless channels where settled steps are ~0.
-        let steps: Vec<f64> = iq.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
-        let mut sorted = steps.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median_step = sorted[sorted.len() / 2];
-        let p95_step = sorted[(sorted.len() - 1) * 19 / 20];
+        steps.clear();
+        steps.extend(iq.windows(2).map(|w| (w[1] - w[0]).abs()));
+        steps_sorted.clear();
+        steps_sorted.extend_from_slice(steps);
+        steps_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_step = steps_sorted[steps_sorted.len() / 2];
+        let p95_step = steps_sorted[(steps_sorted.len() - 1) * 19 / 20];
         let cutoff = (3.0 * median_step).max(0.25 * p95_step).max(1e-12);
-        let settled: Vec<Cplx> = (1..iq.len() - 1)
-            .filter(|&i| steps[i - 1] < cutoff && steps[i] < cutoff)
-            .map(|i| iq[i])
-            .collect();
-        let source = if settled.len() >= iq.len() / 4 {
+        settled.clear();
+        settled.extend(
+            (1..iq.len() - 1)
+                .filter(|&i| steps[i - 1] < cutoff && steps[i] < cutoff)
+                .map(|i| iq[i]),
+        );
+        let source: &[Cplx] = if settled.len() >= iq.len() / 4 {
             settled
         } else {
-            iq.to_vec()
+            iq
         };
         let stride = (source.len() / 1_500).max(1);
-        let sub: Vec<Cplx> = source.iter().step_by(stride).copied().collect();
+        sub.clear();
+        sub.extend(source.iter().step_by(stride).copied());
         let cfg = ClusterConfig {
             separation_ratio: 3.5,
             ..ClusterConfig::default()
         };
-        cluster_iq(&sub, cfg).len()
+        cluster_iq(sub, cfg).len()
     }
 
     /// Edge-domain FM0 decode: runs → raw bits → preamble search → packet.
@@ -395,21 +494,72 @@ impl UplinkReceiver {
     /// and subtracted before the PSD — the "frequency offset calibration"
     /// stage of the real reader does the equivalent job.
     pub fn uplink_snr_db(&self, wave: &[f64]) -> f64 {
+        self.uplink_snr_db_with(wave, &mut RxScratch::default())
+    }
+
+    /// [`UplinkReceiver::uplink_snr_db`] over a caller-owned scratch
+    /// (allocation-free once warm; identical results).
+    pub fn uplink_snr_db_with(&self, wave: &[f64], scratch: &mut RxScratch) -> f64 {
         let fc = self.cfg.carrier_hz;
         let r = self.cfg.ul_bps;
         // Coherent carrier estimate a = (2/N) Σ x[n] e^{-jωn}.
         let w = 2.0 * std::f64::consts::PI * fc / self.cfg.sample_rate;
         let mut acc = Cplx::ZERO;
-        for (n, &x) in wave.iter().enumerate() {
-            acc += Cplx::cis(-w * n as f64) * x;
+        match &self.carrier_tab {
+            Some(tab) => {
+                // Wrapping phase counter: same phasors, no `%` per sample.
+                let phasors = tab.phasors();
+                let p = phasors.len();
+                let mut ph = 0usize;
+                for &x in wave {
+                    acc += phasors[ph] * x;
+                    ph += 1;
+                    if ph == p {
+                        ph = 0;
+                    }
+                }
+            }
+            None => {
+                for (n, &x) in wave.iter().enumerate() {
+                    acc += Cplx::cis(-w * n as f64) * x;
+                }
+            }
         }
         let a = acc * (2.0 / wave.len() as f64);
-        let cleaned: Vec<f64> = wave
-            .iter()
-            .enumerate()
-            .map(|(n, &x)| x - (Cplx::cis(w * n as f64) * a).re)
-            .collect();
-        let psd = self.psd(&cleaned);
+        let RxScratch {
+            cleaned,
+            corr,
+            welch,
+            psd,
+            ..
+        } = scratch;
+        cleaned.clear();
+        match &self.carrier_tab {
+            Some(tab) => {
+                // `(phasor.conj() * a).re` only takes one value per table
+                // phase — compute each once, then subtraction is a lookup.
+                corr.clear();
+                corr.extend(tab.phasors().iter().map(|z| (z.conj() * a).re));
+                let p = corr.len();
+                let mut ph = 0usize;
+                cleaned.extend(wave.iter().map(|&x| {
+                    let y = x - corr[ph];
+                    ph += 1;
+                    if ph == p {
+                        ph = 0;
+                    }
+                    y
+                }));
+            }
+            None => cleaned.extend(
+                wave.iter()
+                    .enumerate()
+                    .map(|(n, &x)| x - (Cplx::cis(w * n as f64) * a).re),
+            ),
+        }
+        let seg = 8_192.min(cleaned.len().next_power_of_two() / 2).max(256);
+        welch_psd_into(cleaned, self.cfg.sample_rate, seg, Window::Hann, welch, psd);
+        let psd = &*psd;
         let band = |lo: f64, hi: f64| psd.band_power(lo, hi);
         // Modulation sidebands of FM0 OOK at raw rate R.
         let sig = band(fc + 0.1 * r, fc + 2.0 * r) + band(fc - 2.0 * r, fc - 0.1 * r);
@@ -608,5 +758,25 @@ mod tests {
     fn short_waveform_is_empty() {
         let rx = UplinkReceiver::new(RxConfig::default());
         assert_eq!(rx.process_slot(&[0.0; 10]), SlotRx::empty());
+    }
+
+    #[test]
+    fn warm_scratch_is_bit_identical() {
+        // The scratch-reusing path must produce the same result whether the
+        // scratch is fresh or warm from an unrelated (longer) waveform —
+        // that invariance is what makes per-worker scratch sharing safe.
+        let ch = channel(NoiseConfig::default());
+        let pkt = UlPacket::new(8, 0x6D2).unwrap();
+        let wave = tag_waveform(&ch, 8, &pkt, 375.0);
+        let idle = ch.uplink_waveform(&[], 150_000);
+        let rx = UplinkReceiver::new(RxConfig::default());
+        let fresh_slot = rx.process_slot(&wave);
+        let fresh_snr = rx.uplink_snr_db(&wave);
+        let mut scratch = RxScratch::default();
+        rx.process_slot_with(&idle, &mut scratch);
+        rx.uplink_snr_db_with(&idle, &mut scratch);
+        assert_eq!(rx.process_slot_with(&wave, &mut scratch), fresh_slot);
+        assert_eq!(rx.uplink_snr_db_with(&wave, &mut scratch), fresh_snr);
+        assert_eq!(fresh_slot.packet, Some(pkt));
     }
 }

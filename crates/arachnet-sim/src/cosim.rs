@@ -18,7 +18,7 @@ use arachnet_core::mac::{ProtocolConfig, ReaderMac, SlotObservation};
 use arachnet_core::packet::UlPacket;
 use arachnet_core::rng::TagRng;
 use arachnet_core::slot::Period;
-use arachnet_reader::rx::{RxConfig, SlotRx, UplinkReceiver};
+use arachnet_reader::rx::{RxConfig, RxScratch, SlotRx, UplinkReceiver};
 use arachnet_reader::tx::BeaconTransmitter;
 use arachnet_tag::demod::PieDemodulator;
 use arachnet_tag::mcu::McuClock;
@@ -79,6 +79,18 @@ struct CoSimTag {
     rng: TagRng,
 }
 
+/// Persistent per-engine working storage: slots reuse these buffers
+/// instead of allocating fresh edge/state/waveform vectors each step.
+/// Contents never carry over between slots (each is cleared before use),
+/// only capacities do.
+#[derive(Debug, Default)]
+struct CoSimScratch {
+    tag_edges: Vec<(f64, bool)>,
+    streams: Vec<Vec<PztState>>,
+    wave: Vec<f64>,
+    rx: RxScratch,
+}
+
 /// The engine.
 pub struct CoSim {
     config: CoSimConfig,
@@ -89,6 +101,7 @@ pub struct CoSim {
     tags: Vec<CoSimTag>,
     beacon: Option<arachnet_core::packet::DlBeacon>,
     slots_run: u64,
+    scratch: CoSimScratch,
 }
 
 impl CoSim {
@@ -129,6 +142,7 @@ impl CoSim {
             tags,
             beacon: None,
             slots_run: 0,
+            scratch: CoSimScratch::default(),
         }
     }
 
@@ -154,24 +168,37 @@ impl CoSim {
     }
 
     /// Delay + envelope response for beacon edges at a tag (same physics as
-    /// the wavesim's downlink path).
-    fn beacon_edges_at_tag(&self, tid: u8, edges: &[(f64, bool)]) -> Option<Vec<(f64, bool)>> {
-        let site = self.channel.deployment().site(tid)?;
-        let a = (self.channel.tag_carrier_voltage(tid)? - 0.15).max(0.0);
+    /// the wavesim's downlink path). Writes into `out` (cleared first);
+    /// `false` means the tag's received amplitude is below the comparator
+    /// threshold and it hears nothing.
+    fn beacon_edges_at_tag(
+        channel: &BiwChannel,
+        tid: u8,
+        edges: &[(f64, bool)],
+        out: &mut Vec<(f64, bool)>,
+    ) -> bool {
+        out.clear();
+        let Some(site) = channel.deployment().site(tid) else {
+            return false;
+        };
+        let Some(v) = channel.tag_carrier_voltage(tid) else {
+            return false;
+        };
+        let a = (v - 0.15).max(0.0);
         let vth = 0.12;
         if a <= vth {
-            return None;
+            return false;
         }
         let tau = 9.0 / 90_000.0;
         let rise = tau * (a / (a - vth)).ln();
         let fall = (tau + 2.0 * 28.0 / (2.0 * std::f64::consts::PI * 90_000.0)) * (a / vth).ln();
         let delay = site.path.delay_s();
-        Some(
+        out.extend(
             edges
                 .iter()
-                .map(|&(t, r)| (t + delay + if r { rise } else { fall }, r))
-                .collect(),
-        )
+                .map(|&(t, r)| (t + delay + if r { rise } else { fall }, r)),
+        );
+        true
     }
 
     /// Runs one slot end to end; returns what happened.
@@ -183,22 +210,23 @@ impl CoSim {
 
         // --- Downlink: real edges through the channel to every tag. ------
         let edges = self.tx.edges(&beacon, 0.0);
-        let per_tag_edges: Vec<Option<Vec<(f64, bool)>>> = self
-            .tags
-            .iter()
-            .map(|t| self.beacon_edges_at_tag(t.tid, &edges))
-            .collect();
         let mut transmitters: Vec<u8> = Vec::new();
         let mut beacon_losses: Vec<u8> = Vec::new();
         let dl_bps = self.config.dl_bps;
-        for (tag, tag_edges) in self.tags.iter_mut().zip(per_tag_edges) {
-            let decoded = tag_edges
-                .map(|tag_edges| {
-                    let mut demod = PieDemodulator::new(tag.clock, dl_bps);
-                    demod.set_supply(1.95 + 0.35 * tag.rng.unit_f64());
-                    demod.feed_edges(&tag_edges)
-                })
-                .unwrap_or_default();
+        for tag in self.tags.iter_mut() {
+            let heard = Self::beacon_edges_at_tag(
+                &self.channel,
+                tag.tid,
+                &edges,
+                &mut self.scratch.tag_edges,
+            );
+            let decoded = if heard {
+                let mut demod = PieDemodulator::new(tag.clock, dl_bps);
+                demod.set_supply(1.95 + 0.35 * tag.rng.unit_f64());
+                demod.feed_edges(&self.scratch.tag_edges)
+            } else {
+                Vec::new()
+            };
             let action = match decoded.first() {
                 Some(d) => Some(tag.mac.on_beacon(d.beacon.cmd)),
                 None => {
@@ -214,8 +242,10 @@ impl CoSim {
 
         // --- Uplink: real FM0 waveforms, superposed. ----------------------
         let fs = self.channel.config().sample_rate;
-        let mut streams: Vec<(u8, Vec<PztState>)> = Vec::new();
-        for &tid in &transmitters {
+        while self.scratch.streams.len() < transmitters.len() {
+            self.scratch.streams.push(Vec::new());
+        }
+        for (k, &tid) in transmitters.iter().enumerate() {
             let tag = self
                 .tags
                 .iter_mut()
@@ -226,22 +256,39 @@ impl CoSim {
             let modulator = Fm0Modulator::new(tag.clock, (12_000.0 / self.config.ul_bps) as u32);
             let (raw, _) = modulator.modulate_packet(&pkt, 0.0);
             let spb = (fs * modulator.actual_raw_interval()).round() as usize;
-            let mut states = vec![PztState::Absorptive; 4 * spb];
-            states.extend(BiwChannel::states_from_raw_bits(&raw.to_bools(), spb));
-            states.extend(vec![PztState::Absorptive; 4 * spb]);
-            streams.push((tid, states));
+            let states = &mut self.scratch.streams[k];
+            states.clear();
+            states.reserve(raw.len() * spb + 8 * spb);
+            states.extend(std::iter::repeat(PztState::Absorptive).take(4 * spb));
+            for bit in raw.iter() {
+                let s = if bit {
+                    PztState::Reflective
+                } else {
+                    PztState::Absorptive
+                };
+                states.extend(std::iter::repeat(s).take(spb));
+            }
+            states.extend(std::iter::repeat(PztState::Absorptive).take(4 * spb));
         }
-        let rx_out = if streams.is_empty() {
+        // The channel's own seed keys slot noise, exactly as the eager
+        // `uplink_waveform` did before buffers were made reusable.
+        let noise_seed = self.channel.config().seed;
+        let active = &self.scratch.streams[..transmitters.len()];
+        let len = if transmitters.is_empty() {
             // Still listen to an idle window (leak + noise only).
-            let wave = self.channel.uplink_waveform(&[], (0.05 * fs) as usize);
-            self.rx.process_slot(&wave)
+            (0.05 * fs) as usize
         } else {
-            let len = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
-            let refs: Vec<(u8, &[PztState])> =
-                streams.iter().map(|(t, s)| (*t, s.as_slice())).collect();
-            let wave = self.channel.uplink_waveform(&refs, len + 2_000);
-            self.rx.process_slot(&wave)
+            active.iter().map(|s| s.len()).max().unwrap_or(0) + 2_000
         };
+        let refs: Vec<(u8, &[PztState])> = transmitters
+            .iter()
+            .zip(active)
+            .map(|(&t, s)| (t, s.as_slice()))
+            .collect();
+        self.channel
+            .uplink_waveform_seeded_into(&refs, len, noise_seed, &mut self.scratch.wave);
+        let CoSimScratch { wave, rx: rxs, .. } = &mut self.scratch;
+        let rx_out = self.rx.process_slot_with(wave, rxs);
 
         // --- Reader MAC closes the loop. ----------------------------------
         let obs = SlotObservation {

@@ -14,7 +14,10 @@
 //!   after the pool joins, so scheduling order cannot leak into output
 //!   order;
 //! * every trial runs under `catch_unwind`, so one panicking trial shows
-//!   up as an [`TrialPanic`] in its slot instead of poisoning the sweep.
+//!   up as a [`TrialError`] in its slot instead of poisoning the sweep —
+//!   and even a worker thread dying outside the isolated-panic window
+//!   surfaces as structured errors for its unreported trials, never as a
+//!   harness panic.
 //!
 //! ```
 //! use arachnet_sim::sweep::{SweepConfig, run_trials};
@@ -64,25 +67,26 @@ impl SweepConfig {
     }
 }
 
-/// A trial that panicked instead of returning.
+/// A trial that failed instead of returning a value: it panicked, or its
+/// worker thread died before reporting it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TrialPanic {
-    /// Index of the panicking trial.
+pub struct TrialError {
+    /// Index of the failed trial.
     pub trial: u64,
-    /// The panic message (or a placeholder for non-string payloads).
-    pub message: String,
+    /// The panic payload (or a description of how the trial was lost).
+    pub payload: String,
 }
 
-impl std::fmt::Display for TrialPanic {
+impl std::fmt::Display for TrialError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trial {} panicked: {}", self.trial, self.message)
+        write!(f, "trial {} failed: {}", self.trial, self.payload)
     }
 }
 
-impl std::error::Error for TrialPanic {}
+impl std::error::Error for TrialError {}
 
-/// Per-trial outcome: the trial's value, or the panic that ate it.
-pub type TrialResult<T> = Result<T, TrialPanic>;
+/// Per-trial outcome: the trial's value, or the error that ate it.
+pub type TrialResult<T> = Result<T, TrialError>;
 
 /// Derives trial `index`'s seed from the sweep's base seed using the
 /// splitmix64 finalizer, so neighbouring trials get decorrelated streams
@@ -107,8 +111,11 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Runs `trials` independent trials of `f(trial_index, trial_seed)` across
 /// the worker pool and returns results ordered by trial index. Bit-identical
-/// at any thread count; a panicking trial yields `Err(TrialPanic)` in its
-/// slot.
+/// at any thread count; a panicking trial yields `Err(TrialError)` in its
+/// slot. Even a worker thread dying outside the isolated-panic window (a
+/// panic escaping `catch_unwind`, e.g. a panic-in-panic abort path caught
+/// as unwind) cannot poison the sweep: the trials it never reported come
+/// back as structured errors.
 pub fn run_trials<T, F>(cfg: &SweepConfig, trials: u64, f: F) -> Vec<TrialResult<T>>
 where
     T: Send,
@@ -116,16 +123,21 @@ where
 {
     let one_trial = |i: u64| -> (u64, TrialResult<T>) {
         let seed = trial_seed(cfg.base_seed, i);
-        let r = catch_unwind(AssertUnwindSafe(|| f(i, seed))).map_err(|p| TrialPanic {
+        let r = catch_unwind(AssertUnwindSafe(|| f(i, seed))).map_err(|p| TrialError {
             trial: i,
-            message: panic_text(p),
+            payload: panic_text(p),
         });
         (i, r)
     };
 
     let workers = cfg.threads.clamp(1, trials.max(1) as usize);
-    let mut indexed: Vec<(u64, TrialResult<T>)> = if workers <= 1 {
-        (0..trials).map(one_trial).collect()
+    let mut slots: Vec<Option<TrialResult<T>>> = (0..trials).map(|_| None).collect();
+    let mut worker_deaths: Vec<String> = Vec::new();
+    if workers <= 1 {
+        for i in 0..trials {
+            let (idx, r) = one_trial(i);
+            slots[idx as usize] = Some(r);
+        }
     } else {
         let next_job = AtomicU64::new(0);
         std::thread::scope(|scope| {
@@ -144,14 +156,38 @@ where
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker thread panicked"))
-                .collect()
-        })
+            for h in handles {
+                match h.join() {
+                    Ok(local) => {
+                        for (i, r) in local {
+                            slots[i as usize] = Some(r);
+                        }
+                    }
+                    Err(p) => worker_deaths.push(panic_text(p)),
+                }
+            }
+        });
+    }
+    let detail = if worker_deaths.is_empty() {
+        "trial was never executed".to_string()
+    } else {
+        format!(
+            "sweep worker died before reporting this trial: {}",
+            worker_deaths.join("; ")
+        )
     };
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(TrialError {
+                    trial: i as u64,
+                    payload: detail.clone(),
+                })
+            })
+        })
+        .collect()
 }
 
 /// Runs a `cells × trials` matrix (e.g. Table 3 patterns × seeds) over one
@@ -186,33 +222,33 @@ where
 }
 
 /// Aggregate of a sweep of scalar trials: five-number summary, empirical
-/// CDF, and the panics that were excluded from both.
+/// CDF, and the errors that were excluded from both.
 #[derive(Debug, Clone)]
 pub struct SweepSummary {
     /// Trials that returned a value.
     pub ok: usize,
-    /// Trials that panicked.
-    pub panics: Vec<TrialPanic>,
+    /// Trials that failed (panicked or were lost with their worker).
+    pub errors: Vec<TrialError>,
     /// Five-number summary over the successful trials.
     pub stats: FiveNum,
     /// Empirical CDF over the successful trials.
     pub ecdf: Ecdf,
 }
 
-/// Reduces scalar trial results to a [`SweepSummary`] (panics set aside,
+/// Reduces scalar trial results to a [`SweepSummary`] (errors set aside,
 /// statistics over the survivors).
 pub fn summarize(results: &[TrialResult<f64>]) -> SweepSummary {
     let mut values = Vec::with_capacity(results.len());
-    let mut panics = Vec::new();
+    let mut errors = Vec::new();
     for r in results {
         match r {
             Ok(v) => values.push(*v),
-            Err(p) => panics.push(p.clone()),
+            Err(e) => errors.push(e.clone()),
         }
     }
     SweepSummary {
         ok: values.len(),
-        panics,
+        errors,
         stats: five_num(&values),
         ecdf: Ecdf::new(&values),
     }
@@ -279,13 +315,49 @@ mod tests {
         });
         for (i, r) in out.iter().enumerate() {
             if i == 7 {
-                let p = r.as_ref().unwrap_err();
-                assert_eq!(p.trial, 7);
-                assert!(p.message.contains("seven"), "{}", p.message);
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.trial, 7);
+                assert!(e.payload.contains("seven"), "{}", e.payload);
             } else {
                 assert_eq!(*r, Ok(i as u64 * 2));
             }
         }
+    }
+
+    /// Property (testkit): whatever the trial count, thread count and
+    /// panic pattern, a panicking trial surfaces as `Err(TrialError)` in
+    /// its own slot — never as a harness panic — and every other slot
+    /// still carries its value.
+    #[test]
+    fn property_panics_surface_as_errors_not_harness_panics() {
+        use arachnet_testkit::{check, gen, prop_assert, prop_assert_eq};
+        let g = gen::zip3(
+            gen::u64_range(0, 33),
+            gen::u64_range(1, 9),
+            gen::u64_range(2, 7),
+        );
+        check(
+            "sweep_panic_isolation",
+            &g,
+            |&(trials, threads, modulus)| {
+                let cfg = SweepConfig::new(trials ^ 0xC0FFEE).with_threads(threads as usize);
+                let out = run_trials(&cfg, trials, |i, _| {
+                    assert!(i % modulus != 0, "synthetic failure at {i}");
+                    i * 3
+                });
+                prop_assert_eq!(out.len(), trials as usize);
+                for (i, r) in out.iter().enumerate() {
+                    if i as u64 % modulus == 0 {
+                        let e = r.as_ref().err().ok_or("expected an error slot")?;
+                        prop_assert_eq!(e.trial, i as u64);
+                        prop_assert!(e.payload.contains("synthetic failure"));
+                    } else {
+                        prop_assert_eq!(r, &Ok(i as u64 * 3));
+                    }
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]
@@ -297,7 +369,7 @@ mod tests {
         });
         let s = summarize(&out);
         assert_eq!(s.ok, 7);
-        assert_eq!(s.panics.len(), 2);
+        assert_eq!(s.errors.len(), 2);
         assert_eq!(s.stats.min, 0.0);
         assert_eq!(s.stats.max, 8.0);
         assert_eq!(s.ecdf.len(), 7);

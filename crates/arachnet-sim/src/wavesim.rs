@@ -13,11 +13,14 @@
 //! * **Ping-pong** (Fig. 14): DL + guard + UL + software latency samples,
 //!   and the raw reader waveform for the Fig. 14(a) illustration.
 
+use std::cell::RefCell;
+
+use arachnet_core::bits::BitBuf;
 use arachnet_core::fm0::Fm0Encoder;
 use arachnet_core::packet::{DlBeacon, DlCmd, UlPacket};
 use arachnet_core::rng::TagRng;
 use arachnet_reader::driver::{LatencyModel, PingPong};
-use arachnet_reader::rx::{RxConfig, UplinkReceiver};
+use arachnet_reader::rx::{RxConfig, RxScratch, UplinkReceiver};
 use arachnet_reader::tx::BeaconTransmitter;
 use arachnet_tag::demod::PieDemodulator;
 use arachnet_tag::mcu::McuClock;
@@ -26,6 +29,34 @@ use biw_channel::geometry::Deployment;
 use biw_channel::noise::NoiseConfig;
 use biw_channel::pzt::PztState;
 use biw_channel::resonator::DriveScheme;
+
+use crate::sweep::trial_seed;
+
+/// Reusable PHY working storage: the PZT state stream, the synthesized
+/// waveform and the receiver's DSP scratch. One per worker thread makes a
+/// full uplink trial allocation-free once warm. Scratch *contents* never
+/// influence results — only capacities persist between calls — so reusing
+/// (or not reusing) a scratch cannot change any decode outcome.
+#[derive(Debug, Default)]
+pub struct PhyScratch {
+    /// Per-sample PZT state stream for the packet under synthesis.
+    pub states: Vec<PztState>,
+    /// Reader-side waveform buffer.
+    pub wave: Vec<f64>,
+    /// Receiver DSP scratch (down-conversion, projection, PSD, ...).
+    pub rx: RxScratch,
+}
+
+thread_local! {
+    static PHY_SCRATCH: RefCell<PhyScratch> = RefCell::new(PhyScratch::default());
+}
+
+/// Runs `f` with this thread's persistent [`PhyScratch`]. Sweep workers
+/// call this from trial closures so every trial on a thread reuses the
+/// same buffers. Do not nest calls (the inner one would re-borrow).
+pub fn with_phy_scratch<R>(f: impl FnOnce(&mut PhyScratch) -> R) -> R {
+    PHY_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// The co-simulation environment.
 pub struct WaveSim {
@@ -96,51 +127,117 @@ impl WaveSim {
         &self.channel
     }
 
-    /// Fig. 12: sends `n` packets from `tid` at `ul_bps` and counts losses;
-    /// measures SNR on the first waveform.
-    pub fn uplink_trial(&self, tid: u8, ul_bps: f64, n: u64) -> UplinkResult {
-        let fs = self.channel.config().sample_rate;
-        let rx = UplinkReceiver::new(RxConfig {
+    /// A receiver tuned for `ul_bps` uplink. Build one per (cell, rate) —
+    /// not per packet — and pass it to [`Self::uplink_packet`].
+    pub fn uplink_rx(&self, ul_bps: f64) -> UplinkReceiver {
+        UplinkReceiver::new(RxConfig {
             ul_bps,
             ..RxConfig::default()
-        });
-        let clock = McuClock::for_tag(self.seed, tid);
-        let mut rng = TagRng::for_tag(self.seed ^ 0x0715, tid);
-        let mut lost = 0;
-        let mut snr_db = 0.0;
-        for i in 0..n {
-            let payload = (rng.next_u64() & 0xFFF) as u16;
-            let pkt = UlPacket::new(tid % 16, payload).expect("12-bit payload");
-            let mut enc = Fm0Encoder::new();
-            let raw = enc.encode(pkt.to_bits().iter()).to_bools();
-            // The tag's timer stretches/compresses raw bits; the supply sags
-            // across the cutoff band slot to slot.
-            let mut c = clock;
-            c.set_supply(1.95 + 0.35 * rng.unit_f64());
-            let spb = (fs * (1.0 / ul_bps) * (12_000.0 / c.actual_hz())).round() as usize;
-            let mut states = vec![PztState::Absorptive; 6 * spb];
-            states.extend(BiwChannel::states_from_raw_bits(&raw, spb));
-            states.extend(vec![PztState::Absorptive; 6 * spb]);
-            let len = states.len();
-            // Fresh noise per packet: vary the channel seed.
-            let mut ch = self.channel.clone();
-            let mut cfg = ch.config().clone();
-            cfg.seed = self.seed ^ (u64::from(tid) << 32) ^ i;
-            ch = BiwChannel::new(cfg, self.channel.deployment().clone());
-            let wave = ch.uplink_waveform(&[(tid, &states)], len);
-            if i == 0 {
-                snr_db = rx.uplink_snr_db(&wave);
-            }
-            let out = rx.process_slot(&wave);
-            if out.packet != Some(pkt) {
-                lost += 1;
-            }
+        })
+    }
+
+    /// Base seed for a (tag, rate) uplink trial sequence: packet `i` of
+    /// the sequence uses `trial_seed(base, i)`, so trials are pure
+    /// functions of their index and parallelize without order effects.
+    pub fn uplink_base_seed(&self, tid: u8, ul_bps: f64) -> u64 {
+        trial_seed(self.seed ^ (u64::from(tid) << 32), ul_bps.to_bits())
+    }
+
+    /// Expands raw FM0 bits into a padded per-sample PZT state stream.
+    fn expand_states_into(raw: &BitBuf, spb: usize, pad: usize, out: &mut Vec<PztState>) {
+        out.clear();
+        out.reserve(raw.len() * spb + 2 * pad);
+        out.extend(std::iter::repeat(PztState::Absorptive).take(pad));
+        for bit in raw.iter() {
+            let s = if bit {
+                PztState::Reflective
+            } else {
+                PztState::Absorptive
+            };
+            out.extend(std::iter::repeat(s).take(spb));
         }
-        UplinkResult {
-            sent: n,
-            lost,
-            snr_db,
-        }
+        out.extend(std::iter::repeat(PztState::Absorptive).take(pad));
+    }
+
+    /// Synthesizes one seeded uplink packet into `s.wave` and returns the
+    /// packet that was sent. Everything — payload, supply sag, noise — is
+    /// a pure function of `packet_seed`.
+    fn synth_uplink_packet(
+        &self,
+        rx: &UplinkReceiver,
+        tid: u8,
+        packet_seed: u64,
+        s: &mut PhyScratch,
+    ) -> UlPacket {
+        let fs = self.channel.config().sample_rate;
+        let ul_bps = rx.config().ul_bps;
+        let mut rng = TagRng::new(packet_seed);
+        let payload = (rng.next_u64() & 0xFFF) as u16;
+        let pkt = UlPacket::new(tid % 16, payload).expect("12-bit payload");
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode(pkt.to_bits().iter());
+        // The tag's timer stretches/compresses raw bits; the supply sags
+        // across the cutoff band packet to packet.
+        let mut clock = McuClock::for_tag(self.seed, tid);
+        clock.set_supply(1.95 + 0.35 * rng.unit_f64());
+        let spb = (fs * (1.0 / ul_bps) * (12_000.0 / clock.actual_hz())).round() as usize;
+        Self::expand_states_into(&raw, spb, 6 * spb, &mut s.states);
+        let len = s.states.len();
+        self.channel
+            .uplink_waveform_seeded_into(&[(tid, &s.states)], len, packet_seed, &mut s.wave);
+        pkt
+    }
+
+    /// Sends one seeded packet from `tid` through the channel and the
+    /// receiver; `true` when it decodes exactly. Pure in `packet_seed`,
+    /// so any thread may run any packet of a trial sequence.
+    pub fn uplink_packet(
+        &self,
+        rx: &UplinkReceiver,
+        tid: u8,
+        packet_seed: u64,
+        s: &mut PhyScratch,
+    ) -> bool {
+        let pkt = self.synth_uplink_packet(rx, tid, packet_seed, s);
+        let PhyScratch { wave, rx: rxs, .. } = s;
+        rx.process_slot_with(wave, rxs).packet == Some(pkt)
+    }
+
+    /// PSD-band SNR of the representative (index-0) packet waveform for
+    /// this (tag, rate) — the paper's Fig. 12(a) metric. Independent of
+    /// how many packets a trial sends.
+    pub fn uplink_snr(&self, rx: &UplinkReceiver, tid: u8, s: &mut PhyScratch) -> f64 {
+        let seed0 = trial_seed(self.uplink_base_seed(tid, rx.config().ul_bps), 0);
+        self.synth_uplink_packet(rx, tid, seed0, s);
+        let PhyScratch { wave, rx: rxs, .. } = s;
+        rx.uplink_snr_db_with(wave, rxs)
+    }
+
+    /// Fig. 12: sends `n` packets from `tid` at `ul_bps` and counts losses;
+    /// measures SNR on the representative (index-0) waveform, which is
+    /// synthesized once and shared between the SNR estimate and the decode.
+    pub fn uplink_trial(&self, tid: u8, ul_bps: f64, n: u64) -> UplinkResult {
+        let rx = self.uplink_rx(ul_bps);
+        let base = self.uplink_base_seed(tid, ul_bps);
+        with_phy_scratch(|s| {
+            let mut snr_db = f64::NAN;
+            let mut lost = 0;
+            for i in 0..n.max(1) {
+                let pkt = self.synth_uplink_packet(&rx, tid, trial_seed(base, i), s);
+                let PhyScratch { wave, rx: rxs, .. } = s;
+                if i == 0 {
+                    snr_db = rx.uplink_snr_db_with(wave, rxs);
+                }
+                if i < n && rx.process_slot_with(wave, rxs).packet != Some(pkt) {
+                    lost += 1;
+                }
+            }
+            UplinkResult {
+                sent: n,
+                lost,
+                snr_db,
+            }
+        })
     }
 
     /// The envelope-detector threshold the tag comparator switches at (V).
@@ -202,25 +299,40 @@ impl WaveSim {
         )
     }
 
+    /// Base seed for a (tag, rate) downlink beacon sequence.
+    pub fn downlink_base_seed(&self, tid: u8, dl_bps: f64) -> u64 {
+        trial_seed(self.seed ^ 0xD1D1 ^ (u64::from(tid) << 24), dl_bps.to_bits())
+    }
+
+    /// Sends one seeded beacon to `tid` at `dl_bps`; `true` when the
+    /// tag's demodulator recovers it exactly. The transmitter's jitter
+    /// RNG is stateful, so each beacon gets a fresh transmitter keyed by
+    /// `beacon_seed` — making the outcome a pure function of the seed.
+    /// The start time is drawn from the seed too: real beacons arrive at
+    /// arbitrary phases of the tag's 12 kHz timer, and a fixed start would
+    /// pin every beacon to one (possibly pathological) quantisation phase.
+    pub fn downlink_beacon(&self, tid: u8, dl_bps: f64, beacon_seed: u64) -> bool {
+        let mut rng = TagRng::new(beacon_seed);
+        let mut tx = BeaconTransmitter::new(dl_bps, rng.next_u64());
+        let cmd = DlCmd::from_nibble((rng.next_u64() & 0xF) as u8);
+        let beacon = DlBeacon::new(cmd);
+        let edges = tx.edges(&beacon, rng.unit_f64());
+        let Some(tag_edges) = self.edges_at_tag(tid, &edges) else {
+            return false;
+        };
+        let mut demod = PieDemodulator::new(McuClock::for_tag(self.seed, tid), dl_bps);
+        demod.set_supply(1.95 + 0.35 * rng.unit_f64());
+        let decoded = demod.feed_edges(&tag_edges);
+        decoded.len() == 1 && decoded[0].beacon == beacon
+    }
+
     /// Fig. 13(a): sends `n` beacons at `dl_bps` to tag `tid` and counts
     /// decode failures.
     pub fn downlink_trial(&self, tid: u8, dl_bps: f64, n: u64) -> DownlinkResult {
-        let mut tx = BeaconTransmitter::new(dl_bps, self.seed ^ u64::from(tid));
-        let clock = McuClock::for_tag(self.seed, tid);
-        let mut rng = TagRng::for_tag(self.seed ^ 0xD1, tid);
+        let base = self.downlink_base_seed(tid, dl_bps);
         let mut lost = 0;
         for i in 0..n {
-            let cmd = DlCmd::from_nibble((rng.next_u64() & 0xF) as u8);
-            let beacon = DlBeacon::new(cmd);
-            let edges = tx.edges(&beacon, i as f64);
-            let Some(tag_edges) = self.edges_at_tag(tid, &edges) else {
-                lost += 1;
-                continue;
-            };
-            let mut demod = PieDemodulator::new(clock, dl_bps);
-            demod.set_supply(1.95 + 0.35 * rng.unit_f64());
-            let decoded = demod.feed_edges(&tag_edges);
-            if decoded.len() != 1 || decoded[0].beacon != beacon {
+            if !self.downlink_beacon(tid, dl_bps, trial_seed(base, i)) {
                 lost += 1;
             }
         }
@@ -256,24 +368,27 @@ impl WaveSim {
             .collect()
     }
 
+    /// Fig. 14(b): one seeded ping-pong round — beacon duration plus the
+    /// guard + UL + software-latency reply stage. Pure in `round_seed`.
+    pub fn ping_pong_sample(&self, round_seed: u64) -> PingPong {
+        let tx = BeaconTransmitter::new(250.0, round_seed);
+        let latency = LatencyModel::default();
+        let mut rng = TagRng::new(round_seed ^ 0xB0B0);
+        let beacon = DlBeacon::new(DlCmd::ack());
+        let stage1 = tx.beacon_duration(&beacon);
+        let stage2 = arachnet_core::rates::TAG_REPLY_GUARD_S
+            + 2.0 * arachnet_core::packet::UL_PACKET_BITS as f64 / 375.0
+            + latency.sample(&mut rng);
+        PingPong {
+            stage1_s: stage1,
+            stage2_s: stage2,
+        }
+    }
+
     /// Fig. 14(b): samples `n` ping-pong latencies.
     pub fn ping_pong_samples(&self, n: usize) -> Vec<PingPong> {
-        let mut tx = BeaconTransmitter::new(250.0, self.seed ^ 0x1414);
-        let latency = LatencyModel::default();
-        let mut rng = TagRng::new(self.seed ^ 0xB0B0);
-        let beacon = DlBeacon::new(DlCmd::ack());
         (0..n)
-            .map(|_| {
-                let stage1 = tx.beacon_duration(&beacon);
-                let stage2 = arachnet_core::rates::TAG_REPLY_GUARD_S
-                    + 2.0 * arachnet_core::packet::UL_PACKET_BITS as f64 / 375.0
-                    + latency.sample(&mut rng);
-                let _ = &mut tx;
-                PingPong {
-                    stage1_s: stage1,
-                    stage2_s: stage2,
-                }
-            })
+            .map(|i| self.ping_pong_sample(trial_seed(self.seed ^ 0x1414, i as u64)))
             .collect()
     }
 
@@ -316,6 +431,41 @@ impl WaveSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn uplink_packet_is_pure_in_seed_and_scratch() {
+        // The same packet seed must decode identically through a fresh
+        // scratch and one warmed on a different tag — scratch contents
+        // must never leak into results.
+        let sim = WaveSim::paper(11);
+        let rx = sim.uplink_rx(375.0);
+        let base = sim.uplink_base_seed(8, 375.0);
+        let mut warm = PhyScratch::default();
+        sim.uplink_packet(&rx, 11, trial_seed(base, 5), &mut warm);
+        let mut fresh = PhyScratch::default();
+        for i in 0..4 {
+            let s = trial_seed(base, i);
+            let a = sim.uplink_packet(&rx, 8, s, &mut fresh);
+            let b = sim.uplink_packet(&rx, 8, s, &mut warm);
+            assert_eq!(a, b, "packet {i} diverged between fresh and warm scratch");
+        }
+        let snr_a = sim.uplink_snr(&rx, 8, &mut fresh);
+        let snr_b = sim.uplink_snr(&rx, 8, &mut warm);
+        assert_eq!(snr_a, snr_b);
+    }
+
+    #[test]
+    fn downlink_beacon_is_pure_in_seed() {
+        let sim = WaveSim::paper(12);
+        let base = sim.downlink_base_seed(8, 250.0);
+        for i in 0..8 {
+            let s = trial_seed(base, i);
+            assert_eq!(
+                sim.downlink_beacon(8, 250.0, s),
+                sim.downlink_beacon(8, 250.0, s)
+            );
+        }
+    }
 
     #[test]
     fn uplink_low_rate_is_reliable() {
@@ -439,4 +589,5 @@ mod tests {
         assert!(guard > 0.5, "guard leak missing: {guard}");
         assert!(wave.len() as f64 / fs > 0.2, "waveform too short");
     }
+
 }

@@ -29,11 +29,33 @@ pub use std::hint::black_box;
 
 use arachnet_sim::metrics::{mean, percentile};
 
+/// Parses an `ARACHNET_BENCH_*` value. `Ok(None)` means the variable was
+/// unset (use the default silently); `Err` carries the malformed text so
+/// the caller can warn instead of silently ignoring a typo like
+/// `ARACHNET_BENCH_SAMPLES=1e3`.
+fn parse_env_u64(value: Option<&str>) -> Result<Option<u64>, String> {
+    match value {
+        None => Ok(None),
+        Some(s) => s
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| s.trim().to_string()),
+    }
+}
+
 fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(default)
+    let raw = std::env::var(key).ok();
+    match parse_env_u64(raw.as_deref()) {
+        Ok(Some(v)) => v,
+        Ok(None) => default,
+        Err(bad) => {
+            eprintln!(
+                "warning: {key}={bad:?} is not a valid integer; using default {default}"
+            );
+            default
+        }
+    }
 }
 
 /// Harness configuration; [`SuiteConfig::default`] reads the
@@ -262,6 +284,17 @@ mod tests {
         assert!(json.contains("\"ns_median\""));
         assert_eq!(json.matches("{\"name\"").count(), 2);
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn env_parse_distinguishes_unset_valid_and_malformed() {
+        assert_eq!(parse_env_u64(None), Ok(None));
+        assert_eq!(parse_env_u64(Some("30")), Ok(Some(30)));
+        assert_eq!(parse_env_u64(Some("  42  ")), Ok(Some(42)));
+        // The classic typo: scientific notation is not a u64.
+        assert_eq!(parse_env_u64(Some("1e3")), Err("1e3".to_string()));
+        assert_eq!(parse_env_u64(Some("")), Err(String::new()));
+        assert_eq!(parse_env_u64(Some("-5")), Err("-5".to_string()));
     }
 
     #[test]

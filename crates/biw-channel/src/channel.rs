@@ -55,6 +55,113 @@ impl Default for ChannelConfig {
     }
 }
 
+/// Largest carrier period (in samples) [`ChannelCache`] will tabulate.
+const MAX_CARRIER_PERIOD: usize = 4096;
+
+/// Smallest `p ≤ MAX_CARRIER_PERIOD` such that `carrier_hz · p / fs` is an
+/// integer number of cycles, i.e. the carrier repeats exactly every `p`
+/// samples (the paper's 90 kHz @ 500 kHz repeats every 50). `None` when the
+/// ratio is irrational (or rational with a huge denominator) — synthesis
+/// then falls back to direct trig.
+fn exact_carrier_period(fs: f64, carrier_hz: f64) -> Option<usize> {
+    if !(fs > 0.0) || !(carrier_hz > 0.0) {
+        return None;
+    }
+    for p in 1..=MAX_CARRIER_PERIOD {
+        let cycles = carrier_hz * p as f64 / fs;
+        if cycles >= 1.0 - 1e-9 && (cycles - cycles.round()).abs() < 1e-9 {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Precomputed per-link synthesis state for one tag site.
+///
+/// Everything the per-sample uplink loop needs is folded into two
+/// period-length tables: `refl_tab[n] = up_gain · ρ(Reflective) · sin(ωn)`
+/// and the absorptive twin, so adding a tag's contribution is one table
+/// lookup and one add per sample.
+#[derive(Debug, Clone)]
+pub struct TagLink {
+    /// Tag ID (deployment site ID).
+    pub id: u8,
+    /// Uplink amplitude: drive amplitude × round-trip path gain.
+    pub up_gain: f64,
+    /// Uplink delay in samples (round trip).
+    pub up_delay: usize,
+    /// Downlink path gain (one way).
+    pub dl_gain: f64,
+    /// Downlink delay in samples (one way).
+    pub dl_delay: usize,
+    /// Steady-state open-circuit carrier voltage at the tag (volts).
+    pub carrier_voltage: f64,
+    refl_tab: Vec<f64>,
+    abso_tab: Vec<f64>,
+}
+
+/// Per-deployment synthesis cache: carrier lookup tables plus one
+/// [`TagLink`] per site, built once when the channel is constructed so no
+/// geometry lookup, reflection-coefficient evaluation or trig call happens
+/// inside the per-sample synthesis loops.
+#[derive(Debug, Clone)]
+pub struct ChannelCache {
+    period: Option<usize>,
+    leak_tab: Vec<f64>,
+    links: Vec<TagLink>,
+}
+
+impl ChannelCache {
+    fn build(config: &ChannelConfig, deployment: &Deployment, tag_pzt: &Pzt) -> Self {
+        let fs = config.sample_rate;
+        let w = 2.0 * std::f64::consts::PI * config.carrier_hz / fs;
+        let period = exact_carrier_period(fs, config.carrier_hz);
+        let p = period.unwrap_or(0);
+        let sin_tab: Vec<f64> = (0..p).map(|n| (w * n as f64).sin()).collect();
+        let leak_tab = sin_tab.iter().map(|s| config.carrier_leakage * s).collect();
+        let rho_refl = tag_pzt.reflect(1.0, PztState::Reflective);
+        let rho_abso = tag_pzt.reflect(1.0, PztState::Absorptive);
+        let links = deployment
+            .sites
+            .iter()
+            .map(|site| {
+                let up_gain = config.drive_amplitude * site.path.round_trip_gain();
+                TagLink {
+                    id: site.id,
+                    up_gain,
+                    up_delay: 2 * site.path.delay_samples(fs),
+                    dl_gain: site.path.gain(),
+                    dl_delay: site.path.delay_samples(fs),
+                    carrier_voltage: tag_pzt
+                        .open_circuit_voltage(config.drive_amplitude * site.path.gain()),
+                    refl_tab: sin_tab.iter().map(|s| up_gain * rho_refl * s).collect(),
+                    abso_tab: sin_tab.iter().map(|s| up_gain * rho_abso * s).collect(),
+                }
+            })
+            .collect();
+        Self {
+            period,
+            leak_tab,
+            links,
+        }
+    }
+
+    /// Exact carrier period in samples, when one exists.
+    pub fn period(&self) -> Option<usize> {
+        self.period
+    }
+
+    /// Link parameters for tag `id`, if the deployment has that site.
+    pub fn link(&self, id: u8) -> Option<&TagLink> {
+        self.links.iter().find(|l| l.id == id)
+    }
+
+    /// All links, ordered as the deployment's sites.
+    pub fn links(&self) -> &[TagLink] {
+        &self.links
+    }
+}
+
 /// The waveform-level BiW channel.
 ///
 /// ```
@@ -71,24 +178,24 @@ pub struct BiwChannel {
     config: ChannelConfig,
     deployment: Deployment,
     tag_pzt: Pzt,
+    cache: ChannelCache,
 }
 
 impl BiwChannel {
     /// Channel over the paper's 12-tag deployment.
     pub fn paper(config: ChannelConfig) -> Self {
-        Self {
-            config,
-            deployment: Deployment::paper(),
-            tag_pzt: Pzt::arachnet_tag(),
-        }
+        Self::new(config, Deployment::paper())
     }
 
     /// Channel over a custom deployment.
     pub fn new(config: ChannelConfig, deployment: Deployment) -> Self {
+        let tag_pzt = Pzt::arachnet_tag();
+        let cache = ChannelCache::build(&config, &deployment, &tag_pzt);
         Self {
             config,
             deployment,
-            tag_pzt: Pzt::arachnet_tag(),
+            tag_pzt,
+            cache,
         }
     }
 
@@ -107,15 +214,16 @@ impl BiwChannel {
         &self.tag_pzt
     }
 
+    /// Precomputed per-deployment synthesis cache.
+    pub fn cache(&self) -> &ChannelCache {
+        &self.cache
+    }
+
     /// Steady-state carrier amplitude (≡ open-circuit voltage, volts) at a
     /// tag while the reader transmits continuously. This is the `V_P` that
     /// feeds the voltage multiplier in Fig. 11's experiment.
     pub fn tag_carrier_voltage(&self, tag_id: u8) -> Option<f64> {
-        let site = self.deployment.site(tag_id)?;
-        Some(
-            self.tag_pzt
-                .open_circuit_voltage(self.config.drive_amplitude * site.path.gain()),
-        )
+        Some(self.cache.link(tag_id)?.carrier_voltage)
     }
 
     /// Downlink synthesis: the voltage waveform at a tag's PZT while the
@@ -129,7 +237,7 @@ impl BiwChannel {
         levels: &[bool],
         samples_per_level: usize,
     ) -> Option<Vec<f64>> {
-        let site = self.deployment.site(tag_id)?;
+        let link = self.cache.link(tag_id)?;
         let fs = self.config.sample_rate;
         let (drive, driven) = synthesize_drive_flagged(
             self.config.drive_scheme,
@@ -141,8 +249,8 @@ impl BiwChannel {
         );
         let mut resonator = Resonator::arachnet(fs);
         let vibration = resonator.process_block_driven(&drive, &driven);
-        let gain = site.path.gain();
-        let delay = site.path.delay_samples(fs);
+        let gain = link.dl_gain;
+        let delay = link.dl_delay;
         let mut noise =
             ChannelNoise::new(self.config.noise, fs, self.config.seed ^ u64::from(tag_id));
         let mut out = Vec::with_capacity(vibration.len());
@@ -165,44 +273,119 @@ impl BiwChannel {
     /// carrier delayed by its round trip, scaled by the round-trip path
     /// gain and the tag's instantaneous reflection coefficient.
     pub fn uplink_waveform(&self, tags: &[(u8, &[PztState])], len: usize) -> Vec<f64> {
+        self.uplink_waveform_seeded(tags, len, self.config.seed)
+    }
+
+    /// [`BiwChannel::uplink_waveform`] with an explicit noise seed: the
+    /// result is what a channel rebuilt with `ChannelConfig { seed, .. }`
+    /// would synthesize, without rebuilding anything.
+    pub fn uplink_waveform_seeded(
+        &self,
+        tags: &[(u8, &[PztState])],
+        len: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.uplink_waveform_seeded_into(tags, len, seed, &mut out);
+        out
+    }
+
+    /// Allocation-free uplink synthesis: clears and refills `out` (reusing
+    /// its capacity) with the same waveform `uplink_waveform_seeded` would
+    /// return. This is the block-processing fast path: noise is streamed
+    /// into the buffer first, then the leakage carrier and each tag's
+    /// contribution are added from the per-deployment [`ChannelCache`]
+    /// tables — no allocation and no trig inside the per-sample loop when
+    /// the carrier has an exact period.
+    pub fn uplink_waveform_seeded_into(
+        &self,
+        tags: &[(u8, &[PztState])],
+        len: usize,
+        seed: u64,
+        out: &mut Vec<f64>,
+    ) {
+        let fs = self.config.sample_rate;
+        out.clear();
+        out.resize(len, 0.0);
+        let mut noise = ChannelNoise::new(self.config.noise, fs, seed ^ 0xA5A5);
+        noise.fill(out);
+        match self.cache.period {
+            Some(p) => self.uplink_add_tabulated(tags, out, p),
+            None => self.uplink_add_direct(tags, out),
+        }
+    }
+
+    /// Adds leakage + tag contributions via the period-length tables.
+    fn uplink_add_tabulated(&self, tags: &[(u8, &[PztState])], out: &mut [f64], p: usize) {
+        let leak = &self.cache.leak_tab;
+        let mut phase = 0;
+        for x in out.iter_mut() {
+            *x += leak[phase];
+            phase += 1;
+            if phase == p {
+                phase = 0;
+            }
+        }
+        for &(id, states) in tags {
+            let Some(link) = self.cache.link(id) else {
+                continue;
+            };
+            let d = link.up_delay;
+            if d >= out.len() {
+                continue;
+            }
+            // Streams shorter than the slot stay absorptive afterwards.
+            let active = states.len().min(out.len() - d);
+            let (refl, abso) = (&link.refl_tab, &link.abso_tab);
+            let mut phase = 0;
+            for (x, &state) in out[d..d + active].iter_mut().zip(states) {
+                *x += if state == PztState::Reflective {
+                    refl[phase]
+                } else {
+                    abso[phase]
+                };
+                phase += 1;
+                if phase == p {
+                    phase = 0;
+                }
+            }
+            for x in out[d + active..].iter_mut() {
+                *x += abso[phase];
+                phase += 1;
+                if phase == p {
+                    phase = 0;
+                }
+            }
+        }
+    }
+
+    /// Fallback when the carrier has no exact sample period: direct trig.
+    fn uplink_add_direct(&self, tags: &[(u8, &[PztState])], out: &mut [f64]) {
         let fs = self.config.sample_rate;
         let w = 2.0 * std::f64::consts::PI * self.config.carrier_hz / fs;
-        let mut noise = ChannelNoise::new(self.config.noise, fs, self.config.seed ^ 0xA5A5);
-        // Pre-compute per-tag parameters.
-        struct TagPath {
-            gain: f64,
-            delay: usize,
+        for (i, x) in out.iter_mut().enumerate() {
+            *x += self.config.carrier_leakage * (w * i as f64).sin();
         }
-        let paths: Vec<(TagPath, &[PztState])> = tags
-            .iter()
-            .filter_map(|&(id, states)| {
-                let site = self.deployment.site(id)?;
-                Some((
-                    TagPath {
-                        gain: self.config.drive_amplitude * site.path.round_trip_gain(),
-                        delay: 2 * site.path.delay_samples(fs),
-                    },
-                    states,
-                ))
-            })
-            .collect();
-        let mut out = Vec::with_capacity(len);
-        for i in 0..len {
-            let carrier = (w * i as f64).sin();
-            let mut sample = self.config.carrier_leakage * carrier;
-            for (path, states) in &paths {
-                if i < path.delay {
-                    continue;
-                }
-                let j = i - path.delay;
-                let state = states.get(j).copied().unwrap_or(PztState::Absorptive);
-                let rho = self.tag_pzt.reflect(1.0, state);
-                let delayed_carrier = (w * j as f64).sin();
-                sample += path.gain * rho * delayed_carrier;
+        let rho_refl = self.tag_pzt.reflect(1.0, PztState::Reflective);
+        let rho_abso = self.tag_pzt.reflect(1.0, PztState::Absorptive);
+        for &(id, states) in tags {
+            let Some(link) = self.cache.link(id) else {
+                continue;
+            };
+            let d = link.up_delay;
+            if d >= out.len() {
+                continue;
             }
-            out.push(sample + noise.next());
+            for (j, x) in out[d..].iter_mut().enumerate() {
+                let state = states.get(j).copied().unwrap_or(PztState::Absorptive);
+                let rho = if state == PztState::Reflective {
+                    rho_refl
+                } else {
+                    rho_abso
+                };
+                *x += link.up_gain * rho * (w * j as f64).sin();
+            }
         }
-        out
     }
 
     /// Expands a raw-bit line stream into per-sample PZT states (raw bit
@@ -381,6 +564,62 @@ mod tests {
         assert_eq!(s.len(), 6);
         assert!(s[..3].iter().all(|&x| x == PztState::Reflective));
         assert!(s[3..].iter().all(|&x| x == PztState::Absorptive));
+    }
+
+    #[test]
+    fn paper_carrier_has_exact_50_sample_period() {
+        // 90 kHz @ 500 kHz repeats every 50 samples (9 full cycles).
+        let ch = quiet_channel();
+        assert_eq!(ch.cache().period(), Some(50));
+        assert_eq!(exact_carrier_period(44_100.0, 12_345.678), None);
+    }
+
+    #[test]
+    fn tabulated_synthesis_matches_direct_trig() {
+        // The table fast path and the trig fallback must agree to within
+        // carrier-phase rounding (the tables are exact; direct sin(w*j)
+        // accumulates ~j*eps of phase error).
+        let ch = quiet_channel();
+        let spb = 1_333;
+        let states = BiwChannel::states_from_raw_bits(&[true, false, true, false], spb);
+        let tags: [(u8, &[PztState]); 2] = [(8, &states), (11, &states)];
+        let len = states.len() + 2_000;
+        let mut fast = Vec::new();
+        ch.uplink_waveform_seeded_into(&tags, len, 1, &mut fast);
+        let mut direct = vec![0.0; len];
+        ch.uplink_add_direct(&tags, &mut direct);
+        for (i, (a, b)) in fast.iter().zip(&direct).enumerate() {
+            assert!((a - b).abs() < 1e-6, "sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn seeded_waveform_matches_rebuilt_channel() {
+        // uplink_waveform_seeded(seed) ≡ rebuilding the channel with that
+        // seed — this is what lets callers vary noise per packet without
+        // reconstructing the cache.
+        let rebuilt = BiwChannel::paper(ChannelConfig {
+            seed: 77,
+            ..ChannelConfig::default()
+        });
+        let base = BiwChannel::paper(ChannelConfig::default());
+        let states = BiwChannel::states_from_raw_bits(&[true, false, true], 500);
+        let a = rebuilt.uplink_waveform(&[(5, &states)], 2_000);
+        let b = base.uplink_waveform_seeded(&[(5, &states)], 2_000, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_into_reuses_capacity() {
+        let ch = quiet_channel();
+        let mut buf = Vec::new();
+        ch.uplink_waveform_seeded_into(&[], 10_000, 1, &mut buf);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        ch.uplink_waveform_seeded_into(&[], 8_000, 2, &mut buf);
+        assert_eq!(buf.len(), 8_000);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
     }
 
     #[test]

@@ -136,9 +136,32 @@ impl ChannelNoise {
         vib + self.cfg.floor_sigma * self.src.gaussian()
     }
 
+    /// Overwrites `out` with the next `out.len()` noise samples
+    /// (allocation-free counterpart of [`ChannelNoise::block`]). Produces
+    /// the exact stream repeated [`ChannelNoise::next`] calls would; when
+    /// the vibration component is off, it skips the per-sample time
+    /// bookkeeping that component needs.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        if self.cfg.vibration_amp > 0.0 {
+            for x in out.iter_mut() {
+                *x = self.next();
+            }
+            return;
+        }
+        // Floor-only fast path: the `0.0 +` mirrors `vib +` in `next` so
+        // the emitted values match it bit for bit (-0.0 included).
+        let sigma = self.cfg.floor_sigma;
+        self.n += out.len() as u64;
+        for x in out.iter_mut() {
+            *x = 0.0 + sigma * self.src.gaussian();
+        }
+    }
+
     /// Fills a block with noise.
     pub fn block(&mut self, len: usize) -> Vec<f64> {
-        (0..len).map(|_| self.next()).collect()
+        let mut out = vec![0.0; len];
+        self.fill(&mut out);
+        out
     }
 }
 
@@ -172,6 +195,23 @@ mod tests {
         let mut b = ChannelNoise::new(NoiseConfig::default(), 500e3, 2);
         let same = (0..64).filter(|_| a.next() == b.next()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn fill_matches_streaming_next() {
+        // The fast path must emit the exact stream `next` would, including
+        // across fill boundaries (the vibration clock keeps advancing).
+        for cfg in [NoiseConfig::default(), NoiseConfig::vehicle_running()] {
+            let mut a = ChannelNoise::new(cfg, 500e3, 21);
+            let mut b = ChannelNoise::new(cfg, 500e3, 21);
+            let mut buf = [0.0; 257];
+            for _ in 0..2 {
+                a.fill(&mut buf);
+                for x in buf {
+                    assert_eq!(x, b.next());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_seed1-bcf5285194b157c3.d: tests/golden_seed1.rs
+
+/root/repo/target/debug/deps/golden_seed1-bcf5285194b157c3: tests/golden_seed1.rs
+
+tests/golden_seed1.rs:

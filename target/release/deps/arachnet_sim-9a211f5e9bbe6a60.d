@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/arachnet_sim-9a211f5e9bbe6a60.d: crates/arachnet-sim/src/lib.rs crates/arachnet-sim/src/aloha.rs crates/arachnet-sim/src/config.rs crates/arachnet-sim/src/cosim.rs crates/arachnet-sim/src/metrics.rs crates/arachnet-sim/src/patterns.rs crates/arachnet-sim/src/slotsim.rs crates/arachnet-sim/src/sweep.rs crates/arachnet-sim/src/vanilla.rs crates/arachnet-sim/src/wavesim.rs
+
+/root/repo/target/release/deps/arachnet_sim-9a211f5e9bbe6a60: crates/arachnet-sim/src/lib.rs crates/arachnet-sim/src/aloha.rs crates/arachnet-sim/src/config.rs crates/arachnet-sim/src/cosim.rs crates/arachnet-sim/src/metrics.rs crates/arachnet-sim/src/patterns.rs crates/arachnet-sim/src/slotsim.rs crates/arachnet-sim/src/sweep.rs crates/arachnet-sim/src/vanilla.rs crates/arachnet-sim/src/wavesim.rs
+
+crates/arachnet-sim/src/lib.rs:
+crates/arachnet-sim/src/aloha.rs:
+crates/arachnet-sim/src/config.rs:
+crates/arachnet-sim/src/cosim.rs:
+crates/arachnet-sim/src/metrics.rs:
+crates/arachnet-sim/src/patterns.rs:
+crates/arachnet-sim/src/slotsim.rs:
+crates/arachnet-sim/src/sweep.rs:
+crates/arachnet-sim/src/vanilla.rs:
+crates/arachnet-sim/src/wavesim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_network-b405534ac7e49861.d: tests/end_to_end_network.rs
+
+/root/repo/target/release/deps/end_to_end_network-b405534ac7e49861: tests/end_to_end_network.rs
+
+tests/end_to_end_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-02916c0c9656ac04.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-02916c0c9656ac04: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phy-c153a705c52cf748.d: crates/bench/benches/phy.rs
+
+/root/repo/target/release/deps/phy-c153a705c52cf748: crates/bench/benches/phy.rs
+
+crates/bench/benches/phy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phy_roundtrip-3cbfc3724e3b6011.d: tests/phy_roundtrip.rs
+
+/root/repo/target/release/deps/phy_roundtrip-3cbfc3724e3b6011: tests/phy_roundtrip.rs
+
+tests/phy_roundtrip.rs:

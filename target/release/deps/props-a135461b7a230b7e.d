@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-a135461b7a230b7e.d: tests/props.rs
+
+/root/repo/target/release/deps/props-a135461b7a230b7e: tests/props.rs
+
+tests/props.rs:

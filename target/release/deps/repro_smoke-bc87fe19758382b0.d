@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/repro_smoke-bc87fe19758382b0.d: tests/repro_smoke.rs tests/../EXPERIMENTS.md
+
+/root/repo/target/release/deps/repro_smoke-bc87fe19758382b0: tests/repro_smoke.rs tests/../EXPERIMENTS.md
+
+tests/repro_smoke.rs:
+tests/../EXPERIMENTS.md:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/battery_monitoring-a4faeb9e91ee01e7.d: examples/battery_monitoring.rs
+
+/root/repo/target/release/examples/battery_monitoring-a4faeb9e91ee01e7: examples/battery_monitoring.rs
+
+examples/battery_monitoring.rs:

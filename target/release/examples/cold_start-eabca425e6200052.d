@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cold_start-eabca425e6200052.d: examples/cold_start.rs
+
+/root/repo/target/release/examples/cold_start-eabca425e6200052: examples/cold_start.rs
+
+examples/cold_start.rs:

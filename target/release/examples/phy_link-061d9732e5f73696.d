@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/phy_link-061d9732e5f73696.d: examples/phy_link.rs
+
+/root/repo/target/release/examples/phy_link-061d9732e5f73696: examples/phy_link.rs
+
+examples/phy_link.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/prof_snr-0c692cb6dcf01f86.d: crates/bench/examples/prof_snr.rs
+
+/root/repo/target/release/examples/prof_snr-0c692cb6dcf01f86: crates/bench/examples/prof_snr.rs
+
+crates/bench/examples/prof_snr.rs:

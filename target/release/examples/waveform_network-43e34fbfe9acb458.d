@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/waveform_network-43e34fbfe9acb458.d: examples/waveform_network.rs
+
+/root/repo/target/release/examples/waveform_network-43e34fbfe9acb458: examples/waveform_network.rs
+
+examples/waveform_network.rs:

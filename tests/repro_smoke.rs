@@ -102,3 +102,19 @@ fn every_registered_experiment_regenerates() {
         }
     }
 }
+
+#[test]
+fn every_registered_experiment_is_thread_count_invariant() {
+    // `--threads` must change only the wall clock, never the report: every
+    // experiment's output at 1 worker must be byte-identical to 4 workers.
+    for e in registry::all() {
+        let one = e.run(&Params::quick(9).with_threads(1)).render();
+        let four = e.run(&Params::quick(9).with_threads(4)).render();
+        assert_eq!(
+            one,
+            four,
+            "{}: report differs between --threads 1 and --threads 4",
+            e.id()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo verification: build, full test suite, a quick pass over every
+# registered experiment, and the parallel-sweep determinism check
+# (byte-identical `repro` output at 1 vs 8 worker threads).
+#
+# Usage: tools/verify.sh [seed]     (default seed 7)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed="${1:-7}"
+repro=target/release/repro
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== quick pass over every artifact =="
+"$repro" all --quick --seed "$seed" > /dev/null
+
+echo "== thread-count determinism (seed $seed) =="
+tmp1="$(mktemp)" tmp8="$(mktemp)"
+trap 'rm -f "$tmp1" "$tmp8"' EXIT
+for artifact in fig12a12b fig13a fig14b; do
+  "$repro" "$artifact" --quick --seed "$seed" --threads 1 > "$tmp1"
+  "$repro" "$artifact" --quick --seed "$seed" --threads 8 > "$tmp8"
+  if ! cmp -s "$tmp1" "$tmp8"; then
+    echo "FAIL: $artifact differs between --threads 1 and --threads 8" >&2
+    diff "$tmp1" "$tmp8" | head >&2
+    exit 1
+  fi
+  echo "   $artifact: byte-identical at 1 vs 8 threads"
+done
+
+echo "verify: OK"
