@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn appending_crc_zeroes_register() {
         let mut msg = BitBuf::new();
-        msg.push_u32(0xABC_DE, 20);
+        msg.push_u32(0x000A_BCDE, 20);
         let crc = crc8_bits(msg.iter());
         let mut framed = msg.clone();
         framed.push_u8(crc, 8);
@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn detects_any_single_bit_error() {
         let mut msg = BitBuf::new();
-        msg.push_u32(0x00F0_0D, 24);
+        msg.push_u32(0x0000_F00D, 24);
         let crc = crc8_bits(msg.iter());
         let mut framed = msg.clone();
         framed.push_u8(crc, 8);

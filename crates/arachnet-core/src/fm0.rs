@@ -90,7 +90,7 @@ impl std::error::Error for Fm0Error {}
 /// invariant, which catches symbol slips; the plain pair rule (equal = 1,
 /// differ = 0) is applied either way.
 pub fn decode(raw: &BitBuf, check_boundaries: bool) -> Result<BitBuf, Fm0Error> {
-    if raw.len() % 2 != 0 {
+    if !raw.len().is_multiple_of(2) {
         return Err(Fm0Error::OddLength);
     }
     let mut out = BitBuf::with_capacity(raw.len() / 2);
@@ -220,7 +220,7 @@ mod tests {
         // All-zero data (every symbol has a mid transition) must be perfectly
         // DC balanced.
         let mut enc = Fm0Encoder::new();
-        let raw = enc.encode(std::iter::repeat(false).take(64));
+        let raw = enc.encode(std::iter::repeat_n(false, 64));
         let ones = raw.iter().filter(|&b| b).count();
         assert_eq!(ones, 64);
     }

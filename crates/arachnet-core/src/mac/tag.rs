@@ -26,6 +26,7 @@ use crate::mac::ProtocolConfig;
 use crate::packet::DlCmd;
 use crate::rng::TagRng;
 use crate::slot::Period;
+use arachnet_obs::{EventKind, MigrateReason};
 
 /// Primary state of the machine (Fig. 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +66,11 @@ pub struct TagMac {
     /// tip-toe in through EMPTY slots.
     new_arrival: bool,
     rng: TagRng,
+    /// State-machine transitions from the most recent callback
+    /// (`on_beacon` / `on_beacon_timeout` / `power_on_reset`), for the
+    /// sim layer's flight recorder. Cleared at the start of each callback;
+    /// capacity is reused, so pushes allocate at most once per tag.
+    events: Vec<EventKind>,
 }
 
 impl TagMac {
@@ -82,6 +88,7 @@ impl TagMac {
             integrated: false,
             new_arrival: true,
             rng,
+            events: Vec::new(),
         };
         mac.offset = mac.random_offset();
         mac
@@ -137,18 +144,36 @@ impl TagMac {
         self.rng.below(u64::from(self.period.get())) as u32
     }
 
+    /// State-machine transition events from the most recent callback
+    /// (flight-recorder feed; see `arachnet-obs`). The slice is valid until
+    /// the next `on_beacon` / `on_beacon_timeout` / `power_on_reset` call.
+    pub fn events(&self) -> &[EventKind] {
+        &self.events
+    }
+
+    fn migrate_to(&mut self, reason: MigrateReason) {
+        let from = self.offset as u16;
+        self.offset = self.random_offset();
+        self.events.push(EventKind::TagMigrated { from, to: self.offset as u16, reason });
+    }
+
     /// Handles a decoded beacon. The beacon closes the previous slot
     /// (delivering its ACK/NACK) and opens the next; the returned action
     /// says whether to transmit in the newly opened slot.
     pub fn on_beacon(&mut self, cmd: DlCmd) -> TagAction {
+        self.events.clear();
         if cmd.reset {
-            self.apply_reset();
+            self.apply_reset(MigrateReason::Reset);
             return TagAction { transmit: false };
         }
 
         // 1. Feedback phase — only relevant if we transmitted last slot.
         if self.tx_last_slot {
+            self.events.push(EventKind::AckNack { ack: cmd.ack });
             if cmd.ack {
+                if self.state == MacState::Migrate {
+                    self.events.push(EventKind::Settled { offset: self.offset as u16 });
+                }
                 self.state = MacState::Settle;
                 self.nack_run = 0;
                 self.integrated = true;
@@ -157,13 +182,13 @@ impl TagMac {
                 match self.state {
                     MacState::Migrate => {
                         // Collision while probing: try a different offset.
-                        self.offset = self.random_offset();
+                        self.migrate_to(MigrateReason::FeedbackNack);
                     }
                     MacState::Settle => {
                         self.nack_run += 1;
                         if self.nack_run >= self.config.nack_threshold {
                             self.state = MacState::Migrate;
-                            self.offset = self.random_offset();
+                            self.migrate_to(MigrateReason::NackRun);
                             self.nack_run = 0;
                         }
                     }
@@ -181,7 +206,7 @@ impl TagMac {
             // Our chosen slot is predicted occupied: abandoning the turn
             // without re-selecting would stall forever, so migrate to a new
             // candidate offset and wait for an EMPTY slot there.
-            self.offset = self.random_offset();
+            self.migrate_to(MigrateReason::EmptyGated);
         }
         let transmit = my_turn && !gated;
         self.tx_last_slot = transmit;
@@ -192,12 +217,13 @@ impl TagMac {
     /// expired without a decode — Sec. 5.4 refinement). The local counter
     /// does **not** advance; the tag conservatively migrates.
     pub fn on_beacon_timeout(&mut self) {
+        self.events.clear();
         // We certainly did not transmit in the lost slot: transmissions are
         // beacon-triggered (reader-talks-first).
         self.tx_last_slot = false;
         if self.config.beacon_timeout_migrate {
             self.state = MacState::Migrate;
-            self.offset = self.random_offset();
+            self.migrate_to(MigrateReason::BeaconTimeout);
             self.nack_run = 0;
         }
     }
@@ -207,13 +233,14 @@ impl TagMac {
     /// RESET beacon, but initiated by hardware. The RNG stream continues —
     /// a rebooted tag does not replay its old offset choices.
     pub fn power_on_reset(&mut self) {
-        self.apply_reset();
+        self.events.clear();
+        self.apply_reset(MigrateReason::PowerOnReset);
         self.new_arrival = true; // overrides apply_reset: cold boots are new
     }
 
-    fn apply_reset(&mut self) {
+    fn apply_reset(&mut self, reason: MigrateReason) {
         self.state = MacState::Migrate;
-        self.offset = self.random_offset();
+        self.migrate_to(reason);
         self.local_slot = 0;
         self.nack_run = 0;
         self.tx_last_slot = false;
@@ -532,6 +559,44 @@ mod tests {
         }
         // One NACK won't unsettle it (N=3), so it must have fired.
         assert!(fired, "settled tag must ignore EMPTY gating");
+    }
+
+    #[test]
+    fn transitions_surface_as_events() {
+        use arachnet_obs::{EventKind, MigrateReason};
+        let mut tag = mk(4, 43);
+        drive_to_tx(&mut tag, 8);
+        tag.on_beacon(beacon_ack());
+        // ACK while migrating: AckNack + Settled.
+        assert!(tag
+            .events()
+            .iter()
+            .any(|e| matches!(e, EventKind::Settled { .. })));
+        assert!(tag
+            .events()
+            .iter()
+            .any(|e| matches!(e, EventKind::AckNack { ack: true })));
+        // Three NACKs evict: the third carries a nack-run migration.
+        for _ in 0..3 {
+            drive_to_tx(&mut tag, 8);
+            tag.on_beacon(beacon_nack());
+        }
+        assert!(tag.events().iter().any(|e| matches!(
+            e,
+            EventKind::TagMigrated { reason: MigrateReason::NackRun, .. }
+        )));
+        // Beacon timeout migrates with its own reason.
+        tag.on_beacon_timeout();
+        assert!(tag.events().iter().any(|e| matches!(
+            e,
+            EventKind::TagMigrated { reason: MigrateReason::BeaconTimeout, .. }
+        )));
+        // Events are cleared by the next callback.
+        tag.on_beacon(beacon_nack());
+        assert!(!tag.events().iter().any(|e| matches!(
+            e,
+            EventKind::TagMigrated { reason: MigrateReason::BeaconTimeout, .. }
+        )));
     }
 
     #[test]

@@ -181,9 +181,9 @@ impl<'a> ChainBuilder<'a> {
                         })
                         .collect()
                 };
-                if !t.settled {
-                    alternatives.push(migrate_uniform());
-                } else if t.nacks + 1 >= self.cfg.nack_threshold {
+                // Unsettled tags and settled tags crossing the NACK
+                // threshold both migrate uniformly; stay otherwise.
+                if !t.settled || t.nacks + 1 >= self.cfg.nack_threshold {
                     alternatives.push(migrate_uniform());
                 } else {
                     alternatives.push(vec![(

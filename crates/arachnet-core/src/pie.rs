@@ -1,8 +1,8 @@
 //! Pulse-interval encoding (PIE) for the downlink (Sec. 4.1, Fig. 6a).
 //!
-//! The reader keys the 90 kHz carrier on and off; the tag's envelope detector
-//! + comparator turn this into a binary waveform. Each PIE symbol is a HIGH
-//! pulse followed by exactly one LOW raw interval:
+//! The reader keys the 90 kHz carrier on and off; the tag's envelope
+//! detector and comparator turn this into a binary waveform. Each PIE
+//! symbol is a HIGH pulse followed by exactly one LOW raw interval:
 //!
 //! * bit **0** → raw `10`  (high for 1 interval, low for 1);
 //! * bit **1** → raw `110` (high for 2 intervals, low for 1).
@@ -201,8 +201,8 @@ mod tests {
     fn beacon_raw_length_matches_paper_math() {
         // A 10-bit DL beacon with k ones occupies 20 + k raw bits; at the
         // default 250 bps this is 80–120 ms, matching Sec. 4.2's "short DL".
-        let all_zero = encode(std::iter::repeat(false).take(10));
-        let all_one = encode(std::iter::repeat(true).take(10));
+        let all_zero = encode(std::iter::repeat_n(false, 10));
+        let all_one = encode(std::iter::repeat_n(true, 10));
         assert_eq!(all_zero.len(), 20);
         assert_eq!(all_one.len(), 30);
     }

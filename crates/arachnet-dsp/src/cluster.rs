@@ -217,7 +217,7 @@ pub fn cluster_iq(samples: &[Cplx], cfg: ClusterConfig) -> Vec<Cluster> {
                 .zip(run.pops)
                 .map(|(center, population)| Cluster { center, population })
                 .collect();
-            out.sort_by(|a, b| b.population.cmp(&a.population));
+            out.sort_by_key(|c| std::cmp::Reverse(c.population));
             return out;
         }
     }

@@ -97,7 +97,7 @@ pub fn normalized_correlation(signal: &[f64], template: &[f64]) -> Vec<f64> {
 pub fn best_lag(scores: &[f64], threshold: f64) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &s) in scores.iter().enumerate() {
-        if s >= threshold && best.map_or(true, |(_, b)| s > b) {
+        if s >= threshold && best.is_none_or(|(_, b)| s > b) {
             best = Some((i, s));
         }
     }
@@ -109,7 +109,7 @@ pub fn bits_to_template(bits: &[bool], samples_per_bit: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(bits.len() * samples_per_bit);
     for &b in bits {
         let v = if b { 1.0 } else { -1.0 };
-        out.extend(std::iter::repeat(v).take(samples_per_bit));
+        out.extend(std::iter::repeat_n(v, samples_per_bit));
     }
     out
 }
@@ -140,7 +140,7 @@ mod tests {
         let mut c = BitCorrelator::exact(&PAT);
         let mut corrupted = PAT;
         corrupted[2] = !corrupted[2];
-        let hit = corrupted.iter().map(|&b| c.push(b)).any(|h| h);
+        let hit = corrupted.iter().any(|&b| c.push(b));
         assert!(!hit);
     }
 
@@ -149,14 +149,14 @@ mod tests {
         let mut c = BitCorrelator::with_tolerance(&PAT, 1);
         let mut corrupted = PAT;
         corrupted[2] = !corrupted[2];
-        let hit = corrupted.iter().map(|&b| c.push(b)).any(|h| h);
+        let hit = corrupted.iter().any(|&b| c.push(b));
         assert!(hit);
         // But two errors still fail.
         let mut c2 = BitCorrelator::with_tolerance(&PAT, 1);
         let mut twice = PAT;
         twice[0] = !twice[0];
         twice[3] = !twice[3];
-        let hit2 = twice.iter().map(|&b| c2.push(b)).any(|h| h);
+        let hit2 = twice.iter().any(|&b| c2.push(b));
         assert!(!hit2);
     }
 

@@ -187,6 +187,9 @@ impl RealFft {
         let z0 = self.packed[0];
         out[0] = Cplx::new(z0.re + z0.im, 0.0);
         out[m] = Cplx::new(z0.re - z0.im, 0.0);
+        // Index form kept: `k` addresses packed[k], its mirror packed[m-k],
+        // twiddle[k] and out[k] at once.
+        #[allow(clippy::needless_range_loop)]
         for k in 1..m {
             let zk = self.packed[k];
             let zc = self.packed[m - k].conj();

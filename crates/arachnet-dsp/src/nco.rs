@@ -37,6 +37,10 @@ impl Nco {
     }
 
     /// Next complex oscillator sample `e^{jφ}`.
+    ///
+    /// Not an `Iterator`: the oscillator never ends and returning
+    /// `Option<Cplx>` from the per-sample hot path would be noise.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Cplx {
         let z = Cplx::cis(self.phase);
         self.phase += self.step;
@@ -102,7 +106,7 @@ impl CarrierTable {
     /// Builds the table when an exact period `p ≤ max_period` exists;
     /// `None` otherwise (callers fall back to [`DownConverter`]).
     pub fn exact(fs: f64, carrier: f64, max_period: usize) -> Option<Self> {
-        if !(fs > 0.0) || !(carrier > 0.0) {
+        if fs <= 0.0 || carrier <= 0.0 || fs.is_nan() || carrier.is_nan() {
             return None;
         }
         let period = (1..=max_period).find(|&p| {

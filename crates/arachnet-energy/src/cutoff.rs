@@ -161,7 +161,8 @@ mod tests {
 
     #[test]
     fn quiescent_current_below_appendix_bound() {
-        assert!(CUTOFF_QUIESCENT_A < 1.0e-6);
+        let quiescent = CUTOFF_QUIESCENT_A;
+        assert!(quiescent < 1.0e-6, "cutoff quiescent draw {quiescent} A exceeds 1 uA");
     }
 
     #[test]

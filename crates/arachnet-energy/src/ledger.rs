@@ -117,6 +117,9 @@ impl PowerMode {
 pub struct PowerLedger {
     energy_j: f64,
     time_s: f64,
+    rx_s: f64,
+    tx_s: f64,
+    idle_s: f64,
 }
 
 impl PowerLedger {
@@ -130,6 +133,11 @@ impl PowerLedger {
         assert!(dt >= 0.0);
         self.energy_j += mode.power() * dt;
         self.time_s += dt;
+        match mode {
+            PowerMode::Rx { .. } => self.rx_s += dt,
+            PowerMode::Tx { .. } => self.tx_s += dt,
+            PowerMode::Idle => self.idle_s += dt,
+        }
     }
 
     /// Total energy consumed (J).
@@ -140,6 +148,31 @@ impl PowerLedger {
     /// Total time accounted (s).
     pub fn time(&self) -> f64 {
         self.time_s
+    }
+
+    /// Time spent receiving (s).
+    pub fn rx_time(&self) -> f64 {
+        self.rx_s
+    }
+
+    /// Time spent transmitting (s).
+    pub fn tx_time(&self) -> f64 {
+        self.tx_s
+    }
+
+    /// Time spent idle (s).
+    pub fn idle_time(&self) -> f64 {
+        self.idle_s
+    }
+
+    /// Fraction of accounted time spent in RX or TX — the harvester duty
+    /// cycle the paper's energy section keys on. 0.0 for an empty ledger.
+    pub fn active_duty(&self) -> f64 {
+        if self.time_s == 0.0 {
+            0.0
+        } else {
+            (self.rx_s + self.tx_s) / self.time_s
+        }
     }
 
     /// Average power over the accounted time (W).
@@ -276,6 +309,19 @@ mod tests {
             + PowerMode::Idle.power() * 0.7;
         assert!((l.energy() - expect).abs() < 1e-15);
         assert!((l.average_power() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ledger_tracks_per_mode_time() {
+        let mut l = PowerLedger::new();
+        l.spend(PowerMode::rx_default(), 0.1);
+        l.spend(PowerMode::tx_default(), 0.2);
+        l.spend(PowerMode::Idle, 0.7);
+        assert!((l.rx_time() - 0.1).abs() < 1e-12);
+        assert!((l.tx_time() - 0.2).abs() < 1e-12);
+        assert!((l.idle_time() - 0.7).abs() < 1e-12);
+        assert!((l.active_duty() - 0.3).abs() < 1e-12);
+        assert_eq!(PowerLedger::new().active_duty(), 0.0);
     }
 
     #[test]

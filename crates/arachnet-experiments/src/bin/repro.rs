@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro list
-//! repro <artifact> [--quick] [--seed N] [--threads N]
-//! repro all [--quick] [--seed N] [--threads N]
+//! repro <artifact> [--quick] [--seed N] [--threads N] [--metrics] [--trace <tag|all>]
+//! repro all [--quick] [--seed N] [--threads N] [--metrics] [--trace <tag|all>]
 //! ```
 //!
 //! The artifact ids come from the experiment registry (`repro list` prints
@@ -11,11 +11,34 @@
 //! (useful in debug builds); the default counts match the paper's where
 //! tractable. `--threads N` caps the parallel sweep engine's worker pool
 //! (sweep results are bit-identical at any thread count).
+//!
+//! `--metrics` prints each experiment's sim-domain metric table (plus
+//! wall-domain diagnostics, which are never exported) and writes the
+//! deterministic `METRICS_<id>.json` document — byte-identical at any
+//! `--threads` count. `--trace <tag|all>` dumps the flight-recorder events
+//! of a representative trial to `TRACE_<id>.jsonl` and prints a text
+//! timeline of the last slots leading up to the first anomaly, optionally
+//! filtered to one tag id.
 
 use std::env;
+use std::fs;
 
 use arachnet_experiments::registry;
-use arachnet_experiments::report::{Experiment, Params};
+use arachnet_experiments::report::{export_metrics, metrics_json, Experiment, Params};
+use arachnet_obs::{render_timeline, take_global_stats, take_spans};
+
+/// How many events the `--trace` text timeline shows.
+const TIMELINE_WINDOW: usize = 40;
+
+/// Observability output options parsed from the command line.
+#[derive(Clone, Copy)]
+struct ObsOpts {
+    /// `--metrics`: print + export the metric set.
+    metrics: bool,
+    /// `--trace`: `None` = off, `Some(None)` = all tags,
+    /// `Some(Some(t))` = filter the timeline to tag `t`.
+    trace: Option<Option<u8>>,
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -23,6 +46,10 @@ fn main() {
     let mut quick = false;
     let mut seed = 1u64;
     let mut threads = None;
+    let mut obs = ObsOpts {
+        metrics: false,
+        trace: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,6 +68,19 @@ fn main() {
                         .unwrap_or_else(|| usage("--threads needs a positive number")),
                 );
             }
+            "--metrics" => obs.metrics = true,
+            "--trace" => {
+                let target = it
+                    .next()
+                    .unwrap_or_else(|| usage("--trace needs a tag id or `all`"));
+                obs.trace = Some(match target.as_str() {
+                    "all" => None,
+                    t => Some(
+                        t.parse::<u8>()
+                            .unwrap_or_else(|_| usage("--trace needs a tag id or `all`")),
+                    ),
+                });
+            }
             name if artifact.is_none() => artifact = Some(name.to_string()),
             other => usage(&format!("unexpected argument {other}")),
         }
@@ -56,6 +96,7 @@ fn main() {
     if let Some(n) = threads {
         params = params.with_threads(n);
     }
+    params = params.with_observe(obs.metrics || obs.trace.is_some());
     match artifact.as_str() {
         "list" => {
             for e in registry::all() {
@@ -65,25 +106,90 @@ fn main() {
         "all" => {
             for e in registry::all() {
                 println!("==================================================================");
-                run_one(e, &params);
+                run_one(e, &params, obs);
             }
         }
         // Historical alias from before Fig. 12(a)/(b) shared one table.
-        "fig12" => run_one(registry::find("fig12a12b").unwrap(), &params),
+        "fig12" => run_one(registry::find("fig12a12b").unwrap(), &params, obs),
         id => match registry::find(id) {
-            Some(e) => run_one(e, &params),
+            Some(e) => run_one(e, &params, obs),
             None => usage(&format!("unknown artifact {id}")),
         },
     }
 }
 
-fn run_one(e: &'static dyn Experiment, params: &Params) {
-    println!("{}", e.run(params).render());
+fn run_one(e: &'static dyn Experiment, params: &Params, obs: ObsOpts) {
+    let report = e.run(params);
+    println!("{}", report.render());
+    if obs.metrics {
+        // `metrics_json` adds the generic report-shape counters, so every
+        // artifact exports a non-empty deterministic document.
+        let path = format!("METRICS_{}.json", e.id());
+        write_file(&path, &metrics_json(e.id(), &report));
+        println!("-- metrics (sim-domain, exported to {path}) --");
+        print!("{}", export_metrics(&report).render());
+        print_wall_domain();
+    }
+    if let Some(tag) = obs.trace {
+        let snap = &report.snapshot;
+        let mut doc = String::new();
+        for ev in &snap.events {
+            doc.push_str(&ev.to_json(snap.seed));
+            doc.push('\n');
+        }
+        let path = format!("TRACE_{}.jsonl", e.id());
+        write_file(&path, &doc);
+        println!(
+            "-- trace: {} retained events (of {} recorded) -> {path} --",
+            snap.events.len(),
+            snap.total()
+        );
+        print!("{}", render_timeline(&snap.events, tag, TIMELINE_WINDOW));
+    }
+}
+
+/// Wall-clock diagnostics (spans, sweep utilization): printed for humans,
+/// never exported — they differ run to run and across thread counts.
+fn print_wall_domain() {
+    let spans = take_spans();
+    let globals = take_global_stats();
+    if spans.is_empty() && globals.counters.is_empty() && globals.histos.is_empty() {
+        return;
+    }
+    println!("-- wall-domain diagnostics (not exported) --");
+    for (name, s) in spans {
+        println!(
+            "  {name:<28} {} calls, {:.3} ms total",
+            s.calls,
+            s.total_ns as f64 / 1e6
+        );
+    }
+    for (name, v) in &globals.counters {
+        println!("  {name:<28} {v}");
+    }
+    for (name, h) in &globals.histos {
+        println!(
+            "  {name:<28} n={} p50={} max={}",
+            h.count(),
+            h.p50(),
+            h.max()
+        );
+    }
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(err) = fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {err}");
+        std::process::exit(1);
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: repro <artifact|all|list> [--quick] [--seed N] [--threads N]");
+    eprintln!(
+        "usage: repro <artifact|all|list> [--quick] [--seed N] [--threads N] [--metrics] \
+         [--trace <tag|all>]"
+    );
     eprintln!(
         "artifacts: {}",
         registry::all().map(|e| e.id()).collect::<Vec<_>>().join(" ")

@@ -34,7 +34,7 @@ impl Experiment for Fig12 {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report(params.scale(20, 200), &params.sweep())
+        report(params.scale(20, 200), &params.sweep(), params.observe)
     }
 }
 
@@ -46,8 +46,11 @@ struct Cell {
 }
 
 /// Both panels at an explicit packet count (the trait impl picks 20/200).
-/// Packets fan out over the sweep worker pool.
-pub fn report(n: u64, sweep: &SweepConfig) -> Report {
+/// Packets fan out over the sweep worker pool. With `observe`, per-tag
+/// sent/lost counters ride along and the far tag (11) reruns its hardest
+/// rate under a flight recorder so the trace carries the receiver's
+/// stage-of-failure reasons.
+pub fn report(n: u64, sweep: &SweepConfig, observe: bool) -> Report {
     let sim = WaveSim::paper(sweep.base_seed);
     let rates = ul_rates();
     let cells: Vec<Cell> = TAGS
@@ -70,6 +73,7 @@ pub fn report(n: u64, sweep: &SweepConfig) -> Report {
     });
     let mut snr_rows = Vec::new();
     let mut loss_rows = Vec::new();
+    let mut metrics = arachnet_obs::MetricSet::new();
     for (ti, &tid) in TAGS.iter().enumerate() {
         let mut snr_row = vec![format!("Tag {tid}")];
         let mut loss_row = vec![format!("Tag {tid}")];
@@ -80,6 +84,12 @@ pub fn report(n: u64, sweep: &SweepConfig) -> Report {
                 .iter()
                 .filter(|r| !matches!(r, Ok((true, _))))
                 .count();
+            if observe {
+                metrics.add_count(&format!("uplink.tag{tid}.sent"), n);
+                metrics.add_count(&format!("uplink.tag{tid}.lost"), lost as u64);
+                metrics.add_count("uplink.sent", n);
+                metrics.add_count("uplink.lost", lost as u64);
+            }
             let snr_db = cell
                 .iter()
                 .filter_map(|r| r.as_ref().ok().and_then(|(_, snr)| *snr))
@@ -100,6 +110,16 @@ pub fn report(n: u64, sweep: &SweepConfig) -> Report {
         }))
         .collect();
     let h: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut snapshot = arachnet_obs::RecorderSnapshot::empty();
+    if observe {
+        // Representative trace: the far tag at the fastest rate is where
+        // losses concentrate, so its recorder ring shows *why* packets die
+        // (stage-of-failure reasons from the receiver).
+        let mut rec = arachnet_obs::Recorder::enabled(sweep.base_seed);
+        let hardest = rates.last().map_or(3_000.0, |r| r.bps);
+        sim.uplink_trial_observed(11, hardest, n, &mut rec);
+        snapshot = rec.into_snapshot();
+    }
     Report::sections(vec![
         Section::new(
             "Fig. 12(a) — Uplink SNR (dB) vs raw bit rate (bps)",
@@ -116,6 +136,8 @@ pub fn report(n: u64, sweep: &SweepConfig) -> Report {
         )
         .with_note("paper: loss below 0.5 % at every rate, rising slightly with rate."),
     ])
+    .with_metrics(metrics)
+    .with_snapshot(snapshot)
 }
 
 #[cfg(test)]
@@ -124,7 +146,7 @@ mod tests {
 
     #[test]
     fn quick_run_has_all_rates() {
-        let out = report(2, &SweepConfig::new(1)).render();
+        let out = report(2, &SweepConfig::new(1), false).render();
         assert!(out.contains("93.75"));
         assert!(out.contains("3000"));
         assert!(out.contains("Tag 11"));
@@ -132,8 +154,24 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_the_tables() {
-        let one = report(3, &SweepConfig::new(5).with_threads(1)).render();
-        let four = report(3, &SweepConfig::new(5).with_threads(4)).render();
-        assert_eq!(one, four);
+        let one = report(3, &SweepConfig::new(5).with_threads(1), true);
+        let four = report(3, &SweepConfig::new(5).with_threads(4), true);
+        assert_eq!(one.render(), four.render());
+        assert_eq!(
+            crate::report::metrics_json("fig12a12b", &one),
+            crate::report::metrics_json("fig12a12b", &four)
+        );
+    }
+
+    #[test]
+    fn observed_run_counts_reconcile_with_the_loss_table() {
+        let r = report(3, &SweepConfig::new(5), true);
+        // 3 tags x 6 rates x 3 packets each.
+        assert_eq!(r.metrics.get_count("uplink.sent"), Some(54));
+        let per_tag: u64 = TAGS
+            .iter()
+            .filter_map(|t| r.metrics.get_count(&format!("uplink.tag{t}.lost")))
+            .sum();
+        assert_eq!(r.metrics.get_count("uplink.lost"), Some(per_tag));
     }
 }

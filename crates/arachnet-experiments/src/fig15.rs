@@ -6,9 +6,10 @@
 //! per-trial seeds derive from the trial index alone, making the table
 //! bit-identical at any thread count.
 
+use arachnet_obs::MetricSet;
 use arachnet_sim::metrics::five_num;
 use arachnet_sim::patterns::Pattern;
-use arachnet_sim::slotsim::first_convergence_time;
+use arachnet_sim::slotsim::first_convergence_trial;
 use arachnet_sim::sweep::{run_matrix, SweepConfig};
 
 use crate::render::f;
@@ -21,16 +22,45 @@ fn measure(
     patterns: &[Pattern],
     trials: u64,
     sweep: &SweepConfig,
+    observe: bool,
     title: &str,
     note: &str,
 ) -> Report {
-    let matrix = run_matrix(sweep, patterns, trials, |p, _trial, seed| {
-        first_convergence_time(p, seed, CAP, false).unwrap_or(CAP) as f64
+    // With observation on, trial 0 of each pattern carries a flight
+    // recorder. Recording never draws from the sim's random streams, so
+    // the convergence numbers are identical either way; the snapshots ride
+    // along in trial-index order, keeping the export thread-invariant.
+    let matrix = run_matrix(sweep, patterns, trials, |p, trial, seed| {
+        let t = first_convergence_trial(p, seed, CAP, false, observe && trial == 0);
+        (t.converged_at.unwrap_or(CAP) as f64, t.snapshot)
     });
     let mut rows = Vec::new();
+    let mut metrics = MetricSet::new();
+    let mut snapshot = None;
     for (p, cell) in patterns.iter().zip(&matrix) {
-        let times: Vec<f64> = cell.iter().filter_map(|r| r.as_ref().ok()).copied().collect();
+        let times: Vec<f64> = cell
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|(t, _)| *t)
+            .collect();
         let s = five_num(&times);
+        if observe {
+            let prefix = format!("convergence.{}", p.name);
+            for &t in &times {
+                metrics.record(&format!("{prefix}.slots"), t as u64);
+            }
+            let unconverged = times.iter().filter(|&&t| t >= CAP as f64).count() as u64;
+            metrics.add_count(&format!("{prefix}.unconverged"), unconverged);
+            metrics.add_count("convergence.trials", times.len() as u64);
+            if let Some(Ok((_, snap))) = cell.first() {
+                let mut m = MetricSet::new();
+                snap.add_counts_to(&mut m, &prefix);
+                metrics.merge(&m);
+                if snapshot.is_none() && !snap.events.is_empty() {
+                    snapshot = Some(snap.clone());
+                }
+            }
+        }
         rows.push(vec![
             p.name.to_string(),
             f(p.utilization(), 3),
@@ -42,7 +72,7 @@ fn measure(
             f(s.max, 0),
         ]);
     }
-    Report::single(
+    let mut report = Report::single(
         Section::new(
             title,
             &[
@@ -52,6 +82,11 @@ fn measure(
         )
         .with_note(note),
     )
+    .with_metrics(metrics);
+    if let Some(snap) = snapshot {
+        report = report.with_snapshot(snap);
+    }
+    report
 }
 
 /// Fig. 15(a): fixed tag count (c1–c5), utilization sweep.
@@ -71,16 +106,17 @@ impl Experiment for Fig15a {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report_a(params.scale(3, 50), &params.sweep())
+        report_a(params.scale(3, 50), &params.sweep(), params.observe)
     }
 }
 
 /// Fig. 15(a) at an explicit trial count and sweep configuration.
-pub fn report_a(trials: u64, sweep: &SweepConfig) -> Report {
+pub fn report_a(trials: u64, sweep: &SweepConfig, observe: bool) -> Report {
     measure(
         &Pattern::fixed_tag_family(),
         trials,
         sweep,
+        observe,
         "Fig. 15(a) — First convergence time (slots), fixed 12 tags",
         "paper: median rises steeply with utilization — 139 slots at U=0.38 (c1) to 1712 at \
          U=1.0 (c5).",
@@ -104,16 +140,17 @@ impl Experiment for Fig15b {
     }
 
     fn run(&self, params: &Params) -> Report {
-        report_b(params.scale(3, 50), &params.sweep())
+        report_b(params.scale(3, 50), &params.sweep(), params.observe)
     }
 }
 
 /// Fig. 15(b) at an explicit trial count and sweep configuration.
-pub fn report_b(trials: u64, sweep: &SweepConfig) -> Report {
+pub fn report_b(trials: u64, sweep: &SweepConfig, observe: bool) -> Report {
     measure(
         &Pattern::fixed_util_family(),
         trials,
         sweep,
+        observe,
         "Fig. 15(b) — First convergence time (slots), fixed utilization 0.75",
         "paper: similar medians across tag counts — slot utilization, not tag count, is the \
          predominant factor.",
@@ -127,16 +164,37 @@ mod tests {
     #[test]
     fn quick_runs_produce_tables() {
         let sweep = SweepConfig::new(1).with_threads(2);
-        let a = report_a(2, &sweep).render();
+        let a = report_a(2, &sweep, false).render();
         assert!(a.contains("c5"));
-        let b = report_b(2, &sweep).render();
+        let b = report_b(2, &sweep, false).render();
         assert!(b.contains("c9"));
     }
 
     #[test]
     fn sweep_table_is_thread_count_invariant() {
-        let one = report_a(2, &SweepConfig::new(7).with_threads(1)).render();
-        let four = report_a(2, &SweepConfig::new(7).with_threads(4)).render();
-        assert_eq!(one, four);
+        let one = report_a(2, &SweepConfig::new(7).with_threads(1), true);
+        let four = report_a(2, &SweepConfig::new(7).with_threads(4), true);
+        assert_eq!(one.render(), four.render());
+        // The exported metrics document is part of the invariance contract.
+        assert_eq!(
+            crate::report::metrics_json("fig15a", &one),
+            crate::report::metrics_json("fig15a", &four)
+        );
+    }
+
+    #[test]
+    fn observation_collects_metrics_without_changing_the_table() {
+        let sweep = SweepConfig::new(3).with_threads(2);
+        let plain = report_a(2, &sweep, false);
+        let observed = report_a(2, &sweep, true);
+        assert_eq!(plain.render(), observed.render(), "observation perturbed results");
+        assert!(plain.metrics.is_empty());
+        assert_eq!(observed.metrics.get_count("convergence.trials"), Some(10));
+        let h = observed
+            .metrics
+            .get_histo("convergence.c1.slots")
+            .expect("per-pattern histogram");
+        assert_eq!(h.count(), 2);
+        assert!(!observed.snapshot.events.is_empty(), "no representative trace");
     }
 }

@@ -29,17 +29,23 @@ impl Experiment for Fig16 {
             params.scale(1_000, 10_000),
             params.scale(4, 8),
             &params.sweep(),
+            params.observe,
         )
     }
 }
 
 /// Runs c3 for `slots` slots (trajectory from the sweep's base seed) and
 /// sweeps `extra_seeds` further runs in parallel for the whole-run
-/// averages the paper reports.
-pub fn report(slots: u64, extra_seeds: u64, sweep: &SweepConfig) -> Report {
+/// averages the paper reports. With `observe`, the trajectory run carries
+/// a flight recorder and the report exports slot-outcome metrics.
+pub fn report(slots: u64, extra_seeds: u64, sweep: &SweepConfig, observe: bool) -> Report {
     let mut sim = SlotSim::new(SlotSimConfig::new(Pattern::c3(), sweep.base_seed));
     sim.record_trajectory(true);
+    if observe {
+        sim.attach_recorder(arachnet_obs::Recorder::enabled(sweep.base_seed));
+    }
     let run = sim.run(slots);
+    let snapshot = sim.take_recorder_snapshot();
     let stride = (slots / 20).max(1) as usize;
     let rows: Vec<Vec<String>> = run
         .trajectory
@@ -60,6 +66,15 @@ pub fn report(slots: u64, extra_seeds: u64, sweep: &SweepConfig) -> Report {
     let ne: Vec<f64> = sweep_runs.iter().filter_map(|r| r.as_ref().ok()).map(|&(a, _)| a).collect();
     let col: Vec<f64> = sweep_runs.iter().filter_map(|r| r.as_ref().ok()).map(|&(_, b)| b).collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut metrics = arachnet_obs::MetricSet::new();
+    if observe {
+        metrics.set_count("fig16.slots", slots);
+        metrics.set_count("fig16.seeds", ne.len() as u64 + 1);
+        metrics.set_gauge("fig16.non_empty_ratio", run.non_empty_ratio);
+        metrics.set_gauge("fig16.collision_ratio", run.collision_ratio);
+        metrics.set_gauge("fig16.sweep_non_empty_mean", mean(&ne));
+        metrics.set_gauge("fig16.sweep_collision_mean", mean(&col));
+    }
     Report::single(
         Section::new(
             format!(
@@ -81,6 +96,8 @@ pub fn report(slots: u64, extra_seeds: u64, sweep: &SweepConfig) -> Report {
             mean(&col),
         )),
     )
+    .with_metrics(metrics)
+    .with_snapshot(snapshot)
 }
 
 #[cfg(test)]
@@ -89,9 +106,20 @@ mod tests {
 
     #[test]
     fn quick_run_reports_averages() {
-        let out = report(500, 2, &SweepConfig::new(1).with_threads(2)).render();
+        let out = report(500, 2, &SweepConfig::new(1).with_threads(2), false).render();
         assert!(out.contains("whole-run averages"));
         assert!(out.contains("0.84375"));
         assert!(out.contains("across 2 independent seeds"));
+    }
+
+    #[test]
+    fn observed_run_exports_outcome_metrics() {
+        let r = report(400, 2, &SweepConfig::new(1).with_threads(2), true);
+        assert_eq!(r.metrics.get_count("fig16.slots"), Some(400));
+        assert!(r.metrics.get_gauge("fig16.non_empty_ratio").is_some());
+        // 400 slots of a busy pattern must leave events in the recorder.
+        assert!(r.snapshot.total() >= 400, "total {}", r.snapshot.total());
+        let m = r.merged_metrics();
+        assert!(m.get_count("sim.events.decoded").unwrap_or(0) > 0);
     }
 }

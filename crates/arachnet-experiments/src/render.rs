@@ -61,7 +61,7 @@ mod tests {
 
     #[test]
     fn float_format() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(10.0, 1), "10.0");
     }
 }

@@ -11,6 +11,7 @@
 //! registry in [`crate::registry`] is the single source of truth the
 //! `repro` binary, the benches, and the smoke tests all iterate.
 
+use arachnet_obs::{json_escape, MetricSet, RecorderSnapshot};
 use arachnet_sim::sweep::SweepConfig;
 
 use crate::render;
@@ -25,6 +26,10 @@ pub struct Params {
     pub seed: u64,
     /// Worker threads for sweep-backed experiments; `None` uses all cores.
     pub threads: Option<usize>,
+    /// Collect sim-domain metrics and flight-recorder events while running
+    /// (`repro --metrics` / `--trace`). Observation never perturbs random
+    /// streams, so observed and unobserved runs produce identical tables.
+    pub observe: bool,
 }
 
 impl Params {
@@ -34,6 +39,7 @@ impl Params {
             quick: true,
             seed,
             threads: None,
+            observe: false,
         }
     }
 
@@ -43,12 +49,19 @@ impl Params {
             quick: false,
             seed,
             threads: None,
+            observe: false,
         }
     }
 
     /// Pins the worker-thread count (sweep-backed experiments only).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Turns metric/event collection on or off.
+    pub fn with_observe(mut self, observe: bool) -> Self {
+        self.observe = observe;
         self
     }
 
@@ -121,11 +134,18 @@ impl Section {
     }
 }
 
-/// A structured experiment result: one or more [`Section`]s.
+/// A structured experiment result: one or more [`Section`]s, plus the
+/// observability payload collected when [`Params::observe`] was set —
+/// sim-domain metrics and a flight-recorder snapshot of a representative
+/// trial. Both stay empty on unobserved runs.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     /// The sections, in print order.
     pub sections: Vec<Section>,
+    /// Sim-domain metrics (deterministic at any thread count).
+    pub metrics: MetricSet,
+    /// Flight-recorder snapshot of a representative trial (`--trace`).
+    pub snapshot: RecorderSnapshot,
 }
 
 impl Report {
@@ -133,12 +153,37 @@ impl Report {
     pub fn single(section: Section) -> Self {
         Self {
             sections: vec![section],
+            ..Self::default()
         }
     }
 
     /// A report over several sections.
     pub fn sections(sections: Vec<Section>) -> Self {
-        Self { sections }
+        Self {
+            sections,
+            ..Self::default()
+        }
+    }
+
+    /// Attaches sim-domain metrics (chainable).
+    pub fn with_metrics(mut self, metrics: MetricSet) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attaches a representative flight-recorder snapshot (chainable).
+    pub fn with_snapshot(mut self, snapshot: RecorderSnapshot) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
+    /// The report's metrics plus the snapshot's per-kind event totals
+    /// (`sim.events.*`): the exact set `repro --metrics` prints and
+    /// exports.
+    pub fn merged_metrics(&self) -> MetricSet {
+        let mut m = self.metrics.clone();
+        self.snapshot.add_counts_to(&mut m, "sim");
+        m
     }
 
     /// Renders every section, separated by blank lines.
@@ -149,6 +194,30 @@ impl Report {
             .collect::<Vec<_>>()
             .join("\n")
     }
+}
+
+/// The deterministic `METRICS_<id>.json` document for a report: one line of
+/// JSON containing only sim-domain values, byte-identical at any
+/// `--threads` count. Shared by the `repro` binary and the repo smoke test
+/// so both always agree on the bytes.
+pub fn metrics_json(id: &str, report: &Report) -> String {
+    format!(
+        "{{\"experiment\":\"{}\",\"metrics\":{}}}\n",
+        json_escape(id),
+        export_metrics(report).to_json()
+    )
+}
+
+/// The exact metric set `METRICS_<id>.json` serializes: the report's merged
+/// sim-domain metrics plus generic report-shape counters, so even an
+/// experiment with no bespoke metrics exports a non-empty deterministic
+/// document.
+pub fn export_metrics(report: &Report) -> MetricSet {
+    let mut metrics = report.merged_metrics();
+    let rows: usize = report.sections.iter().map(|s| s.rows.len()).sum();
+    metrics.set_count("report.sections", report.sections.len() as u64);
+    metrics.set_count("report.rows", rows as u64);
+    metrics
 }
 
 /// An artifact regenerator: every table/figure of the paper implements

@@ -33,19 +33,15 @@ impl Experiment for Table1 {
         let mut rows = Vec::new();
         for (i, (name, _, alloc)) in tags.iter().enumerate() {
             let mut row = vec![name.to_string()];
-            for s in 0..8 {
-                row.push(if occupancy[i][s] {
-                    "T".into()
-                } else {
-                    "".into()
-                });
+            for &occupied in occupancy[i].iter().take(8) {
+                row.push(if occupied { "T".into() } else { "".into() });
             }
             row.push(alloc.to_string());
             rows.push(row);
         }
         // Verify the paper's property: each slot hosts exactly one
         // transmitter.
-        let mut per_slot = vec![0usize; 8];
+        let mut per_slot = [0usize; 8];
         for row in &occupancy {
             for (s, &t) in row.iter().enumerate() {
                 per_slot[s] += usize::from(t);

@@ -1,0 +1,62 @@
+//! Monotonic event counters.
+
+/// A cheap monotonic counter.
+///
+/// Counters merge by addition, so per-thread counters folded in any order
+/// reproduce the single-threaded total exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Fold another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.add(other.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_merge_is_addition() {
+        let mut a = Counter::new();
+        let mut b = Counter::new();
+        a.add(3);
+        b.incr();
+        b.incr();
+        a.merge(&b);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+}

@@ -1,0 +1,61 @@
+//! Process-wide wall-domain stats (sweep worker utilization, etc.).
+//!
+//! These are for the *human* side of `repro --metrics`: values here may
+//! depend on scheduling (jobs per worker, pool sizes) and are therefore
+//! excluded from the deterministic `METRICS_<id>.json` export.
+
+use crate::histo::Histo;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Snapshot of the process-wide stats.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalStats {
+    /// Named counters, name-sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Named histograms, name-sorted.
+    pub histos: BTreeMap<String, Histo>,
+}
+
+static STATS: Mutex<Option<GlobalStats>> = Mutex::new(None);
+
+fn with_stats<R>(f: impl FnOnce(&mut GlobalStats) -> R) -> R {
+    let mut guard = STATS.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(GlobalStats::default))
+}
+
+/// Add `v` to the process-wide counter `name`.
+pub fn global_counter_add(name: &str, v: u64) {
+    with_stats(|s| {
+        let c = s.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(v);
+    });
+}
+
+/// Record `sample` into the process-wide histogram `name`.
+pub fn global_histo_record(name: &str, sample: u64) {
+    with_stats(|s| s.histos.entry(name.to_string()).or_default().record(sample));
+}
+
+/// Drain and return the process-wide stats.
+pub fn take_global_stats() -> GlobalStats {
+    let mut guard = STATS.lock().unwrap_or_else(|e| e.into_inner());
+    guard.take().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_accumulate_and_drain() {
+        global_counter_add("obs-test.jobs", 3);
+        global_counter_add("obs-test.jobs", 2);
+        global_histo_record("obs-test.per_worker", 5);
+        let snap = take_global_stats();
+        assert_eq!(snap.counters.get("obs-test.jobs"), Some(&5));
+        assert_eq!(snap.histos.get("obs-test.per_worker").unwrap().count(), 1);
+        let empty = take_global_stats();
+        assert!(!empty.counters.contains_key("obs-test.jobs"));
+    }
+}

@@ -1,0 +1,82 @@
+//! A single process-wide warning sink.
+//!
+//! Library code calls [`warn!`](crate::warn!) (or [`warn_str`]) instead of
+//! `eprintln!`; by default warnings go to stderr, but tests can wrap a
+//! closure in [`capture`] to collect everything warned during it.
+
+use std::sync::Mutex;
+
+/// Warnings collected by an active [`capture`], or `None` → stderr.
+static CAPTURED: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+/// Serializes concurrent [`capture`] calls so captures don't interleave.
+static CAPTURE_GATE: Mutex<()> = Mutex::new(());
+
+/// Emit a warning to the process-wide sink.
+///
+/// Prefer the [`warn!`](crate::warn!) macro, which accepts format args.
+pub fn warn_str(msg: &str) {
+    let mut guard = CAPTURED.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_mut() {
+        Some(buf) => buf.push(msg.to_string()),
+        None => eprintln!("warning: {msg}"),
+    }
+}
+
+/// Run `f` with the warning sink redirected to a buffer; returns `f`'s
+/// result and every warning emitted while it ran.
+///
+/// Captures are serialized process-wide (warnings from unrelated threads
+/// during the window are captured too — assert with `contains`, not
+/// equality). The sink is restored even if `f` panics.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    let _gate = CAPTURE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            *CAPTURED.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+    *CAPTURED.lock().unwrap_or_else(|e| e.into_inner()) = Some(Vec::new());
+    let restore = Restore;
+    let out = f();
+    let warnings =
+        CAPTURED.lock().unwrap_or_else(|e| e.into_inner()).take().unwrap_or_default();
+    drop(restore);
+    (out, warnings)
+}
+
+/// Emit a formatted warning to the process-wide sink ([`warn_str`]).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::warn_str(&::std::format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn capture_collects_warnings() {
+        let (val, warnings) = crate::capture(|| {
+            crate::warn!("bad value {}", 42);
+            7
+        });
+        assert_eq!(val, 7);
+        assert!(warnings.iter().any(|w| w == "bad value 42"));
+    }
+
+    #[test]
+    fn capture_restores_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            crate::capture(|| -> () {
+                crate::warn!("before panic");
+                panic!("boom");
+            })
+        });
+        assert!(result.is_err());
+        // Sink restored: this goes to stderr, not a stale buffer.
+        let (_, warnings) = crate::capture(|| crate::warn!("after"));
+        assert_eq!(warnings, vec!["after".to_string()]);
+    }
+}

@@ -20,12 +20,14 @@ fn main() {
     println!("spc {} chips {}", spc, chips.len());
     let mut states = vec![PztState::Absorptive; spc];
     states.extend(chips.iter().flat_map(|&c| {
-        std::iter::repeat(if c {
-            PztState::Reflective
-        } else {
-            PztState::Absorptive
-        })
-        .take(spc)
+        std::iter::repeat_n(
+            if c {
+                PztState::Reflective
+            } else {
+                PztState::Absorptive
+            },
+            spc,
+        )
     }));
     let len = states.len() + 2000;
     let wave = ch.uplink_waveform(&[(8, &states)], len);

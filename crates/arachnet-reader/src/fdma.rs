@@ -149,7 +149,7 @@ impl FdmaReceiver {
         while lag < max_lag {
             let bits = self.despread(&iq, &ch, lag);
             let (score, phase) = Self::preamble_metric(&bits);
-            if best.map_or(true, |(_, s, _)| score > s) {
+            if best.is_none_or(|(_, s, _)| score > s) {
                 best = Some((lag, score, phase));
             }
             lag += step;

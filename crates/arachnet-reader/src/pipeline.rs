@@ -99,7 +99,7 @@ impl Stage for SliceStage {
                 out.push((idx, Some(false)));
             }
         }
-        if idx % self.heartbeat_every == 0 {
+        if idx.is_multiple_of(self.heartbeat_every) {
             out.push((idx, None));
         }
     }
@@ -183,7 +183,7 @@ impl EdgeDecoder {
                 }
             })
             .collect();
-        self.rx.decode_edges_internal(&edges)
+        self.rx.decode_edges_internal(&edges).ok()
     }
 }
 

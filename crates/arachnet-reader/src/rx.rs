@@ -20,6 +20,7 @@
 use arachnet_core::bits::BitBuf;
 use arachnet_core::fm0::{self, Fm0Encoder};
 use arachnet_core::packet::{UlPacket, UL_PREAMBLE};
+use arachnet_obs::DecodeFailReason;
 use arachnet_dsp::cluster::{cluster_iq, ClusterConfig};
 use arachnet_dsp::cplx::Cplx;
 use arachnet_dsp::nco::{CarrierTable, DownConverter};
@@ -87,6 +88,14 @@ pub struct SlotRx {
     pub clusters: usize,
     /// Envelope edges detected (diagnostics).
     pub edges: usize,
+    /// Why no packet was decoded (`None` when `packet` is `Some`).
+    ///
+    /// Note the receiver cannot tell an empty slot from a transmission it
+    /// failed to detect: a genuinely idle slot reads `NoModulation` (or
+    /// `TooShort`). Whether that is a *failure* is the caller's call — the
+    /// sim layer only records a `DecodeFail` event when it knows a tag
+    /// actually transmitted.
+    pub fail: Option<DecodeFailReason>,
 }
 
 impl SlotRx {
@@ -97,6 +106,7 @@ impl SlotRx {
             collision: false,
             clusters: 1,
             edges: 0,
+            fail: Some(DecodeFailReason::NoModulation),
         }
     }
 }
@@ -251,7 +261,10 @@ impl UplinkReceiver {
     /// allocation-free. Keep one scratch per worker thread.
     pub fn process_slot_with(&self, wave: &[f64], scratch: &mut RxScratch) -> SlotRx {
         if wave.len() < 64 {
-            return SlotRx::empty();
+            return SlotRx {
+                fail: Some(DecodeFailReason::TooShort),
+                ..SlotRx::empty()
+            };
         }
         let RxScratch {
             iq,
@@ -303,6 +316,7 @@ impl UplinkReceiver {
                 collision,
                 clusters,
                 edges: 0,
+                fail: Some(DecodeFailReason::NoModulation),
             };
         }
 
@@ -310,12 +324,16 @@ impl UplinkReceiver {
         slicer.process_edges_into(proj, edges);
         // The PCA axis sign is arbitrary; the decoder's dual-polarity scan
         // absorbs it.
-        let packet = self.decode_edges_internal(edges);
+        let (packet, fail) = match self.decode_edges_internal(edges) {
+            Ok(pkt) => (Some(pkt), None),
+            Err(reason) => (None, Some(reason)),
+        };
         SlotRx {
             packet,
             collision,
             clusters,
             edges: edges.len(),
+            fail,
         }
     }
 
@@ -368,9 +386,13 @@ impl UplinkReceiver {
     }
 
     /// Edge-domain FM0 decode: runs → raw bits → preamble search → packet.
-    pub(crate) fn decode_edges_internal(&self, edges: &[Edge]) -> Option<UlPacket> {
+    /// `Err` carries the first stage that could not proceed.
+    pub(crate) fn decode_edges_internal(
+        &self,
+        edges: &[Edge],
+    ) -> Result<UlPacket, DecodeFailReason> {
         if edges.len() < 8 {
-            return None;
+            return Err(DecodeFailReason::TooFewEdges);
         }
         // Build (start, level) transitions; run k spans transition k→k+1.
         let times: Vec<(usize, bool)> = edges
@@ -393,7 +415,7 @@ impl UplinkReceiver {
             }
         }
         if shorts.is_empty() {
-            return None;
+            return Err(DecodeFailReason::NoBitClock);
         }
         let t_est = shorts.iter().sum::<f64>() / shorts.len() as f64;
 
@@ -447,36 +469,46 @@ impl UplinkReceiver {
         // Slide the FM0-expanded preamble over the raw stream; the
         // envelope polarity depends on the leak-relative backscatter phase,
         // so scan both senses.
-        if let Some(pkt) = self.scan_raw(&raw) {
-            return Some(pkt);
+        let (pkt, saw_preamble_a) = self.scan_raw(&raw);
+        if let Some(pkt) = pkt {
+            return Ok(pkt);
         }
         let inverted: BitBuf = raw.iter().map(|b| !b).collect();
-        self.scan_raw(&inverted)
+        let (pkt, saw_preamble_b) = self.scan_raw(&inverted);
+        match pkt {
+            Some(pkt) => Ok(pkt),
+            None if saw_preamble_a || saw_preamble_b => Err(DecodeFailReason::BadCrc),
+            None => Err(DecodeFailReason::NoPreamble),
+        }
     }
 
     /// Scans a recovered raw-bit stream for a preamble + CRC-valid body.
-    fn scan_raw(&self, raw: &BitBuf) -> Option<UlPacket> {
+    /// Also reports whether *any* preamble alignment matched (to tell a
+    /// CRC reject apart from never finding the preamble at all).
+    fn scan_raw(&self, raw: &BitBuf) -> (Option<UlPacket>, bool) {
         let pre = &self.preamble_raw;
         let need_body = 2 * (arachnet_core::packet::UL_PACKET_BITS - 8);
         if raw.len() < pre.len() + need_body {
-            return None;
+            return (None, false);
         }
+        let mut saw_preamble = false;
         'outer: for start in 0..=(raw.len() - pre.len() - need_body) {
             for (k, &pb) in pre.iter().enumerate() {
                 if raw.get(start + k) != Some(pb) {
                     continue 'outer;
                 }
             }
+            saw_preamble = true;
             let body_raw = raw
                 .slice(start + pre.len(), need_body)
                 .expect("bounds checked");
             if let Ok(body_bits) = fm0::decode_lenient(&body_raw) {
                 if let Ok(pkt) = UlPacket::from_body_bits(&body_bits) {
-                    return Some(pkt);
+                    return (Some(pkt), true);
                 }
             }
         }
-        None
+        (None, saw_preamble)
     }
 
     /// Welch PSD of a slot waveform (for analysis and the SNR metric).
@@ -757,7 +789,51 @@ mod tests {
     #[test]
     fn short_waveform_is_empty() {
         let rx = UplinkReceiver::new(RxConfig::default());
-        assert_eq!(rx.process_slot(&[0.0; 10]), SlotRx::empty());
+        let out = rx.process_slot(&[0.0; 10]);
+        assert_eq!(out.packet, None);
+        assert!(!out.collision);
+        assert_eq!(out.fail, Some(DecodeFailReason::TooShort));
+    }
+
+    #[test]
+    fn failure_reasons_match_the_stage_that_failed() {
+        let rx = UplinkReceiver::new(RxConfig::default());
+        // Idle silent channel: no modulation contrast at all.
+        let silent_idle = channel(NoiseConfig::silent()).uplink_waveform(&[], 100_000);
+        assert_eq!(
+            rx.process_slot(&silent_idle).fail,
+            Some(DecodeFailReason::NoModulation)
+        );
+        // Idle noisy channel: still no packet, some failure reason set.
+        let ch = channel(NoiseConfig::default());
+        let idle = ch.uplink_waveform(&[], 100_000);
+        let noisy = rx.process_slot(&idle);
+        assert_eq!(noisy.packet, None);
+        assert!(noisy.fail.is_some());
+        // A corrupted payload decodes edges fine but fails the body check.
+        let pkt = UlPacket::new(8, 0xABC).unwrap();
+        let mut bits = pkt.to_bits();
+        bits.set(15, !bits.get(15).unwrap());
+        let mut enc = Fm0Encoder::new();
+        let raw = enc.encode(bits.iter()).to_bools();
+        let spb = (500_000.0f64 / 375.0).round() as usize;
+        let silent = channel(NoiseConfig::silent());
+        let mut states = vec![PztState::Absorptive; 8 * spb];
+        states.extend(BiwChannel::states_from_raw_bits(&raw, spb));
+        states.extend(vec![PztState::Absorptive; 8 * spb]);
+        let len = states.len();
+        let wave = silent.uplink_waveform(&[(8, &states)], len);
+        let out = rx.process_slot(&wave);
+        assert_eq!(out.packet, None);
+        assert!(matches!(
+            out.fail,
+            Some(DecodeFailReason::BadCrc) | Some(DecodeFailReason::NoPreamble)
+        ));
+        // A good decode carries no failure reason.
+        let good = tag_waveform(&silent, 8, &pkt, 375.0);
+        let ok = rx.process_slot(&good);
+        assert_eq!(ok.packet, Some(pkt));
+        assert_eq!(ok.fail, None);
     }
 
     #[test]

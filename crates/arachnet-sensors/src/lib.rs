@@ -320,6 +320,7 @@ mod tests {
     #[test]
     fn sampling_power_motivates_duty_cycling() {
         // 1 mW sampling vs 51 µW TX budget: >19× — one sample per slot max.
-        assert!(SAMPLING_POWER_W / 51e-6 > 19.0);
+        let ratio = SAMPLING_POWER_W / 51e-6;
+        assert!(ratio > 19.0, "sampling/TX power ratio {ratio} too small");
     }
 }

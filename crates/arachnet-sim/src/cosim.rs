@@ -18,6 +18,7 @@ use arachnet_core::mac::{ProtocolConfig, ReaderMac, SlotObservation};
 use arachnet_core::packet::UlPacket;
 use arachnet_core::rng::TagRng;
 use arachnet_core::slot::Period;
+use arachnet_obs::{DecodeFailReason, EventKind, Recorder, RecorderSnapshot, NO_TAG};
 use arachnet_reader::rx::{RxConfig, RxScratch, SlotRx, UplinkReceiver};
 use arachnet_reader::tx::BeaconTransmitter;
 use arachnet_tag::demod::PieDemodulator;
@@ -102,6 +103,7 @@ pub struct CoSim {
     beacon: Option<arachnet_core::packet::DlBeacon>,
     slots_run: u64,
     scratch: CoSimScratch,
+    recorder: Recorder,
 }
 
 impl CoSim {
@@ -143,7 +145,25 @@ impl CoSim {
             beacon: None,
             slots_run: 0,
             scratch: CoSimScratch::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach a flight recorder; subsequent [`CoSim::step`] calls will log
+    /// structured events into it. Has no effect on sim outcomes.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The currently attached recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Detach the recorder and consume it into an immutable snapshot
+    /// (subsequent slots run unobserved).
+    pub fn take_recorder_snapshot(&mut self) -> RecorderSnapshot {
+        std::mem::replace(&mut self.recorder, Recorder::disabled()).into_snapshot()
     }
 
     /// Slots executed.
@@ -209,10 +229,12 @@ impl CoSim {
         };
 
         // --- Downlink: real edges through the channel to every tag. ------
+        let slot = self.slots_run;
         let edges = self.tx.edges(&beacon, 0.0);
         let mut transmitters: Vec<u8> = Vec::new();
         let mut beacon_losses: Vec<u8> = Vec::new();
         let dl_bps = self.config.dl_bps;
+        let recorder = &mut self.recorder;
         for tag in self.tags.iter_mut() {
             let heard = Self::beacon_edges_at_tag(
                 &self.channel,
@@ -235,7 +257,15 @@ impl CoSim {
                     None
                 }
             };
-            if action.map_or(false, |a| a.transmit) {
+            if recorder.is_enabled() {
+                if action.is_none() {
+                    recorder.record(slot, tag.tid, EventKind::BeaconLost);
+                }
+                for &ev in tag.mac.events() {
+                    recorder.record(slot, tag.tid, ev);
+                }
+            }
+            if action.is_some_and(|a| a.transmit) {
                 transmitters.push(tag.tid);
             }
         }
@@ -259,16 +289,16 @@ impl CoSim {
             let states = &mut self.scratch.streams[k];
             states.clear();
             states.reserve(raw.len() * spb + 8 * spb);
-            states.extend(std::iter::repeat(PztState::Absorptive).take(4 * spb));
+            states.extend(std::iter::repeat_n(PztState::Absorptive, 4 * spb));
             for bit in raw.iter() {
                 let s = if bit {
                     PztState::Reflective
                 } else {
                     PztState::Absorptive
                 };
-                states.extend(std::iter::repeat(s).take(spb));
+                states.extend(std::iter::repeat_n(s, spb));
             }
-            states.extend(std::iter::repeat(PztState::Absorptive).take(4 * spb));
+            states.extend(std::iter::repeat_n(PztState::Absorptive, 4 * spb));
         }
         // The channel's own seed keys slot noise, exactly as the eager
         // `uplink_waveform` did before buffers were made reusable.
@@ -303,6 +333,31 @@ impl CoSim {
             }),
             collision: rx_out.collision,
         };
+        if self.recorder.is_enabled() {
+            if rx_out.collision {
+                let n = transmitters.len().min(255) as u8;
+                self.recorder
+                    .record(slot, NO_TAG, EventKind::Collision { transmitters: n });
+            } else if let Some(tid) = obs.decoded {
+                self.recorder.note(EventKind::Decoded);
+                let offset = self
+                    .tags
+                    .iter()
+                    .find(|t| t.tid == tid)
+                    .map_or(0, |t| t.mac.offset() as u16);
+                self.recorder
+                    .record(slot, tid, EventKind::SlotClaimed { offset });
+            } else if transmitters.is_empty() {
+                self.recorder.note(EventKind::Empty);
+            } else {
+                // Real transmissions the DSP chain could not recover: the
+                // receiver's own stage-of-failure diagnosis is the reason.
+                let reason = rx_out.fail.unwrap_or(DecodeFailReason::NoPreamble);
+                let tag = if transmitters.len() == 1 { transmitters[0] } else { NO_TAG };
+                self.recorder
+                    .record(slot, tag, EventKind::DecodeFail { reason });
+            }
+        }
         self.beacon = Some(self.reader_mac.end_slot(obs));
         self.slots_run += 1;
         CoSimSlot {
@@ -384,6 +439,44 @@ mod tests {
             }
         }
         assert!(saw_decode, "no clean decode in 40 slots");
+    }
+
+    #[test]
+    fn recorder_sees_real_phy_collisions_and_decodes() {
+        // Same scenario as `collisions_are_really_detected_from_waveforms`,
+        // but observed through the flight recorder: it must log at least one
+        // IQ-clustered collision and one clean decode, and attaching it must
+        // not perturb the simulated outcomes.
+        let tags = vec![(8, p(2)), (5, p(2))];
+        let mut bare = CoSim::new(CoSimConfig::new(tags.clone(), 11));
+        let mut observed = CoSim::new(CoSimConfig::new(tags, 11));
+        observed.attach_recorder(Recorder::enabled(11));
+        for _ in 0..25 {
+            let a = bare.step();
+            let b = observed.step();
+            assert_eq!(a.transmitters, b.transmitters, "recorder perturbed the sim");
+            assert_eq!(a.rx.collision, b.rx.collision);
+        }
+        let snap = observed.take_recorder_snapshot();
+        assert_eq!(snap.seed, 11);
+        assert!(
+            snap.count_at(EventKind::Collision { transmitters: 0 }.index()) >= 1,
+            "no collision events: {:?}",
+            snap.counts
+        );
+        assert!(
+            snap.count_at(EventKind::Decoded.index()) >= 1,
+            "no decode events: {:?}",
+            snap.counts
+        );
+        // Both period-1 tags start on the same schedule, so at least one
+        // must have migrated to break the tie.
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::TagMigrated { .. })),
+            "no migration in the event ring"
+        );
     }
 
     #[test]

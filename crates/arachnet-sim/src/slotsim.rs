@@ -21,6 +21,7 @@ use arachnet_core::convergence::{ConvergenceDetector, SlotStats};
 use arachnet_core::mac::{ProtocolConfig, ReaderMac, SlotObservation, SlotOutcome};
 use arachnet_core::rng::TagRng;
 use arachnet_core::slot::Schedule;
+use arachnet_obs::{DecodeFailReason, EventKind, Recorder, RecorderSnapshot, NO_TAG};
 use arachnet_tag::device::{Lifecycle, SlotTiming, TagDevice};
 use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
@@ -129,6 +130,7 @@ pub struct SlotSim {
     trajectory: Vec<(f64, f64)>,
     keep_outcomes: bool,
     outcomes: Vec<TruthOutcome>,
+    recorder: Recorder,
 }
 
 impl SlotSim {
@@ -169,7 +171,25 @@ impl SlotSim {
             trajectory: Vec::new(),
             keep_outcomes: false,
             outcomes: Vec::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder; pass [`Recorder::disabled`] to detach.
+    /// With a disabled recorder (the default) the per-slot cost of the
+    /// instrumentation is a single branch.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached flight recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Detaches and consumes the flight recorder into a snapshot.
+    pub fn take_recorder_snapshot(&mut self) -> RecorderSnapshot {
+        std::mem::replace(&mut self.recorder, Recorder::disabled()).into_snapshot()
     }
 
     /// Enables per-slot trajectory recording (Fig. 16).
@@ -200,6 +220,7 @@ impl SlotSim {
         };
 
         // Deliver the beacon (with per-tag loss) and collect transmitters.
+        let slot = self.slots_run;
         let mut transmitters: Vec<u8> = Vec::new();
         for tag in &mut self.tags {
             let delivered = !self.rng.chance(self.config.dl_loss_prob);
@@ -207,16 +228,57 @@ impl SlotSim {
             if report.transmitted {
                 transmitters.push(tag.tid());
             }
+            if self.recorder.is_enabled() {
+                let tid = tag.tid();
+                if report.active && !delivered {
+                    self.recorder.record(slot, tid, EventKind::BeaconLost);
+                }
+                if report.browned_out {
+                    self.recorder.record(slot, tid, EventKind::PowerCutoff);
+                }
+                if report.activated {
+                    self.recorder.record(slot, tid, EventKind::PowerOn);
+                }
+                if report.active {
+                    // MAC transitions from this slot's callback (ACK/NACK
+                    // feedback, migrations, settles). After a brownout the
+                    // power-on reset's migration is what remains — correct,
+                    // since it superseded the in-slot feedback.
+                    for &kind in tag.mac().events() {
+                        self.recorder.record(slot, tid, kind);
+                    }
+                }
+            }
         }
 
         // Reader-side observation.
         let (obs, truth) = match transmitters.len() {
-            0 => (SlotObservation::empty(), TruthOutcome::Empty),
+            0 => {
+                self.recorder.note(EventKind::Empty);
+                (SlotObservation::empty(), TruthOutcome::Empty)
+            }
             1 => {
                 let tid = transmitters[0];
                 if self.rng.chance(self.config.ul_loss_prob) {
+                    // Abstract UL decode failure: the slot-level channel
+                    // models it as a vanished packet, not a specific PHY
+                    // stage, so the closest taxon is a missed preamble.
+                    self.recorder.record(
+                        slot,
+                        tid,
+                        EventKind::DecodeFail { reason: DecodeFailReason::NoPreamble },
+                    );
                     (SlotObservation::empty(), TruthOutcome::Single(tid))
                 } else {
+                    if self.recorder.is_enabled() {
+                        self.recorder.note(EventKind::Decoded);
+                        let offset = self
+                            .tags
+                            .iter()
+                            .find(|t| t.tid() == tid)
+                            .map_or(0, |t| t.mac().offset() as u16);
+                        self.recorder.record(slot, tid, EventKind::SlotClaimed { offset });
+                    }
                     (SlotObservation::received(tid), TruthOutcome::Single(tid))
                 }
             }
@@ -227,6 +289,13 @@ impl SlotSim {
                 } else {
                     None
                 };
+                self.recorder.record(
+                    slot,
+                    NO_TAG,
+                    EventKind::Collision {
+                        transmitters: transmitters.len().min(u8::MAX as usize) as u8,
+                    },
+                );
                 (
                     SlotObservation::collision(captured),
                     TruthOutcome::Collision(transmitters.clone()),
@@ -342,10 +411,33 @@ impl SlotSim {
     }
 }
 
+/// Result of one recorded convergence trial (Fig. 15 protocol).
+#[derive(Debug, Clone)]
+pub struct ConvergenceTrial {
+    /// Slot of first convergence, if reached within the cap.
+    pub converged_at: Option<u64>,
+    /// Flight-recorder snapshot of the measured phase (empty when the
+    /// trial ran unrecorded).
+    pub snapshot: RecorderSnapshot,
+}
+
 /// Convenience: measures first convergence time for a pattern with a given
 /// seed, using the Fig. 15 protocol (RESET, then count slots until 32
 /// consecutive non-collision slots).
 pub fn first_convergence_time(pattern: &Pattern, seed: u64, cap: u64, ideal: bool) -> Option<u64> {
+    first_convergence_trial(pattern, seed, cap, ideal, false).converged_at
+}
+
+/// [`first_convergence_time`] with an optional flight recorder attached for
+/// the measured phase. Recording never alters the sim's random streams, so
+/// the convergence result is identical with and without it.
+pub fn first_convergence_trial(
+    pattern: &Pattern,
+    seed: u64,
+    cap: u64,
+    ideal: bool,
+    record: bool,
+) -> ConvergenceTrial {
     let config = if ideal {
         SlotSimConfig::ideal(pattern.clone(), seed)
     } else {
@@ -356,7 +448,14 @@ pub fn first_convergence_time(pattern: &Pattern, seed: u64, cap: u64, ideal: boo
     // transmission of a RESET packet".
     sim.run(4);
     sim.reset_network();
-    sim.run_until_converged(cap).converged_at
+    if record {
+        sim.attach_recorder(Recorder::enabled(seed));
+    }
+    let converged_at = sim.run_until_converged(cap).converged_at;
+    ConvergenceTrial {
+        converged_at,
+        snapshot: sim.take_recorder_snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -532,6 +631,36 @@ mod tests {
         for t in sim.tags() {
             assert!(!t.mac().is_integrated());
         }
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_the_sim() {
+        // The determinism contract: attaching a recorder must not change a
+        // single outcome (it draws no randomness and holds no sim state).
+        let bare = first_convergence_time(&small_pattern(), 21, 5_000, true);
+        let recorded = first_convergence_trial(&small_pattern(), 21, 5_000, true, true);
+        assert_eq!(bare, recorded.converged_at);
+        assert!(bare.is_some());
+        // A converging contention run must show settles, and the totals
+        // must be self-consistent.
+        let snap = recorded.snapshot;
+        assert!(snap.count_at(EventKind::Settled { offset: 0 }.index()) >= 1);
+        assert!(snap.total() >= snap.events.len() as u64);
+    }
+
+    #[test]
+    fn recorder_captures_migrate_settle_timeline() {
+        let trial = first_convergence_trial(&small_pattern(), 3, 5_000, true, true);
+        let settles: Vec<_> = trial
+            .snapshot
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Settled { .. }))
+            .collect();
+        assert!(!settles.is_empty(), "no settle events recorded");
+        // Events are stamped in nondecreasing slot order.
+        let slots: Vec<u64> = trial.snapshot.events.iter().map(|e| e.slot).collect();
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

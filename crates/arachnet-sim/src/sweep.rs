@@ -30,6 +30,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use arachnet_obs::{flush_thread_spans, global_counter_add, global_histo_record, span};
+
 use crate::metrics::{five_num, Ecdf, FiveNum};
 
 /// Sweep configuration: worker count and base seed.
@@ -133,11 +135,20 @@ where
     let workers = cfg.threads.clamp(1, trials.max(1) as usize);
     let mut slots: Vec<Option<TrialResult<T>>> = (0..trials).map(|_| None).collect();
     let mut worker_deaths: Vec<String> = Vec::new();
+    // Wall-domain utilization stats land in the obs globals; `take_global_stats`
+    // reads them out. They are diagnostics about this host's scheduling, so
+    // they are never part of the deterministic metrics export (DESIGN.md §11).
+    let _sweep_span = span("sweep.run_trials");
+    global_counter_add("sweep.sweeps", 1);
+    global_counter_add("sweep.trials", trials);
+    global_counter_add("sweep.workers", workers as u64);
     if workers <= 1 {
         for i in 0..trials {
+            let _t = span("sweep.trial");
             let (idx, r) = one_trial(i);
             slots[idx as usize] = Some(r);
         }
+        global_histo_record("sweep.jobs_per_worker", trials);
     } else {
         let next_job = AtomicU64::new(0);
         std::thread::scope(|scope| {
@@ -150,8 +161,15 @@ where
                             if i >= trials {
                                 break;
                             }
+                            let _t = span("sweep.trial");
                             local.push(one_trial(i));
                         }
+                        // How evenly the shared counter spread jobs across
+                        // workers (a proxy for steal balance).
+                        global_histo_record("sweep.jobs_per_worker", local.len() as u64);
+                        // Spans recorded inside trials live in this worker's
+                        // thread-local map; merge them before the thread dies.
+                        flush_thread_spans();
                         local
                     })
                 })
@@ -347,7 +365,7 @@ mod tests {
                 });
                 prop_assert_eq!(out.len(), trials as usize);
                 for (i, r) in out.iter().enumerate() {
-                    if i as u64 % modulus == 0 {
+                    if (i as u64).is_multiple_of(modulus) {
                         let e = r.as_ref().err().ok_or("expected an error slot")?;
                         prop_assert_eq!(e.trial, i as u64);
                         prop_assert!(e.payload.contains("synthetic failure"));
@@ -358,6 +376,32 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    #[test]
+    fn sweeps_publish_worker_utilization_stats() {
+        // Utilization diagnostics land in the process-global obs sinks.
+        // Other tests in this binary also run sweeps concurrently, so the
+        // assertions are lower bounds, never exact counts.
+        let cfg = SweepConfig::new(77).with_threads(3);
+        let out = run_trials(&cfg, 12, |i, _| i + 1);
+        assert_eq!(out.len(), 12);
+        let stats = arachnet_obs::take_global_stats();
+        assert!(
+            stats.counters.get("sweep.trials").copied().unwrap_or(0) >= 12,
+            "sweep.trials missing: {:?}",
+            stats.counters
+        );
+        assert!(stats.counters.get("sweep.sweeps").copied().unwrap_or(0) >= 1);
+        let jobs = stats
+            .histos
+            .get("sweep.jobs_per_worker")
+            .expect("jobs_per_worker histo");
+        assert!(jobs.count() >= 3, "one sample per worker, got {}", jobs.count());
+        // Trial spans were flushed from the worker threads before join.
+        let spans = arachnet_obs::take_spans();
+        let trial = spans.iter().find(|(n, _)| *n == "sweep.trial");
+        assert!(trial.is_some_and(|(_, s)| s.calls >= 12), "spans: {spans:?}");
     }
 
     #[test]

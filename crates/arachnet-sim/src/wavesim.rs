@@ -19,6 +19,7 @@ use arachnet_core::bits::BitBuf;
 use arachnet_core::fm0::Fm0Encoder;
 use arachnet_core::packet::{DlBeacon, DlCmd, UlPacket};
 use arachnet_core::rng::TagRng;
+use arachnet_obs::{DecodeFailReason, EventKind, Recorder};
 use arachnet_reader::driver::{LatencyModel, PingPong};
 use arachnet_reader::rx::{RxConfig, RxScratch, UplinkReceiver};
 use arachnet_reader::tx::BeaconTransmitter;
@@ -147,16 +148,16 @@ impl WaveSim {
     fn expand_states_into(raw: &BitBuf, spb: usize, pad: usize, out: &mut Vec<PztState>) {
         out.clear();
         out.reserve(raw.len() * spb + 2 * pad);
-        out.extend(std::iter::repeat(PztState::Absorptive).take(pad));
+        out.extend(std::iter::repeat_n(PztState::Absorptive, pad));
         for bit in raw.iter() {
             let s = if bit {
                 PztState::Reflective
             } else {
                 PztState::Absorptive
             };
-            out.extend(std::iter::repeat(s).take(spb));
+            out.extend(std::iter::repeat_n(s, spb));
         }
-        out.extend(std::iter::repeat(PztState::Absorptive).take(pad));
+        out.extend(std::iter::repeat_n(PztState::Absorptive, pad));
     }
 
     /// Synthesizes one seeded uplink packet into `s.wave` and returns the
@@ -217,6 +218,23 @@ impl WaveSim {
     /// measures SNR on the representative (index-0) waveform, which is
     /// synthesized once and shared between the SNR estimate and the decode.
     pub fn uplink_trial(&self, tid: u8, ul_bps: f64, n: u64) -> UplinkResult {
+        // Hot path deliberately runs through the instrumented variant with
+        // a disabled recorder: the `phy/full_uplink_trial` bench gate proves
+        // that path costs the same as the uninstrumented one did.
+        self.uplink_trial_observed(tid, ul_bps, n, &mut Recorder::disabled())
+    }
+
+    /// [`Self::uplink_trial`] with a flight recorder watching every packet:
+    /// successful decodes are counted ([`EventKind::Decoded`]); losses land
+    /// in the ring as [`EventKind::DecodeFail`] carrying the receiver's
+    /// stage-of-failure reason, stamped with the packet index as the slot.
+    pub fn uplink_trial_observed(
+        &self,
+        tid: u8,
+        ul_bps: f64,
+        n: u64,
+        recorder: &mut Recorder,
+    ) -> UplinkResult {
         let rx = self.uplink_rx(ul_bps);
         let base = self.uplink_base_seed(tid, ul_bps);
         with_phy_scratch(|s| {
@@ -228,8 +246,20 @@ impl WaveSim {
                 if i == 0 {
                     snr_db = rx.uplink_snr_db_with(wave, rxs);
                 }
-                if i < n && rx.process_slot_with(wave, rxs).packet != Some(pkt) {
-                    lost += 1;
+                if i < n {
+                    let out = rx.process_slot_with(wave, rxs);
+                    if out.packet == Some(pkt) {
+                        recorder.note(EventKind::Decoded);
+                    } else {
+                        lost += 1;
+                        // A decode to the *wrong* packet passed CRC on a
+                        // corrupted waveform — report it as a CRC-level
+                        // failure rather than inventing a new taxon.
+                        let reason = out
+                            .fail
+                            .unwrap_or(DecodeFailReason::BadCrc);
+                        recorder.record(i, tid, EventKind::DecodeFail { reason });
+                    }
                 }
             }
             UplinkResult {
@@ -474,6 +504,27 @@ mod tests {
         // At 3 kbps the strongest tag should still be near-lossless.
         assert!(r.lost <= 1, "{}/{} lost", r.lost, r.sent);
         assert!(r.snr_db > 5.0, "snr {:.1}", r.snr_db);
+    }
+
+    #[test]
+    fn observed_uplink_trial_matches_unobserved() {
+        // Attaching a recorder must not change a single loss count, and the
+        // recorded events must reconcile exactly with the result.
+        let sim = WaveSim::paper(13);
+        let bare = sim.uplink_trial(11, 1_500.0, 20);
+        let mut rec = Recorder::enabled(13);
+        let observed = sim.uplink_trial_observed(11, 1_500.0, 20, &mut rec);
+        assert_eq!(bare.lost, observed.lost);
+        assert_eq!(bare.snr_db, observed.snr_db);
+        let snap = rec.clone().into_snapshot();
+        assert_eq!(snap.count_at(EventKind::Decoded.index()), observed.sent - observed.lost);
+        let fails: u64 = (0..arachnet_obs::KIND_COUNT)
+            .filter(|&i| {
+                i == EventKind::DecodeFail { reason: DecodeFailReason::BadCrc }.index()
+            })
+            .map(|i| snap.count_at(i))
+            .sum();
+        assert_eq!(fails, observed.lost);
     }
 
     #[test]

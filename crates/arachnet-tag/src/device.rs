@@ -201,7 +201,7 @@ impl TagDevice {
                 None
             }
         };
-        let transmit = action.map_or(false, |a| a.transmit);
+        let transmit = action.is_some_and(|a| a.transmit);
 
         // 2. Energy accounting across the slot's phases.
         let rx = PowerMode::Rx {

@@ -132,7 +132,7 @@ mod tests {
                 let t = ch.chip_template();
                 let rep = n / t.len();
                 t.iter()
-                    .flat_map(|&v| std::iter::repeat(v).take(rep))
+                    .flat_map(|&v| std::iter::repeat_n(v, rep))
                     .collect()
             };
             let ua = upsample(&ca);

@@ -8,10 +8,13 @@
 
 use arachnet_core::rng::TagRng;
 
+/// Boxed shrink function: proposes strictly simpler candidates for a value.
+type ShrinkFn<T> = Box<dyn Fn(&T) -> Vec<T>>;
+
 /// A seeded generator for values of type `T`, with optional shrinking.
 pub struct Gen<T> {
     generate: Box<dyn Fn(&mut TagRng) -> T>,
-    shrink: Box<dyn Fn(&T) -> Vec<T>>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T: 'static> Gen<T> {

@@ -78,9 +78,19 @@ fn bench_rx(s: &mut Suite) {
 
 fn bench_trials(s: &mut Suite) {
     let sim = WaveSim::paper(1);
+    // The acceptance pair for PR 3's observability work: `uplink_trial`
+    // now runs through the instrumented path with a disabled recorder, so
+    // this entry regressing against the committed BENCH_phy.json median
+    // would mean recorder-off instrumentation is NOT free (verify.sh gates
+    // it at < 2%). The `_recorded` twin measures the enabled-recorder cost.
     s.bench("phy/full_uplink_trial", || {
         let r = sim.uplink_trial(8, 375.0, 1);
         black_box(r.lost)
+    });
+    s.bench("phy/full_uplink_trial_recorded", || {
+        let mut rec = arachnet_obs::Recorder::enabled(1);
+        let r = sim.uplink_trial_observed(8, 375.0, 1, &mut rec);
+        black_box((r.lost, rec.seed()))
     });
     s.bench("phy/downlink_trial_10_beacons", || {
         let r = sim.downlink_trial(8, 250.0, 10);

@@ -50,8 +50,8 @@ fn env_u64(key: &str, default: u64) -> u64 {
         Ok(Some(v)) => v,
         Ok(None) => default,
         Err(bad) => {
-            eprintln!(
-                "warning: {key}={bad:?} is not a valid integer; using default {default}"
+            arachnet_obs::warn!(
+                "{key}={bad:?} is not a valid integer; using default {default}"
             );
             default
         }
@@ -200,7 +200,7 @@ impl Suite {
         let path = dir.join(format!("BENCH_{}.json", self.name));
         let json = self.to_json();
         if let Err(e) = std::fs::write(&path, &json) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+            arachnet_obs::warn!("could not write {}: {e}", path.display());
         } else {
             println!("wrote {}", path.display());
         }
@@ -284,6 +284,25 @@ mod tests {
         assert!(json.contains("\"ns_median\""));
         assert_eq!(json.matches("{\"name\"").count(), 2);
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn malformed_env_warns_on_the_obs_sink() {
+        // The warning is observable now, not just stderr noise: run the
+        // parse under the capture sink and assert on what was emitted.
+        std::env::set_var("ARACHNET_BENCH_TEST_BOGUS", "1e3");
+        let (v, warnings) = arachnet_obs::capture(|| env_u64("ARACHNET_BENCH_TEST_BOGUS", 17));
+        std::env::remove_var("ARACHNET_BENCH_TEST_BOGUS");
+        assert_eq!(v, 17, "malformed value must fall back to the default");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("ARACHNET_BENCH_TEST_BOGUS"));
+        assert!(warnings[0].contains("1e3"));
+        // A well-formed value warns about nothing.
+        std::env::set_var("ARACHNET_BENCH_TEST_GOOD", "21");
+        let (v, warnings) = arachnet_obs::capture(|| env_u64("ARACHNET_BENCH_TEST_GOOD", 17));
+        std::env::remove_var("ARACHNET_BENCH_TEST_GOOD");
+        assert_eq!(v, 21);
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]

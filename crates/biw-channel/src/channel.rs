@@ -64,7 +64,7 @@ const MAX_CARRIER_PERIOD: usize = 4096;
 /// ratio is irrational (or rational with a huge denominator) — synthesis
 /// then falls back to direct trig.
 fn exact_carrier_period(fs: f64, carrier_hz: f64) -> Option<usize> {
-    if !(fs > 0.0) || !(carrier_hz > 0.0) {
+    if fs <= 0.0 || carrier_hz <= 0.0 || fs.is_nan() || carrier_hz.is_nan() {
         return None;
     }
     for p in 1..=MAX_CARRIER_PERIOD {
@@ -398,7 +398,7 @@ impl BiwChannel {
             } else {
                 PztState::Absorptive
             };
-            out.extend(std::iter::repeat(s).take(samples_per_bit));
+            out.extend(std::iter::repeat_n(s, samples_per_bit));
         }
         out
     }

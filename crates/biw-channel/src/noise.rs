@@ -121,6 +121,10 @@ impl ChannelNoise {
     }
 
     /// Next noise sample.
+    ///
+    /// Not an `Iterator`: the stream is infinite and the per-sample hot
+    /// path should not thread `Option` through.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> f64 {
         let t = self.n as f64 / self.fs;
         self.n += 1;

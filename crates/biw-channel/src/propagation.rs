@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn perpendicular_junction_costs_more_than_seam() {
-        assert!(PERP_TRANSMISSION < SEAM_TRANSMISSION);
+        let (perp, seam) = (PERP_TRANSMISSION, SEAM_TRANSMISSION);
+        assert!(perp < seam, "perpendicular path {perp} should lose more than seam path {seam}");
     }
 
     #[test]

@@ -269,7 +269,7 @@ mod tests {
         let mut r = Resonator::arachnet(FS);
         // 10 ms ON then silence.
         let mut drive = synthesize_drive(DriveScheme::PlainOok, &[true], 5_000, FS, 90_000.0, 1.0);
-        drive.extend(std::iter::repeat(0.0).take(2_000));
+        drive.extend(std::iter::repeat_n(0.0, 2_000));
         let out = r.process_block(&drive);
         // Just after cutoff (0.2 ms = 100 samples), the ring is still strong.
         let ring = envelope_rms(&out[5_000 + 50..5_000 + 150]);

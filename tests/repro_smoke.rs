@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 
 use arachnet_experiments::registry;
-use arachnet_experiments::report::Params;
+use arachnet_experiments::report::{metrics_json, Params};
 
 /// Every `repro <id>` token in EXPERIMENTS.md (excluding `all`).
 fn documented_ids() -> BTreeSet<String> {
@@ -115,6 +115,38 @@ fn every_registered_experiment_is_thread_count_invariant() {
             four,
             "{}: report differs between --threads 1 and --threads 4",
             e.id()
+        );
+    }
+}
+
+#[test]
+fn every_registered_experiment_exports_thread_invariant_metrics() {
+    // The `--metrics` export must be deterministic in the sim domain: the
+    // METRICS_<id>.json document (observation enabled) is byte-identical
+    // at 1, 2 and 8 workers for every registered experiment.
+    for e in registry::all() {
+        let docs: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let p = Params::quick(9).with_threads(threads).with_observe(true);
+                metrics_json(e.id(), &e.run(&p))
+            })
+            .collect();
+        assert_eq!(
+            docs[0], docs[1],
+            "{}: metrics differ between --threads 1 and --threads 2",
+            e.id()
+        );
+        assert_eq!(
+            docs[0], docs[2],
+            "{}: metrics differ between --threads 1 and --threads 8",
+            e.id()
+        );
+        assert!(
+            docs[0].contains("\"metrics\":{\""),
+            "{}: metrics export is empty:\n{}",
+            e.id(),
+            docs[0]
         );
     }
 }

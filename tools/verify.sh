@@ -1,17 +1,35 @@
 #!/usr/bin/env bash
-# Repo verification: build, full test suite, a quick pass over every
-# registered experiment, and the parallel-sweep determinism check
-# (byte-identical `repro` output at 1 vs 8 worker threads).
+# Repo verification: build, lint, full test suite, a quick pass over every
+# registered experiment, the parallel-sweep determinism check
+# (byte-identical `repro` output and METRICS exports at 1 vs 8 worker
+# threads), hygiene (no tracked target/ artifacts), and the
+# recorder-overhead bench gate.
 #
 # Usage: tools/verify.sh [seed]     (default seed 7)
+#
+# Env knobs:
+#   ARACHNET_BENCH_GATE_PCT   allowed % regression of phy/full_uplink_trial
+#                             vs the committed BENCH_phy.json (default 2)
+#   ARACHNET_SKIP_BENCH_GATE  set to 1 to skip the bench gate (noisy hosts)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 seed="${1:-7}"
 repro=target/release/repro
 
+echo "== hygiene: no build artifacts under version control =="
+if git ls-files | grep -q '^target/'; then
+  echo "FAIL: target/ files are tracked by git:" >&2
+  git ls-files | grep '^target/' | head >&2
+  exit 1
+fi
+echo "   clean"
+
 echo "== build (release, workspace) =="
 cargo build --release --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tests (workspace) =="
 cargo test -q --workspace
@@ -20,17 +38,55 @@ echo "== quick pass over every artifact =="
 "$repro" all --quick --seed "$seed" > /dev/null
 
 echo "== thread-count determinism (seed $seed) =="
-tmp1="$(mktemp)" tmp8="$(mktemp)"
-trap 'rm -f "$tmp1" "$tmp8"' EXIT
-for artifact in fig12a12b fig13a fig14b; do
-  "$repro" "$artifact" --quick --seed "$seed" --threads 1 > "$tmp1"
-  "$repro" "$artifact" --quick --seed "$seed" --threads 8 > "$tmp8"
-  if ! cmp -s "$tmp1" "$tmp8"; then
-    echo "FAIL: $artifact differs between --threads 1 and --threads 8" >&2
-    diff "$tmp1" "$tmp8" | head >&2
+tmp1="$(mktemp -d)" tmp8="$(mktemp -d)"
+trap 'rm -rf "$tmp1" "$tmp8"' EXIT
+for artifact in fig12a12b fig13a fig14b fig15a fig16; do
+  (cd "$tmp1" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 1 --metrics > stdout.txt)
+  (cd "$tmp8" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 8 --metrics > stdout.txt)
+  if ! cmp -s "$tmp1/METRICS_$artifact.json" "$tmp8/METRICS_$artifact.json"; then
+    echo "FAIL: METRICS_$artifact.json differs between --threads 1 and --threads 8" >&2
+    diff "$tmp1/METRICS_$artifact.json" "$tmp8/METRICS_$artifact.json" | head >&2
     exit 1
   fi
-  echo "   $artifact: byte-identical at 1 vs 8 threads"
+  echo "   $artifact: METRICS export byte-identical at 1 vs 8 threads"
 done
+# Report text too (sans the wall-domain diagnostics --metrics appends).
+for artifact in fig12a12b fig13a fig14b; do
+  "$repro" "$artifact" --quick --seed "$seed" --threads 1 > "$tmp1/r.txt"
+  "$repro" "$artifact" --quick --seed "$seed" --threads 8 > "$tmp8/r.txt"
+  if ! cmp -s "$tmp1/r.txt" "$tmp8/r.txt"; then
+    echo "FAIL: $artifact differs between --threads 1 and --threads 8" >&2
+    diff "$tmp1/r.txt" "$tmp8/r.txt" | head >&2
+    exit 1
+  fi
+  echo "   $artifact: report byte-identical at 1 vs 8 threads"
+done
+
+if [ "${ARACHNET_SKIP_BENCH_GATE:-0}" = "1" ]; then
+  echo "== recorder-overhead bench gate: SKIPPED (ARACHNET_SKIP_BENCH_GATE=1) =="
+else
+  echo "== recorder-overhead bench gate =="
+  # The committed BENCH_phy.json median is the pre-observability baseline;
+  # `uplink_trial` now runs through the instrumented path with a disabled
+  # recorder, so a regression here means instrumentation is not free.
+  gate_pct="${ARACHNET_BENCH_GATE_PCT:-2}"
+  baseline="$(sed -nE 's/.*"name": "phy\/full_uplink_trial",.*"ns_median": ([0-9.]+).*/\1/p' BENCH_phy.json | head -1)"
+  if [ -z "$baseline" ]; then
+    echo "FAIL: no phy/full_uplink_trial entry in BENCH_phy.json" >&2
+    exit 1
+  fi
+  cargo build --release -p bench --benches >/dev/null 2>&1
+  phy_bin="$(ls -t target/release/deps/phy-* 2>/dev/null | grep -v '\.d$' | head -1)"
+  ARACHNET_BENCH_DIR="$tmp1" ARACHNET_BENCH_SAMPLES="${ARACHNET_BENCH_SAMPLES:-15}" "$phy_bin" > "$tmp1/bench.txt"
+  current="$(sed -nE 's/.*"name": "phy\/full_uplink_trial",.*"ns_median": ([0-9.]+).*/\1/p' "$tmp1/BENCH_phy.json" | head -1)"
+  if awk -v cur="$current" -v base="$baseline" -v pct="$gate_pct" \
+       'BEGIN { exit !(cur <= base * (1 + pct / 100)) }'; then
+    echo "   phy/full_uplink_trial: $current ns vs baseline $baseline ns (gate: +$gate_pct%) — OK"
+  else
+    echo "FAIL: phy/full_uplink_trial median $current ns exceeds baseline $baseline ns by more than $gate_pct%" >&2
+    echo "      (recorder-off instrumentation must be free; rerun or raise ARACHNET_BENCH_GATE_PCT on noisy hosts)" >&2
+    exit 1
+  fi
+fi
 
 echo "verify: OK"
