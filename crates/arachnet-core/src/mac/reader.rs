@@ -17,13 +17,33 @@
 //! 3. **Future-collision avoidance** (Sec. 5.6) — when a previously unseen
 //!    tag shows up whose period admits no conflict-free offset under the
 //!    current allocation, the reader NACKs it *and* evicts a settled tag
-//!    from a low-traffic slot by NACKing that tag until it migrates.
+//!    from a low-traffic slot by NACKing that tag until it migrates;
+//! 4. **Stale-schedule eviction** — a tag that misses
+//!    [`MISS_EVICTION_THRESHOLD`] consecutive expected transmissions is
+//!    dropped from `seen`, so a departed tag's inferred schedule stops
+//!    poisoning the EMPTY predictor (without this, `predict_empty` would
+//!    gate the departed tag's slots forever and re-arrivals could never
+//!    claim them back).
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use arachnet_obs::warn;
 
 use crate::mac::ProtocolConfig;
 use crate::packet::{DlBeacon, DlCmd};
 use crate::slot::{viable_offset, Period, Schedule};
+
+/// Consecutive missed expected transmissions after which the reader evicts
+/// a tag's inferred schedule from `seen`. Collisions are ambiguous (the tag
+/// may be among the colliders) and neither count as a miss nor clear the
+/// run.
+pub const MISS_EVICTION_THRESHOLD: u8 = 3;
+
+/// Retained slot-history window. Once the buffer holds twice this many
+/// outcomes the oldest half is dropped, so long-horizon soaks run in
+/// bounded memory; [`ReaderMac::outcome_at`] answers `None` for evicted
+/// slots.
+pub const HISTORY_WINDOW: usize = 1 << 14;
 
 /// What the reader's PHY observed during one slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +110,9 @@ struct TagView {
     /// Offset inferred from the last clean reception: `slot mod period`.
     offset: u32,
     last_rx_slot: u64,
+    /// Consecutive expected transmissions (slots where this schedule fires)
+    /// that produced no reception from this tag.
+    miss_run: u8,
 }
 
 /// The reader MAC engine.
@@ -101,9 +124,12 @@ pub struct ReaderMac {
     registry: BTreeMap<u8, Period>,
     /// Tags actually heard so far.
     seen: BTreeMap<u8, TagView>,
-    /// Outcome of slot `i + 1` lives at index `i` (slot numbering starts
-    /// at 1 with the first beacon).
+    /// Outcome of slot `history_base + i + 1` lives at index `i` (slot
+    /// numbering starts at 1 with the first beacon). Bounded: see
+    /// [`HISTORY_WINDOW`].
     history: Vec<SlotOutcome>,
+    /// Number of old outcomes dropped off the front of `history`.
+    history_base: u64,
     /// Index of the currently open slot (== number of beacons sent).
     current_slot: u64,
     eviction: Option<Eviction>,
@@ -125,6 +151,7 @@ impl ReaderMac {
             registry: registry.iter().copied().collect(),
             seen: BTreeMap::new(),
             history: Vec::new(),
+            history_base: 0,
             current_slot: 0,
             eviction: None,
             pending_reset: false,
@@ -137,9 +164,17 @@ impl ReaderMac {
         self.current_slot
     }
 
-    /// Immutable view of the per-slot history (slot 1 first).
+    /// Immutable view of the retained per-slot history window (oldest
+    /// retained slot first; see [`ReaderMac::history_base`]).
     pub fn history(&self) -> &[SlotOutcome] {
         &self.history
+    }
+
+    /// Number of outcomes evicted off the front of the history window: the
+    /// first entry of [`ReaderMac::history`] describes slot
+    /// `history_base() + 1`.
+    pub fn history_base(&self) -> u64 {
+        self.history_base
     }
 
     /// Whether an eviction is in progress.
@@ -189,8 +224,16 @@ impl ReaderMac {
             }
         }
 
+        self.track_expected_transmissions(slot, outcome);
+
         self.history.push(outcome);
-        debug_assert_eq!(self.history.len() as u64, slot);
+        debug_assert_eq!(self.history_base + self.history.len() as u64, slot);
+        if self.history.len() >= 2 * HISTORY_WINDOW {
+            // Drop the oldest half in one amortized move so soak runs stay
+            // in bounded memory.
+            self.history.drain(..HISTORY_WINDOW);
+            self.history_base += HISTORY_WINDOW as u64;
+        }
         self.current_slot += 1;
         let empty = self.predict_empty(self.current_slot);
         let cmd = DlCmd {
@@ -206,6 +249,7 @@ impl ReaderMac {
         self.pending_reset = false;
         self.seen.clear();
         self.history.clear();
+        self.history_base = 0;
         self.eviction = None;
         self.current_slot = 1;
         // Everyone in the registry is expected to re-contend at once.
@@ -224,8 +268,48 @@ impl ReaderMac {
                 period,
                 offset,
                 last_rx_slot: slot,
+                miss_run: 0,
             },
         );
+    }
+
+    /// Updates per-tag miss runs for slot `slot` and evicts stale schedules.
+    ///
+    /// Every seen tag whose inferred schedule fires in this slot was
+    /// *expected* to transmit. A clean reception from that tag clears its
+    /// run; an empty slot or a clean reception from somebody else counts a
+    /// miss; a collision is ambiguous (the tag may be one of the colliders)
+    /// and leaves the run untouched. [`MISS_EVICTION_THRESHOLD`] consecutive
+    /// misses drop the tag from `seen` so its stale schedule stops gating
+    /// [`ReaderMac::predict_empty`].
+    fn track_expected_transmissions(&mut self, slot: u64, outcome: SlotOutcome) {
+        let mut stale: Vec<u8> = Vec::new();
+        for (&tid, view) in self.seen.iter_mut() {
+            if slot % u64::from(view.period.get()) != u64::from(view.offset) {
+                continue;
+            }
+            match outcome {
+                SlotOutcome::Received(rx) if rx == tid => view.miss_run = 0,
+                SlotOutcome::Collision => {}
+                _ => {
+                    view.miss_run = view.miss_run.saturating_add(1);
+                    if view.miss_run >= MISS_EVICTION_THRESHOLD {
+                        stale.push(tid);
+                    }
+                }
+            }
+        }
+        for tid in stale {
+            self.seen.remove(&tid);
+            warn!(
+                "reader: tag {tid} missed {MISS_EVICTION_THRESHOLD} expected transmissions \
+                 at slot {slot}; evicting its stale schedule"
+            );
+            if self.eviction.is_some_and(|ev| ev.victim_tid == tid) {
+                // The planned victim vanished; re-plan around the survivors.
+                self.refresh_eviction();
+            }
+        }
     }
 
     /// Admission control for a clean reception: returns whether to ACK.
@@ -373,12 +457,16 @@ impl ReaderMac {
             .any(|v| slot % u64::from(v.period.get()) == u64::from(v.offset))
     }
 
-    /// Outcome of a past slot (1-based), if recorded.
+    /// Outcome of a past slot (1-based), if still inside the retained
+    /// history window. The index is computed relative to `history_base`,
+    /// so it stays a small number even at `u64` slot counts (no 32-bit
+    /// `usize` truncation on long-horizon soaks).
     pub fn outcome_at(&self, slot: u64) -> Option<SlotOutcome> {
-        if slot == 0 || slot > self.history.len() as u64 {
+        if slot == 0 || slot <= self.history_base {
             return None;
         }
-        Some(self.history[(slot - 1) as usize])
+        let idx = usize::try_from(slot - 1 - self.history_base).ok()?;
+        self.history.get(idx).copied()
     }
 }
 
@@ -595,6 +683,77 @@ mod tests {
         let b = r.end_slot(SlotObservation::received(9));
         assert!(b.cmd.ack);
         assert!(!r.evicting());
+    }
+
+    #[test]
+    fn departed_tag_is_evicted_and_its_slot_recovers() {
+        // Join → leave → rejoin. Pre-fix, `seen` never evicted, so the
+        // departed tag's schedule kept `predict_empty` false for its slots
+        // forever and the EMPTY gate blocked any re-arrival there.
+        let (_, warns) = arachnet_obs::capture(|| {
+            let mut r = reader(&[(1, 4)]);
+            r.start();
+            r.end_slot(SlotObservation::empty()); // slot 1
+            r.end_slot(SlotObservation::received(1)); // slot 2 → offset 2
+            assert!(!r.predict_empty(6), "live schedule gates its slot");
+            // Tag 1 departs; its expected slots 6, 10 and 14 all go empty.
+            for _ in 3..=14 {
+                r.end_slot(SlotObservation::empty());
+            }
+            assert!(
+                r.predict_empty(18),
+                "stale schedule must be evicted so a re-arrival can claim the slot"
+            );
+            // The tag rejoins at the same offset: clean ACK, re-tracked.
+            for _ in 15..=17 {
+                r.end_slot(SlotObservation::empty());
+            }
+            let b = r.end_slot(SlotObservation::received(1)); // slot 18 → offset 2
+            assert!(b.cmd.ack, "rejoining tag must be re-admitted");
+            assert!(!r.predict_empty(22), "rejoined schedule gates again");
+        });
+        assert!(
+            warns.iter().any(|w| w.contains("evicting")),
+            "stale eviction must emit an obs warn: {warns:?}"
+        );
+    }
+
+    #[test]
+    fn collisions_do_not_advance_the_miss_run() {
+        let mut r = reader(&[(1, 4)]);
+        r.start();
+        r.end_slot(SlotObservation::empty()); // slot 1
+        r.end_slot(SlotObservation::received(1)); // slot 2 → offset 2
+        // Collisions in every expected slot are ambiguous: the tag may be
+        // among the colliders, so its schedule must survive indefinitely.
+        for s in 3..=30u64 {
+            let obs = if s % 4 == 2 {
+                SlotObservation::collision(None)
+            } else {
+                SlotObservation::empty()
+            };
+            r.end_slot(obs);
+        }
+        assert!(!r.predict_empty(34), "colliding tag is still tracked");
+    }
+
+    #[test]
+    fn history_window_stays_bounded_on_long_horizons() {
+        let mut r = reader(&[(1, 4)]);
+        r.start();
+        let total = 2 * HISTORY_WINDOW as u64 + 10;
+        for _ in 0..total {
+            r.end_slot(SlotObservation::empty());
+        }
+        assert!(
+            r.history().len() < 2 * HISTORY_WINDOW,
+            "history must stay bounded, got {}",
+            r.history().len()
+        );
+        assert_eq!(r.history_base(), HISTORY_WINDOW as u64);
+        assert_eq!(r.outcome_at(1), None, "evicted slots answer None");
+        assert_eq!(r.outcome_at(total), Some(SlotOutcome::Empty));
+        assert_eq!(r.outcome_at(total + 5), None, "future slots answer None");
     }
 
     #[test]

@@ -197,7 +197,12 @@ impl TagMac {
         }
 
         // 2. Slot bookkeeping: the beacon advances the local counter.
-        self.local_slot = self.local_slot.wrapping_add(1);
+        // Saturating, not wrapping: a wrap would silently shift
+        // `local_slot % period` and break the settled schedule. At one
+        // 1-second slot per tick, u64 saturation is ~5.8e11 years away, so
+        // long-horizon soaks can never hit either edge — but saturation is
+        // the fail-safe that keeps the schedule arithmetic monotone.
+        self.local_slot = self.local_slot.saturating_add(1);
 
         // 3. Transmission decision (Eq. 2), gated by EMPTY for new arrivals.
         let my_turn = self.local_slot % u64::from(self.period.get()) == u64::from(self.offset);

@@ -83,7 +83,7 @@ pub fn ul_rates() -> Vec<BitRate> {
         .iter()
         .map(|&d| BitRate::from_divider(d))
         .collect();
-    v.sort_by(|a, b| a.bps.partial_cmp(&b.bps).unwrap());
+    v.sort_by(|a, b| a.bps.total_cmp(&b.bps));
     v
 }
 

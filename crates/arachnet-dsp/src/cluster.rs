@@ -69,8 +69,7 @@ fn kmeans(samples: &[Cplx], k: usize, iterations: usize) -> KmeansRun {
         .max_by(|a, b| {
             (**a - mean)
                 .norm_sq()
-                .partial_cmp(&(**b - mean).norm_sq())
-                .unwrap()
+                .total_cmp(&(**b - mean).norm_sq())
         })
         .copied()
         .unwrap_or(mean);
@@ -87,7 +86,7 @@ fn kmeans(samples: &[Cplx], k: usize, iterations: usize) -> KmeansRun {
                     .iter()
                     .map(|&c| (**b - c).norm_sq())
                     .fold(f64::MAX, f64::min);
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .copied()
             .unwrap_or(mean);
@@ -136,7 +135,7 @@ fn kmeans(samples: &[Cplx], k: usize, iterations: usize) -> KmeansRun {
                     .max_by(|a, b| {
                         let da = (*a.1 - centers[biggest]).norm_sq();
                         let db = (*b.1 - centers[biggest]).norm_sq();
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
                     .map(|(_, &z)| z);
                 if let Some(z) = far {

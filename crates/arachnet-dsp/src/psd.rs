@@ -175,7 +175,7 @@ mod tests {
             .density
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert!((psd.freq(peak_bin) - 1_250.0).abs() < 2.0 * psd.bin_hz);

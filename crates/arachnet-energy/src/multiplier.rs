@@ -179,6 +179,20 @@ mod tests {
     }
 
     #[test]
+    fn dead_carrier_harvests_nothing() {
+        // The dynamic-network simulators model a reader outage by driving
+        // tags with vp = 0 (carrier off). The Thevenin model must yield
+        // exactly zero current then — the diodes block the cap from
+        // back-feeding the pump — at any stage count and load voltage.
+        for n in [1, 4, 8] {
+            let m = Multiplier::new(n);
+            for v_load in [0.0, 0.5, 2.2, 5.0] {
+                assert_eq!(m.output_current(0.0, v_load), 0.0);
+            }
+        }
+    }
+
+    #[test]
     fn eight_stage_resistance_is_calibrated_33k() {
         assert!((Multiplier::new(8).output_resistance() - 33_000.0).abs() < 1.0);
     }

@@ -101,7 +101,7 @@ impl Experiment for Fig11b {
                 (tid, v16, t, p, resume)
             })
             .collect();
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         let rows: Vec<Vec<String>> = entries
             .iter()
             .map(|&(tid, v16, t, p, resume)| {

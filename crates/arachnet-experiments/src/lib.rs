@@ -28,6 +28,7 @@
 //! | [`table4`] | Table 4 — qualitative comparison |
 //! | [`markov`] | Appendix C — absorbing-chain verification |
 //! | [`ablation`] | refinement / drive-scheme / stage-count ablations |
+//! | [`dyn_scenarios`] | dynamic-network scenarios — churn, drift, outages, soak |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +39,7 @@ pub mod report;
 
 pub mod ablation;
 pub mod ambient;
+pub mod dyn_scenarios;
 pub mod fdma;
 pub mod fig11;
 pub mod fig12;

@@ -9,6 +9,7 @@ use crate::report::Experiment;
 
 use crate::ablation::{Ablation, AblationDrive, AblationLateArrival, AblationStages};
 use crate::ambient::Ambient;
+use crate::dyn_scenarios::{DynChurn, DynDrift, DynOutage, DynSoak};
 use crate::fdma::Fdma;
 use crate::fig11::{Fig11a, Fig11b};
 use crate::fig12::Fig12;
@@ -51,6 +52,10 @@ pub static ALL: &[&'static dyn Experiment] = &[
     &Ambient,
     &Fdma,
     &Vanilla,
+    &DynChurn,
+    &DynDrift,
+    &DynOutage,
+    &DynSoak,
 ];
 
 /// Iterates every registered experiment in presentation order.

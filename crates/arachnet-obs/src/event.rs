@@ -68,7 +68,7 @@ impl DecodeFailReason {
 }
 
 /// Number of distinct [`EventKind`] variants (size of per-kind count arrays).
-pub const KIND_COUNT: usize = 11;
+pub const KIND_COUNT: usize = 15;
 
 /// A structured sim event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +117,20 @@ pub enum EventKind {
         /// Failure taxonomy.
         reason: DecodeFailReason,
     },
+    /// A scenario event added this tag to the live deployment.
+    TagJoined,
+    /// A scenario event removed this tag from the live deployment.
+    TagDeparted,
+    /// The time-varying channel switched to a new drift epoch.
+    ChannelEpoch {
+        /// Epoch index within the drift schedule.
+        epoch: u16,
+    },
+    /// The reader went dark (duty-cycle / outage window).
+    ReaderOutage {
+        /// Outage length in slots.
+        slots: u16,
+    },
 }
 
 impl EventKind {
@@ -134,6 +148,10 @@ impl EventKind {
             EventKind::PowerOn => 8,
             EventKind::Decoded => 9,
             EventKind::DecodeFail { .. } => 10,
+            EventKind::TagJoined => 11,
+            EventKind::TagDeparted => 12,
+            EventKind::ChannelEpoch { .. } => 13,
+            EventKind::ReaderOutage { .. } => 14,
         }
     }
 
@@ -151,6 +169,10 @@ impl EventKind {
             "power_on",
             "decoded",
             "decode_fail",
+            "tag_joined",
+            "tag_departed",
+            "channel_epoch",
+            "reader_outage",
         ];
         LABELS[index]
     }
@@ -164,7 +186,11 @@ impl EventKind {
     pub fn is_anomaly(&self) -> bool {
         matches!(
             self,
-            EventKind::Collision { .. } | EventKind::PowerCutoff | EventKind::DecodeFail { .. }
+            EventKind::Collision { .. }
+                | EventKind::PowerCutoff
+                | EventKind::DecodeFail { .. }
+                | EventKind::TagDeparted
+                | EventKind::ReaderOutage { .. }
         )
     }
 
@@ -192,6 +218,10 @@ impl EventKind {
             EventKind::PowerOn => "powered on".into(),
             EventKind::Decoded => "packet decoded".into(),
             EventKind::DecodeFail { reason } => format!("decode fail ({})", reason.label()),
+            EventKind::TagJoined => "joined the deployment".into(),
+            EventKind::TagDeparted => "departed the deployment".into(),
+            EventKind::ChannelEpoch { epoch } => format!("channel drift epoch {epoch}"),
+            EventKind::ReaderOutage { slots } => format!("reader outage ({slots} slots)"),
         }
     }
 
@@ -207,6 +237,8 @@ impl EventKind {
             EventKind::AckNack { ack } => format!(",\"ack\":{ack}"),
             EventKind::Collision { transmitters } => format!(",\"transmitters\":{transmitters}"),
             EventKind::DecodeFail { reason } => format!(",\"reason\":\"{}\"", reason.label()),
+            EventKind::ChannelEpoch { epoch } => format!(",\"epoch\":{epoch}"),
+            EventKind::ReaderOutage { slots } => format!(",\"slots\":{slots}"),
             _ => String::new(),
         }
     }
@@ -274,6 +306,10 @@ mod tests {
             EventKind::PowerOn,
             EventKind::Decoded,
             EventKind::DecodeFail { reason: DecodeFailReason::BadCrc },
+            EventKind::TagJoined,
+            EventKind::TagDeparted,
+            EventKind::ChannelEpoch { epoch: 2 },
+            EventKind::ReaderOutage { slots: 40 },
         ];
         assert_eq!(kinds.len(), KIND_COUNT);
         for (i, k) in kinds.iter().enumerate() {

@@ -184,7 +184,7 @@ mod tests {
         let mut samples: Vec<f64> = (0..1_000)
             .map(|_| d.sample_ping_pong(&beacon).stage2_s)
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let p99 = samples[989];
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!(p99 < 0.2819, "p99 {p99}");

@@ -300,7 +300,7 @@ impl UplinkReceiver {
         // Adaptive slicing thresholds from projection percentiles.
         sorted.clear();
         sorted.extend_from_slice(proj);
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let p = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
         let (lo, hi) = (p(0.05), p(0.95));
         let mid = 0.5 * (lo + hi);
@@ -308,7 +308,11 @@ impl UplinkReceiver {
         let clusters = Self::count_clusters(iq, steps, steps_sorted, settled, sub);
         let collision = clusters > 2;
         let leak_scale = mean.abs().max(1e-12);
-        if range < self.cfg.min_contrast * leak_scale {
+        if !range.is_finite() || range < self.cfg.min_contrast * leak_scale {
+            // A non-finite range means NaN/Inf samples poisoned the
+            // percentiles (degenerate channel config); there is no usable
+            // modulation contrast either way, and building a Schmitt slicer
+            // from non-finite thresholds would panic.
             // No modulation: empty slot (but clustering may still have seen
             // something odd; keep its verdict).
             return SlotRx {
@@ -360,7 +364,7 @@ impl UplinkReceiver {
         steps.extend(iq.windows(2).map(|w| (w[1] - w[0]).abs()));
         steps_sorted.clear();
         steps_sorted.extend_from_slice(steps);
-        steps_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        steps_sorted.sort_by(f64::total_cmp);
         let median_step = steps_sorted[steps_sorted.len() / 2];
         let p95_step = steps_sorted[(steps_sorted.len() - 1) * 19 / 20];
         let cutoff = (3.0 * median_step).max(0.25 * p95_step).max(1e-12);
@@ -630,6 +634,27 @@ mod tests {
         states.extend(vec![PztState::Absorptive; 8 * spb]);
         let len = states.len();
         ch.uplink_waveform(&[(tid, &states)], len)
+    }
+
+    #[test]
+    fn nan_bearing_waveform_does_not_panic_the_rx_chain() {
+        // Regression: the adaptive-slicing percentile sort used
+        // `partial_cmp().unwrap()`, so one NaN sample from a degenerate
+        // channel config panicked the whole sweep worker. With `total_cmp`
+        // the chain must classify the slot (any outcome) without panicking.
+        let ch = channel(NoiseConfig::silent());
+        let pkt = UlPacket::new(8, 0xABC).unwrap();
+        let mut wave = tag_waveform(&ch, 8, &pkt, 375.0);
+        for i in (0..wave.len()).step_by(97) {
+            wave[i] = f64::NAN;
+        }
+        let mid = wave.len() / 2;
+        wave[mid] = f64::INFINITY;
+        let rx = UplinkReceiver::new(RxConfig::default());
+        let mut scratch = RxScratch::default();
+        let out = rx.process_slot_with(&wave, &mut scratch);
+        // No particular decode outcome is required — only survival.
+        assert!(out.edges < wave.len(), "edge count stayed bounded");
     }
 
     #[test]

@@ -145,7 +145,7 @@ pub fn run_aloha(config: &AlohaConfig) -> AlohaRun {
             events.push((s, e, i));
         }
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut collided: Vec<Vec<bool>> = tags
         .iter()
         .map(|t| vec![false; t.intervals.len()])

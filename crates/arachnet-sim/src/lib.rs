@@ -15,8 +15,10 @@
 //! Plus the workload definitions ([`patterns`]: Table 3's nine
 //! configurations), the contention baseline ([`aloha`]: Appendix B),
 //! statistics helpers ([`metrics`]), validating configuration builders
-//! ([`config`]), and the deterministic parallel trial runner ([`sweep`])
-//! that fans pattern × seed matrices over a worker pool with bit-identical
+//! ([`config`]), dynamic-network scenario descriptions ([`scenario`]: tag
+//! churn, reader duty-cycling, channel weather, with the re-convergence
+//! metric), and the deterministic parallel trial runner ([`sweep`]) that
+//! fans pattern × seed matrices over a worker pool with bit-identical
 //! results at any thread count.
 
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@ pub mod config;
 pub mod cosim;
 pub mod metrics;
 pub mod patterns;
+pub mod scenario;
 pub mod slotsim;
 pub mod sweep;
 pub mod vanilla;
@@ -34,5 +37,6 @@ pub mod wavesim;
 
 pub use config::{AlohaConfigBuilder, ConfigError, CoSimConfigBuilder, SlotSimConfigBuilder};
 pub use patterns::Pattern;
+pub use scenario::{ReconvergenceSample, Scenario, ScenarioEvent, TimedEvent};
 pub use slotsim::{SlotSim, SlotSimConfig};
 pub use sweep::{run_matrix, run_trials, SweepConfig, SweepSummary};

@@ -39,7 +39,7 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 pub fn five_num(values: &[f64]) -> FiveNum {
     assert!(!values.is_empty());
     let mut s = values.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s.sort_by(f64::total_cmp);
     FiveNum {
         min: s[0],
         q1: percentile(&s, 25.0),
@@ -59,7 +59,7 @@ impl Ecdf {
     /// Builds the CDF from a sample.
     pub fn new(values: &[f64]) -> Self {
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         Self { sorted }
     }
 

@@ -27,6 +27,7 @@ use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
 
 use crate::patterns::Pattern;
+use crate::scenario::{ReconvergenceSample, Scenario, ScenarioEvent};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -105,6 +106,29 @@ pub struct SimRun {
     pub outcomes: Vec<TruthOutcome>,
 }
 
+/// Progress of an attached [`Scenario`] replay.
+struct ScenarioState {
+    scenario: Scenario,
+    /// Index of the next unfired event (events are sorted by slot).
+    next_event: usize,
+    /// Re-convergence measurement origins, sorted (see
+    /// [`Scenario::disruption_slots`]).
+    disruptions: Vec<u64>,
+    next_disruption: usize,
+    /// The disruption currently being measured, if any. Overlapping
+    /// disruptions merge into the earliest unresolved one.
+    open_disruption: Option<u64>,
+    samples: Vec<ReconvergenceSample>,
+    /// Reader dark until this slot (exclusive).
+    outage_until: u64,
+    /// Noise storm until this slot (exclusive).
+    burst_until: u64,
+    burst_dl: f64,
+    burst_ul: f64,
+    /// Carrier voltage per registry tid, for join-time device creation.
+    vps: Vec<(u8, f64)>,
+}
+
 /// The simulator.
 ///
 /// ```
@@ -131,17 +155,43 @@ pub struct SlotSim {
     keep_outcomes: bool,
     outcomes: Vec<TruthOutcome>,
     recorder: Recorder,
+    scenario: Option<Box<ScenarioState>>,
 }
 
 impl SlotSim {
     /// Builds the simulator: reader registry and tag devices from the
     /// pattern, harvest inputs from the calibrated deployment.
     pub fn new(config: SlotSimConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Builds the simulator with a [`Scenario`] attached. The reader's
+    /// a-priori registry is extended with every scenario-joined tag (their
+    /// periods are known ahead of time, Sec. 5.6), and the scenario's timed
+    /// events replay against the sim's slot clock (`slots_run`).
+    ///
+    /// Attaching [`Scenario::empty`] is exactly equivalent to [`Self::new`]
+    /// — same random streams, same outcomes. Scenario slots are absolute:
+    /// combining a scenario with [`Self::reset_network`] re-bases the
+    /// timeline, so scenario experiments use charged starts instead of the
+    /// reset protocol.
+    pub fn with_scenario(config: SlotSimConfig, scenario: Scenario) -> Self {
+        Self::build(config, Some(scenario))
+    }
+
+    fn build(config: SlotSimConfig, scenario: Option<Scenario>) -> Self {
         let channel = BiwChannel::paper(ChannelConfig {
             noise: NoiseConfig::silent(),
             ..ChannelConfig::default()
         });
-        let registry: Vec<(u8, arachnet_core::slot::Period)> = config.pattern.tags.clone();
+        let mut registry: Vec<(u8, arachnet_core::slot::Period)> = config.pattern.tags.clone();
+        if let Some(sc) = &scenario {
+            for (tid, period) in sc.join_registry() {
+                if !registry.iter().any(|&(t, _)| t == tid) {
+                    registry.push((tid, period));
+                }
+            }
+        }
         let reader = ReaderMac::new(config.protocol, &registry);
         let tags: Vec<TagDevice> = config
             .pattern
@@ -157,6 +207,26 @@ impl SlotSim {
                 }
             })
             .collect();
+        let scenario = scenario.map(|sc| {
+            let vps = registry
+                .iter()
+                .map(|&(tid, _)| (tid, channel.tag_carrier_voltage(tid).unwrap_or(1.0)))
+                .collect();
+            let disruptions = sc.disruption_slots();
+            Box::new(ScenarioState {
+                scenario: sc,
+                next_event: 0,
+                disruptions,
+                next_disruption: 0,
+                open_disruption: None,
+                samples: Vec::new(),
+                outage_until: 0,
+                burst_until: 0,
+                burst_dl: 0.0,
+                burst_ul: 0.0,
+                vps,
+            })
+        });
         let rng = TagRng::new(config.seed ^ 0xC0FFEE);
         Self {
             config,
@@ -172,6 +242,7 @@ impl SlotSim {
             keep_outcomes: false,
             outcomes: Vec::new(),
             recorder: Recorder::disabled(),
+            scenario,
         }
     }
 
@@ -212,18 +283,204 @@ impl SlotSim {
         &self.reader
     }
 
+    /// Slots executed so far.
+    pub fn slots_run(&self) -> u64 {
+        self.slots_run
+    }
+
+    /// Re-convergence measurements taken so far (empty without a scenario).
+    pub fn reconvergence_samples(&self) -> &[ReconvergenceSample] {
+        self.scenario.as_ref().map_or(&[], |st| &st.samples)
+    }
+
+    /// Slot of the disruption currently being measured, if re-convergence
+    /// has not been reached yet.
+    pub fn open_disruption(&self) -> Option<u64> {
+        self.scenario.as_ref().and_then(|st| st.open_disruption)
+    }
+
+    /// Fires scenario events due at `slot` and restarts the convergence
+    /// detector at each disruption origin.
+    fn apply_scenario_events(&mut self, slot: u64) {
+        // Disruption boundaries first: they define measurement origins.
+        {
+            let st = self.scenario.as_mut().expect("scenario attached");
+            let mut fired = false;
+            while st.next_disruption < st.disruptions.len()
+                && st.disruptions[st.next_disruption] <= slot
+            {
+                if st.open_disruption.is_none() {
+                    st.open_disruption = Some(st.disruptions[st.next_disruption]);
+                }
+                st.next_disruption += 1;
+                fired = true;
+            }
+            if fired {
+                self.detector.reset();
+            }
+        }
+        // Then the events themselves (sorted; same-slot in insertion order).
+        loop {
+            let event = {
+                let st = self.scenario.as_ref().expect("scenario attached");
+                match st.scenario.events().get(st.next_event) {
+                    Some(ev) if ev.at <= slot => ev.event,
+                    _ => break,
+                }
+            };
+            self.scenario.as_mut().expect("scenario attached").next_event += 1;
+            match event {
+                ScenarioEvent::TagJoin { tid, period } => {
+                    // A join of a still-present tid is a no-op (the builder
+                    // rejects double-joins within the scenario; this guards
+                    // joins of tags the pattern already deploys).
+                    if !self.tags.iter().any(|t| t.tid() == tid) {
+                        let st = self.scenario.as_ref().expect("scenario attached");
+                        let vp = st
+                            .vps
+                            .iter()
+                            .find(|&&(t, _)| t == tid)
+                            .map_or(1.0, |&(_, v)| v);
+                        let rng = TagRng::for_tag(self.config.seed, tid);
+                        let dev = if self.config.charged_start {
+                            TagDevice::new_charged(
+                                tid,
+                                period,
+                                vp,
+                                self.config.protocol,
+                                self.config.timing,
+                                rng,
+                            )
+                        } else {
+                            TagDevice::new(
+                                tid,
+                                period,
+                                vp,
+                                self.config.protocol,
+                                self.config.timing,
+                                rng,
+                            )
+                        };
+                        self.tags.push(dev);
+                        self.recorder.record(slot, tid, EventKind::TagJoined);
+                    }
+                }
+                ScenarioEvent::TagLeave { tid } => {
+                    let before = self.tags.len();
+                    self.tags.retain(|t| t.tid() != tid);
+                    if self.tags.len() < before {
+                        self.recorder.record(slot, tid, EventKind::TagDeparted);
+                    }
+                }
+                ScenarioEvent::Brownout { tid } => {
+                    if let Some(tag) = self.tags.iter_mut().find(|t| t.tid() == tid) {
+                        tag.force_discharge();
+                        self.recorder.record(slot, tid, EventKind::PowerCutoff);
+                    }
+                }
+                ScenarioEvent::ReaderOutage { slots } => {
+                    let st = self.scenario.as_mut().expect("scenario attached");
+                    st.outage_until = st.outage_until.max(slot + slots);
+                    self.recorder.record(
+                        slot,
+                        NO_TAG,
+                        EventKind::ReaderOutage {
+                            slots: slots.min(u64::from(u16::MAX)) as u16,
+                        },
+                    );
+                }
+                ScenarioEvent::NoiseBurst {
+                    slots,
+                    dl_loss,
+                    ul_loss,
+                } => {
+                    let st = self.scenario.as_mut().expect("scenario attached");
+                    st.burst_until = st.burst_until.max(slot + slots);
+                    st.burst_dl = dl_loss;
+                    st.burst_ul = ul_loss;
+                }
+                ScenarioEvent::ChannelEpoch { epoch } => {
+                    self.recorder
+                        .record(slot, NO_TAG, EventKind::ChannelEpoch { epoch });
+                }
+            }
+        }
+    }
+
+    /// Closes the open re-convergence measurement if the detector fired.
+    fn close_disruption_if_converged(&mut self) {
+        if let Some(st) = self.scenario.as_mut() {
+            if let (Some(n), Some(d)) = (self.detector.converged_at(), st.open_disruption) {
+                st.open_disruption = None;
+                st.samples.push(ReconvergenceSample {
+                    disruption_slot: d,
+                    slots: Some(n),
+                });
+            }
+        }
+    }
+
+    /// A slot with the reader dark: no beacon goes out (the held one stays
+    /// pending), the carrier is off so tags harvest nothing, and the
+    /// reader's slot counter freezes together with the tags' local
+    /// counters — exactly what a duty-cycled reader looks like from the
+    /// network's side.
+    fn dark_step(&mut self, slot: u64) -> TruthOutcome {
+        for tag in &mut self.tags {
+            let report = tag.on_slot_dark();
+            if self.recorder.is_enabled() {
+                let tid = tag.tid();
+                if report.browned_out {
+                    self.recorder.record(slot, tid, EventKind::PowerCutoff);
+                }
+                if report.active {
+                    for &kind in tag.mac().events() {
+                        self.recorder.record(slot, tid, kind);
+                    }
+                }
+            }
+        }
+        self.detector.push(SlotOutcome::Empty);
+        self.stats.push(SlotOutcome::Empty);
+        if self.keep_trajectory {
+            self.trajectory
+                .push((self.stats.non_empty_ratio(), self.stats.collision_ratio()));
+        }
+        if self.keep_outcomes {
+            self.outcomes.push(TruthOutcome::Empty);
+        }
+        self.slots_run += 1;
+        self.close_disruption_if_converged();
+        TruthOutcome::Empty
+    }
+
     /// Executes one slot; returns the ground-truth outcome.
     pub fn step(&mut self) -> TruthOutcome {
+        let slot = self.slots_run;
+        if self.scenario.is_some() {
+            self.apply_scenario_events(slot);
+            if self.scenario.as_ref().is_some_and(|st| slot < st.outage_until) {
+                return self.dark_step(slot);
+            }
+        }
+        // Effective slot-domain loss rates: a noise storm overrides the
+        // configured channel for its window. The draw pattern is identical
+        // either way, so an attached scenario never perturbs the random
+        // streams outside its windows.
+        let (dl_loss, ul_loss) = match &self.scenario {
+            Some(st) if slot < st.burst_until => (st.burst_dl, st.burst_ul),
+            _ => (self.config.dl_loss_prob, self.config.ul_loss_prob),
+        };
+
         let beacon = match self.beacon.take() {
             Some(b) => b,
             None => self.reader.start(),
         };
 
         // Deliver the beacon (with per-tag loss) and collect transmitters.
-        let slot = self.slots_run;
         let mut transmitters: Vec<u8> = Vec::new();
         for tag in &mut self.tags {
-            let delivered = !self.rng.chance(self.config.dl_loss_prob);
+            let delivered = !self.rng.chance(dl_loss);
             let report = tag.on_slot(delivered.then_some(beacon.cmd));
             if report.transmitted {
                 transmitters.push(tag.tid());
@@ -259,7 +516,7 @@ impl SlotSim {
             }
             1 => {
                 let tid = transmitters[0];
-                if self.rng.chance(self.config.ul_loss_prob) {
+                if self.rng.chance(ul_loss) {
                     // Abstract UL decode failure: the slot-level channel
                     // models it as a vanished packet, not a specific PHY
                     // stage, so the closest taxon is a missed preamble.
@@ -319,6 +576,7 @@ impl SlotSim {
             self.outcomes.push(truth.clone());
         }
         self.slots_run += 1;
+        self.close_disruption_if_converged();
 
         self.beacon = Some(self.reader.end_slot(obs));
         truth
@@ -454,6 +712,59 @@ pub fn first_convergence_trial(
     let converged_at = sim.run_until_converged(cap).converged_at;
     ConvergenceTrial {
         converged_at,
+        snapshot: sim.take_recorder_snapshot(),
+    }
+}
+
+/// Result of one scenario replay.
+#[derive(Debug, Clone)]
+pub struct ScenarioTrial {
+    /// One re-convergence measurement per disruption origin (a `None`
+    /// duration means the run hit the cap first).
+    pub samples: Vec<ReconvergenceSample>,
+    /// Slots executed.
+    pub slots: u64,
+    /// Flight-recorder snapshot (empty when the trial ran unrecorded).
+    pub snapshot: RecorderSnapshot,
+}
+
+/// Replays a [`Scenario`] against a pattern and measures re-convergence:
+/// the run continues past the scenario's horizon until every disruption's
+/// measurement closes (32 consecutive non-collision slots) or `cap` slots
+/// elapse. Deterministic per `(pattern, scenario, seed)`; recording never
+/// alters the random streams.
+pub fn run_scenario_trial(
+    pattern: &Pattern,
+    scenario: &Scenario,
+    seed: u64,
+    cap: u64,
+    ideal: bool,
+    record: bool,
+) -> ScenarioTrial {
+    let config = if ideal {
+        SlotSimConfig::ideal(pattern.clone(), seed)
+    } else {
+        SlotSimConfig::new(pattern.clone(), seed)
+    };
+    let mut sim = SlotSim::with_scenario(config, scenario.clone());
+    if record {
+        sim.attach_recorder(Recorder::enabled(seed));
+    }
+    let horizon = scenario.horizon();
+    while sim.slots_run() < cap && (sim.slots_run() <= horizon || sim.open_disruption().is_some())
+    {
+        sim.step();
+    }
+    let mut samples = sim.reconvergence_samples().to_vec();
+    if let Some(d) = sim.open_disruption() {
+        samples.push(ReconvergenceSample {
+            disruption_slot: d,
+            slots: None,
+        });
+    }
+    ScenarioTrial {
+        samples,
+        slots: sim.slots_run(),
         snapshot: sim.take_recorder_snapshot(),
     }
 }
@@ -669,5 +980,122 @@ mod tests {
         sim.record_outcomes(true);
         sim.run(50);
         assert_eq!(sim.summary().outcomes.len(), 50);
+    }
+
+    #[test]
+    fn empty_scenario_is_byte_identical_to_no_scenario() {
+        let mut bare = SlotSim::new(SlotSimConfig::new(small_pattern(), 23));
+        let mut with = SlotSim::with_scenario(SlotSimConfig::new(small_pattern(), 23), Scenario::empty());
+        bare.record_outcomes(true);
+        with.record_outcomes(true);
+        let a = bare.run(500);
+        let b = with.run(500);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.converged_at, b.converged_at);
+    }
+
+    #[test]
+    fn departed_tag_frees_its_slot_and_rejoin_reconverges() {
+        // Converge, evict tag 7 at slot 600, re-admit it at 700; both
+        // disruptions must yield finite re-convergence times.
+        let scenario = Scenario::builder()
+            .leave(600, 7)
+            .join(700, 7, Period::new(8).unwrap())
+            .build()
+            .unwrap();
+        let trial = run_scenario_trial(&small_pattern(), &scenario, 31, 20_000, true, true);
+        assert_eq!(trial.samples.len(), 2);
+        assert_eq!(trial.samples[0].disruption_slot, 600);
+        assert_eq!(trial.samples[1].disruption_slot, 700);
+        for s in &trial.samples {
+            assert!(s.slots.is_some(), "no re-convergence after {s:?}");
+        }
+        assert!(trial.snapshot.count_at(EventKind::TagDeparted.index()) >= 1);
+        assert!(trial.snapshot.count_at(EventKind::TagJoined.index()) >= 1);
+    }
+
+    #[test]
+    fn reader_outage_goes_dark_and_recovers() {
+        let scenario = Scenario::builder().outage(200, 40).build().unwrap();
+        let mut sim = SlotSim::with_scenario(
+            SlotSimConfig::ideal(small_pattern(), 37),
+            scenario.clone(),
+        );
+        sim.attach_recorder(Recorder::enabled(37));
+        sim.record_outcomes(true);
+        sim.run(200);
+        // The reader's slot counter freezes for the whole dark window.
+        let frozen = sim.reader().current_slot();
+        sim.run(40);
+        assert_eq!(sim.reader().current_slot(), frozen);
+        let run = sim.run(160);
+        assert_eq!(sim.reader().current_slot(), frozen + 160);
+        // Every outage slot is ground-truth Empty (nobody hears a beacon).
+        for (i, o) in run.outcomes[200..240].iter().enumerate() {
+            assert_eq!(*o, TruthOutcome::Empty, "slot {}", 200 + i);
+        }
+        // Transmissions resume after the outage.
+        assert!(
+            run.outcomes[240..]
+                .iter()
+                .any(|o| matches!(o, TruthOutcome::Single(_))),
+            "network never recovered"
+        );
+        let snap = sim.take_recorder_snapshot();
+        assert!(snap.count_at(EventKind::ReaderOutage { slots: 0 }.index()) >= 1);
+        // Re-convergence is measured from the outage *end*.
+        let samples = sim.reconvergence_samples();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].disruption_slot, 240);
+        assert!(samples[0].slots.is_some());
+    }
+
+    #[test]
+    fn forced_brownout_resets_the_tag_and_network_reconverges() {
+        let scenario = Scenario::builder().brownout(400, 5).build().unwrap();
+        let trial = run_scenario_trial(&small_pattern(), &scenario, 41, 20_000, true, false);
+        assert_eq!(trial.samples.len(), 1);
+        assert!(trial.samples[0].slots.is_some(), "no re-convergence");
+    }
+
+    #[test]
+    fn noise_burst_raises_losses_only_inside_its_window() {
+        // A brutal storm on an otherwise ideal channel: collisions and
+        // losses while it lasts, pristine again afterwards.
+        let scenario = Scenario::builder()
+            .noise_burst(300, 64, 0.5, 0.5)
+            .build()
+            .unwrap();
+        let mut sim = SlotSim::with_scenario(SlotSimConfig::ideal(small_pattern(), 43), scenario);
+        sim.record_outcomes(true);
+        sim.run(300);
+        let before = sim.summary().outcomes.len();
+        assert_eq!(before, 300);
+        let run = sim.run(1_000);
+        let stormy = &run.outcomes[300..364];
+        assert!(
+            stormy.iter().any(|o| matches!(o, TruthOutcome::Collision(_))),
+            "storm caused no disruption"
+        );
+        // After re-convergence the tail is collision-free again (ideal
+        // channel outside the window).
+        let samples = sim.reconvergence_samples().to_vec();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].disruption_slot, 364);
+        assert!(samples[0].slots.is_some());
+    }
+
+    #[test]
+    fn scenario_trials_are_deterministic_per_seed() {
+        let scenario = Scenario::builder()
+            .leave(500, 6)
+            .outage(800, 32)
+            .join(900, 6, Period::new(4).unwrap())
+            .build()
+            .unwrap();
+        let a = run_scenario_trial(&small_pattern(), &scenario, 47, 30_000, false, false);
+        let b = run_scenario_trial(&small_pattern(), &scenario, 47, 30_000, false, true);
+        assert_eq!(a.samples, b.samples, "recording perturbed the trial");
+        assert_eq!(a.slots, b.slots);
     }
 }

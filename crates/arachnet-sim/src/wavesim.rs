@@ -19,7 +19,7 @@ use arachnet_core::bits::BitBuf;
 use arachnet_core::fm0::Fm0Encoder;
 use arachnet_core::packet::{DlBeacon, DlCmd, UlPacket};
 use arachnet_core::rng::TagRng;
-use arachnet_obs::{DecodeFailReason, EventKind, Recorder};
+use arachnet_obs::{DecodeFailReason, EventKind, Recorder, NO_TAG};
 use arachnet_reader::driver::{LatencyModel, PingPong};
 use arachnet_reader::rx::{RxConfig, RxScratch, UplinkReceiver};
 use arachnet_reader::tx::BeaconTransmitter;
@@ -30,6 +30,7 @@ use biw_channel::geometry::Deployment;
 use biw_channel::noise::NoiseConfig;
 use biw_channel::pzt::PztState;
 use biw_channel::resonator::DriveScheme;
+use biw_channel::timevarying::TimeVaryingChannel;
 
 use crate::sweep::trial_seed;
 
@@ -170,7 +171,21 @@ impl WaveSim {
         packet_seed: u64,
         s: &mut PhyScratch,
     ) -> UlPacket {
-        let fs = self.channel.config().sample_rate;
+        self.synth_uplink_packet_via(&self.channel, rx, tid, packet_seed, s)
+    }
+
+    /// [`Self::synth_uplink_packet`] through an explicit channel — the
+    /// drift path hands in the current epoch's prebuilt channel; the hot
+    /// loop itself is unchanged and allocation-free.
+    fn synth_uplink_packet_via(
+        &self,
+        channel: &BiwChannel,
+        rx: &UplinkReceiver,
+        tid: u8,
+        packet_seed: u64,
+        s: &mut PhyScratch,
+    ) -> UlPacket {
+        let fs = channel.config().sample_rate;
         let ul_bps = rx.config().ul_bps;
         let mut rng = TagRng::new(packet_seed);
         let payload = (rng.next_u64() & 0xFFF) as u16;
@@ -184,8 +199,7 @@ impl WaveSim {
         let spb = (fs * (1.0 / ul_bps) * (12_000.0 / clock.actual_hz())).round() as usize;
         Self::expand_states_into(&raw, spb, 6 * spb, &mut s.states);
         let len = s.states.len();
-        self.channel
-            .uplink_waveform_seeded_into(&[(tid, &s.states)], len, packet_seed, &mut s.wave);
+        channel.uplink_waveform_seeded_into(&[(tid, &s.states)], len, packet_seed, &mut s.wave);
         pkt
     }
 
@@ -267,6 +281,71 @@ impl WaveSim {
                 lost,
                 snr_db,
             }
+        })
+    }
+
+    /// Drifting-channel uplink trial: sends `n_per_epoch` packets from
+    /// `tid` through *each* epoch of the drift schedule in order, switching
+    /// the prebuilt epoch channel at the boundaries (one slice index — the
+    /// per-packet hot path is the same allocation-free loop as
+    /// [`Self::uplink_trial`]). Packet seeds are a pure function of the
+    /// global packet index, so an identity drift schedule reproduces
+    /// [`Self::uplink_trial`] exactly and results are thread-invariant.
+    ///
+    /// Each epoch boundary is stamped into the recorder as
+    /// [`EventKind::ChannelEpoch`] (slot = global packet index); per-epoch
+    /// SNR is measured on the epoch's first packet. Returns one
+    /// [`UplinkResult`] per epoch.
+    pub fn uplink_trial_drifting(
+        &self,
+        tvc: &TimeVaryingChannel,
+        tid: u8,
+        ul_bps: f64,
+        n_per_epoch: u64,
+        recorder: &mut Recorder,
+    ) -> Vec<UplinkResult> {
+        let rx = self.uplink_rx(ul_bps);
+        let base = self.uplink_base_seed(tid, ul_bps);
+        with_phy_scratch(|s| {
+            let mut out = Vec::with_capacity(tvc.epoch_count());
+            for epoch in 0..tvc.epoch_count() {
+                let channel = tvc.channel_at(epoch);
+                let first = epoch as u64 * n_per_epoch;
+                recorder.record(
+                    first,
+                    NO_TAG,
+                    EventKind::ChannelEpoch {
+                        epoch: epoch.min(u16::MAX as usize) as u16,
+                    },
+                );
+                let mut snr_db = f64::NAN;
+                let mut lost = 0;
+                for i in 0..n_per_epoch.max(1) {
+                    let global = first + i;
+                    let pkt =
+                        self.synth_uplink_packet_via(channel, &rx, tid, trial_seed(base, global), s);
+                    let PhyScratch { wave, rx: rxs, .. } = s;
+                    if i == 0 {
+                        snr_db = rx.uplink_snr_db_with(wave, rxs);
+                    }
+                    if i < n_per_epoch {
+                        let res = rx.process_slot_with(wave, rxs);
+                        if res.packet == Some(pkt) {
+                            recorder.note(EventKind::Decoded);
+                        } else {
+                            lost += 1;
+                            let reason = res.fail.unwrap_or(DecodeFailReason::BadCrc);
+                            recorder.record(global, tid, EventKind::DecodeFail { reason });
+                        }
+                    }
+                }
+                out.push(UplinkResult {
+                    sent: n_per_epoch,
+                    lost,
+                    snr_db,
+                });
+            }
+            out
         })
     }
 
@@ -615,11 +694,70 @@ mod tests {
     }
 
     #[test]
+    fn identity_drift_reproduces_the_static_trial() {
+        use biw_channel::timevarying::ChannelDrift;
+        let sim = WaveSim::paper(14);
+        let tvc = TimeVaryingChannel::paper(
+            sim.channel().config().clone(),
+            &[ChannelDrift::identity()],
+        );
+        let r = sim.uplink_trial_drifting(&tvc, 8, 1_500.0, 20, &mut Recorder::disabled());
+        let bare = sim.uplink_trial(8, 1_500.0, 20);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].lost, bare.lost);
+        assert_eq!(r[0].snr_db, bare.snr_db);
+    }
+
+    #[test]
+    fn fading_epochs_lose_snr_and_get_recorded() {
+        use biw_channel::timevarying::ChannelDrift;
+        let sim = WaveSim::paper(15);
+        let tvc = TimeVaryingChannel::paper(
+            sim.channel().config().clone(),
+            &[
+                ChannelDrift::identity(),
+                ChannelDrift::fade(0.5),
+                ChannelDrift::fade(0.2),
+            ],
+        );
+        let mut rec = Recorder::enabled(15);
+        let r = sim.uplink_trial_drifting(&tvc, 8, 375.0, 5, &mut rec);
+        assert_eq!(r.len(), 3);
+        assert!(
+            r[0].snr_db > r[1].snr_db && r[1].snr_db > r[2].snr_db,
+            "SNR did not fall with the fade: {:?}",
+            r.iter().map(|x| x.snr_db).collect::<Vec<_>>()
+        );
+        let snap = rec.into_snapshot();
+        assert_eq!(
+            snap.count_at(EventKind::ChannelEpoch { epoch: 0 }.index()),
+            3,
+            "one epoch marker per epoch"
+        );
+    }
+
+    #[test]
+    fn drifting_trial_is_deterministic() {
+        use biw_channel::timevarying::ChannelDrift;
+        let sim = WaveSim::paper(16);
+        let tvc = TimeVaryingChannel::paper(
+            sim.channel().config().clone(),
+            &[ChannelDrift::identity(), ChannelDrift::fade(0.6)],
+        );
+        let a = sim.uplink_trial_drifting(&tvc, 11, 750.0, 10, &mut Recorder::disabled());
+        let b = sim.uplink_trial_drifting(&tvc, 11, 750.0, 10, &mut Recorder::enabled(16));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.lost, y.lost);
+            assert_eq!(x.snr_db, y.snr_db);
+        }
+    }
+
+    #[test]
     fn ping_pong_distribution_matches_fig14b() {
         let sim = WaveSim::paper(9);
         let samples = sim.ping_pong_samples(1_000);
         let mut stage2: Vec<f64> = samples.iter().map(|p| p.stage2_s).collect();
-        stage2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        stage2.sort_by(f64::total_cmp);
         let p99 = stage2[989];
         assert!(p99 < 0.2819, "p99 {p99}");
         let total_max = samples.iter().map(|p| p.total()).fold(0.0f64, f64::max);

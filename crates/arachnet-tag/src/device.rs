@@ -174,6 +174,34 @@ impl TagDevice {
         self.vp
     }
 
+    /// Force-discharges the storage cap (scenario fault injection: a
+    /// brownout-death at a chosen slot). An active device browns out
+    /// immediately — MAC state is lost, so it re-arrives as a "late tag"
+    /// (Sec. 5.5) once the carrier recharges it.
+    pub fn force_discharge(&mut self) {
+        self.cap.set_voltage(0.0);
+        if let Some(arachnet_energy::cutoff::CutoffEvent::PoweredOff) =
+            self.cutoff.update(self.cap.voltage())
+        {
+            self.lifecycle = Lifecycle::Dormant;
+            self.brownouts += 1;
+            self.mac.power_on_reset();
+        }
+    }
+
+    /// Advances one slot with the reader dark: no beacon arrives *and* the
+    /// carrier is off, so the harvest chain delivers nothing
+    /// (`output_current(0, ·) = 0`). Active tags burn stored energy
+    /// listening for a beacon that never comes; dormant tags simply do not
+    /// charge.
+    pub fn on_slot_dark(&mut self) -> SlotReport {
+        let vp = self.vp;
+        self.vp = 0.0;
+        let report = self.on_slot(None);
+        self.vp = vp;
+        report
+    }
+
     /// Advances one slot. `beacon` is `Some(cmd)` if this tag successfully
     /// decoded the beacon, `None` if the beacon was lost to it. Returns
     /// what happened.
@@ -487,6 +515,67 @@ mod tests {
             !d.mac().is_integrated(),
             "rebooted tag must be a new arrival"
         );
+    }
+
+    #[test]
+    fn force_discharge_browns_out_an_active_device() {
+        let mut d = TagDevice::new_charged(
+            7,
+            period(4),
+            1.385,
+            protocol(),
+            SlotTiming::default(),
+            TagRng::new(29),
+        );
+        assert_eq!(d.lifecycle(), Lifecycle::Active);
+        d.force_discharge();
+        assert_eq!(d.lifecycle(), Lifecycle::Dormant);
+        assert_eq!(d.voltage(), 0.0);
+        assert_eq!(d.brownouts(), 1);
+        assert!(
+            !d.mac().is_integrated(),
+            "a force-discharged tag must re-arrive as new"
+        );
+        // Idempotent on an already-dormant device: no double-counting.
+        d.force_discharge();
+        assert_eq!(d.brownouts(), 1);
+        // The carrier is still on, so the device recharges and re-arrives.
+        let mut slots = 0;
+        while d.lifecycle() == Lifecycle::Dormant {
+            d.on_slot(None);
+            slots += 1;
+            assert!(slots < 50, "never recovered from forced discharge");
+        }
+        assert_eq!(d.activations(), 2);
+    }
+
+    #[test]
+    fn dark_slots_drain_active_tags_and_stall_dormant_ones() {
+        // Active tag: a dark slot spends RX+idle energy with zero harvest.
+        let mut d = strong_device(8);
+        while d.lifecycle() == Lifecycle::Dormant {
+            d.on_slot(Some(DlCmd::nack()));
+        }
+        let v0 = d.voltage();
+        let r = d.on_slot_dark();
+        assert!(r.active && !r.transmitted);
+        assert!(d.voltage() < v0, "dark slot must not harvest");
+        assert!((d.vp() - 1.385).abs() < 1e-12, "vp must be restored");
+
+        // Dormant tag: dark slots leave the cap exactly where it was.
+        let mut cold = strong_device(9);
+        for _ in 0..10 {
+            let r = cold.on_slot_dark();
+            assert!(!r.active && !r.activated);
+        }
+        assert_eq!(cold.voltage(), 0.0);
+        // With the carrier back, activation proceeds as normal.
+        let mut slots = 0;
+        while cold.lifecycle() == Lifecycle::Dormant {
+            cold.on_slot(Some(DlCmd::nack()));
+            slots += 1;
+            assert!(slots < 20);
+        }
     }
 
     #[test]

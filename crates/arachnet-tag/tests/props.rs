@@ -14,7 +14,7 @@ fn demod_survives_garbage() {
     let g = gen::vec(gen::zip(gen::f64_range(0.0, 10.0), gen::boolean()), 0, 199);
     check("demod_survives_garbage", &g, |edges| {
         let mut sorted = edges.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut d = PieDemodulator::new(McuClock::ideal(), 250.0);
         let decoded = d.feed_edges(&sorted);
         // Whatever decodes must at least be structurally valid (the type

@@ -92,6 +92,18 @@ fn bench_trials(s: &mut Suite) {
         let r = sim.uplink_trial_observed(8, 375.0, 1, &mut rec);
         black_box((r.lost, rec.seed()))
     });
+    // The drifting trial over a single identity epoch must cost the same
+    // as the static trial: epoch selection is one slice index, and every
+    // per-epoch channel is prebuilt at construction. verify.sh gates this
+    // entry against `phy/full_uplink_trial` at < 2%.
+    let tvc = biw_channel::timevarying::TimeVaryingChannel::paper(
+        sim.channel().config().clone(),
+        &[biw_channel::timevarying::ChannelDrift::identity()],
+    );
+    s.bench("phy/full_uplink_trial_timevarying", || {
+        let r = sim.uplink_trial_drifting(&tvc, 8, 375.0, 1, &mut arachnet_obs::Recorder::disabled());
+        black_box(r[0].lost)
+    });
     s.bench("phy/downlink_trial_10_beacons", || {
         let r = sim.downlink_trial(8, 250.0, 10);
         black_box(r.lost)

@@ -37,6 +37,10 @@ pub struct ChannelConfig {
     /// Direct TX→RX leakage amplitude at the reader (the two PZTs share the
     /// same panel).
     pub carrier_leakage: f64,
+    /// Resonator quality-factor scale: 1.0 is the paper's calibrated ring
+    /// (τ ≈ 0.5 ms). Channel drift (temperature, clamping) stretches or
+    /// shrinks the ring-down tail through this knob.
+    pub q_scale: f64,
     /// Random seed for the noise processes.
     pub seed: u64,
 }
@@ -50,6 +54,7 @@ impl Default for ChannelConfig {
             drive_scheme: DriveScheme::paper_default(),
             noise: NoiseConfig::default(),
             carrier_leakage: 2.0,
+            q_scale: 1.0,
             seed: 1,
         }
     }
@@ -247,7 +252,7 @@ impl BiwChannel {
             self.config.carrier_hz,
             self.config.drive_amplitude,
         );
-        let mut resonator = Resonator::arachnet(fs);
+        let mut resonator = Resonator::arachnet_scaled(fs, self.config.q_scale);
         let vibration = resonator.process_block_driven(&drive, &driven);
         let gain = link.dl_gain;
         let delay = link.dl_delay;

@@ -28,7 +28,10 @@
 //! * [`resonator`] — second-order 90 kHz resonance with ring-down, plus the
 //!   FSK-in/OOK-out drive;
 //! * [`noise`] — deterministic noise generator (AWGN + engine vibration);
-//! * [`channel`] — waveform-level synthesis of downlink and uplink signals.
+//! * [`channel`] — waveform-level synthesis of downlink and uplink signals;
+//! * [`timevarying`] — epoch-wise drift: prebuilt per-epoch channels for
+//!   dynamic-network experiments (gain fades, leakage shifts, noise-floor
+//!   wander, ring-down/Q drift).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,7 +42,9 @@ pub mod noise;
 pub mod propagation;
 pub mod pzt;
 pub mod resonator;
+pub mod timevarying;
 
 pub use channel::BiwChannel;
 pub use geometry::{Deployment, TagSite, Zone};
 pub use propagation::PathSpec;
+pub use timevarying::{ChannelDrift, TimeVaryingChannel};

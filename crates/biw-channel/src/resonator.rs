@@ -84,8 +84,17 @@ impl Resonator {
     /// of ≈ 0.5 ms (visible at 1–2 kbps DL, negligible at 250 bps), the
     /// amplifier-loaded Q is ~5× lower.
     pub fn arachnet(fs: f64) -> Self {
+        Self::arachnet_scaled(fs, 1.0)
+    }
+
+    /// [`Resonator::arachnet`] with both quality factors scaled by
+    /// `q_scale` — channel drift (temperature, panel clamping) shifts the
+    /// damping, stretching (`q_scale > 1`) or shrinking (`< 1`) the
+    /// ring-down tail.
+    pub fn arachnet_scaled(fs: f64, q_scale: f64) -> Self {
+        assert!(q_scale > 0.0, "q_scale must be positive");
         // τ = 2Q/ω0 → Q = τ·ω0/2; τ = 0.5 ms, ω0 = 2π·90 kHz → Q ≈ 141.
-        Self::with_loading(fs, 90_000.0, 141.0, 28.0)
+        Self::with_loading(fs, 90_000.0, 141.0 * q_scale, 28.0 * q_scale)
     }
 
     /// Resonant frequency.

@@ -167,6 +167,101 @@ fn brownout_and_rearrival_cycle() {
     assert!(recovered, "device never recovered");
 }
 
+/// Scenario engine: a churn storm — 6 tags ripped out at once, the same 6
+/// rejoining 600 slots later — disrupts the schedule twice, and both
+/// disruptions re-converge in bounded time.
+#[test]
+fn churn_storm_reconverges_bounded() {
+    use arachnet_sim::scenario::Scenario;
+    use arachnet_sim::slotsim::run_scenario_trial;
+
+    let pattern = Pattern::c2();
+    let mut b = Scenario::builder();
+    for &(tid, period) in pattern.tags.iter().take(6) {
+        b = b.leave(3_000, tid).join(3_600, tid, period);
+    }
+    let scenario = b.build().unwrap();
+    let trial = run_scenario_trial(&pattern, &scenario, 29, 100_000, false, false);
+    assert_eq!(trial.samples.len(), 2, "two disruption origins expected");
+    for s in &trial.samples {
+        let d = s.slots.expect("disruption never re-converged");
+        assert!(
+            d < 30_000,
+            "re-convergence unbounded: {d} slots after slot {}",
+            s.disruption_slot
+        );
+    }
+}
+
+/// Scenario engine at the waveform level: an epoch switch mid-trial (the
+/// channel fades to half amplitude between packet batches) must not break
+/// decoding — both epochs stay overwhelmingly decodable, and the fade
+/// shows up as a measured SNR drop, not as corruption.
+#[test]
+fn drift_epoch_switch_mid_trial_still_decodes() {
+    use arachnet_obs::Recorder;
+    use arachnet_sim::wavesim::WaveSim;
+    use biw_channel::timevarying::{ChannelDrift, TimeVaryingChannel};
+
+    let sim = WaveSim::paper(31);
+    let tvc = TimeVaryingChannel::paper(
+        sim.channel().config().clone(),
+        &[
+            ChannelDrift::identity(),
+            ChannelDrift::fade(0.5),
+            ChannelDrift::fade(0.2),
+        ],
+    );
+    // Tag 4 (the perpendicular-junction path): strong enough to decode
+    // through a half-amplitude fade, weak enough that the deep fade drops
+    // its modulation band toward the noise floor.
+    let results = sim.uplink_trial_drifting(&tvc, 4, 375.0, 15, &mut Recorder::disabled());
+    assert_eq!(results.len(), 3);
+    // Nominal and half-amplitude epochs must both keep decoding.
+    for (epoch, r) in results.iter().take(2).enumerate() {
+        assert!(
+            r.lost * 5 <= r.sent,
+            "epoch {epoch}: {}/{} packets lost",
+            r.lost,
+            r.sent
+        );
+        assert!(r.snr_db.is_finite(), "epoch {epoch}: no SNR measured");
+    }
+    // The deep fade must register as a real SNR collapse.
+    assert!(
+        results[2].snr_db < results[0].snr_db - 3.0,
+        "deep fade did not reduce SNR: {} vs {}",
+        results[2].snr_db,
+        results[0].snr_db
+    );
+    assert!(
+        results[2].lost >= results[0].lost,
+        "deep fade lost fewer packets than nominal"
+    );
+}
+
+/// The dynamic-scenario experiments export byte-identical metric documents
+/// at 1, 2 and 8 workers — the scenario engine must not leak thread
+/// scheduling into any measured value.
+#[test]
+fn dyn_experiment_metrics_are_thread_invariant() {
+    use arachnet_experiments::registry;
+    use arachnet_experiments::report::{metrics_json, Params};
+
+    for id in ["dyn-churn", "dyn-drift", "dyn-outage", "dyn-soak"] {
+        let e = registry::find(id).expect("dyn experiment registered");
+        let docs: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                let p = Params::quick(9).with_threads(t).with_observe(true);
+                metrics_json(id, &e.run(&p))
+            })
+            .collect();
+        assert_eq!(docs[0], docs[1], "{id}: metrics differ, threads 1 vs 2");
+        assert_eq!(docs[0], docs[2], "{id}: metrics differ, threads 1 vs 8");
+    }
+}
+
 /// Capture effect: even when the reader decodes one packet out of a
 /// collision, the colliding tags are NACKed (the IQ clustering override) —
 /// so capture does not freeze an unfair schedule.

@@ -40,11 +40,11 @@ fn table2_duty_cycle_currents_match_experiments_md() {
 fn fig16_long_run_ratios_match_experiments_md() {
     let out = run_full("fig16");
     assert!(
-        out.contains("non-empty = 0.805"),
+        out.contains("non-empty = 0.801"),
         "fig16 non-empty ratio drifted:\n{out}"
     );
     assert!(
-        out.contains("collision = 0.062"),
+        out.contains("collision = 0.079"),
         "fig16 collision ratio drifted:\n{out}"
     );
     assert!(

@@ -83,6 +83,10 @@ fn markers(id: &str) -> &'static [&'static str] {
         "ambient" => &["highway", "RX sustained"],
         "fdma" => &["concurrent tags"],
         "vanilla" => &["vanilla tail", "staggered"],
+        "dyn-churn" => &["c2-storm", "median"],
+        "dyn-drift" => &["ring-2x", "Tag 11"],
+        "dyn-outage" => &["c2-dark512", "burst"],
+        "dyn-soak" => &["c3-soak", "unresolved"],
         _ => &[],
     }
 }

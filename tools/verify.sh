@@ -37,10 +37,19 @@ cargo test -q --workspace
 echo "== quick pass over every artifact =="
 "$repro" all --quick --seed "$seed" > /dev/null
 
+echo "== registry coverage: dynamic-scenario experiments =="
+for id in dyn-churn dyn-drift dyn-outage dyn-soak; do
+  if ! "$repro" list | grep -q "^$id "; then
+    echo "FAIL: registry does not list $id" >&2
+    exit 1
+  fi
+done
+echo "   dyn-churn dyn-drift dyn-outage dyn-soak registered"
+
 echo "== thread-count determinism (seed $seed) =="
 tmp1="$(mktemp -d)" tmp8="$(mktemp -d)"
 trap 'rm -rf "$tmp1" "$tmp8"' EXIT
-for artifact in fig12a12b fig13a fig14b fig15a fig16; do
+for artifact in fig12a12b fig13a fig14b fig15a fig16 dyn-churn dyn-drift dyn-outage dyn-soak; do
   (cd "$tmp1" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 1 --metrics > stdout.txt)
   (cd "$tmp8" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 8 --metrics > stdout.txt)
   if ! cmp -s "$tmp1/METRICS_$artifact.json" "$tmp8/METRICS_$artifact.json"; then
@@ -85,6 +94,22 @@ else
   else
     echo "FAIL: phy/full_uplink_trial median $current ns exceeds baseline $baseline ns by more than $gate_pct%" >&2
     echo "      (recorder-off instrumentation must be free; rerun or raise ARACHNET_BENCH_GATE_PCT on noisy hosts)" >&2
+    exit 1
+  fi
+  # TimeVaryingChannel must keep the static hot path: the identity-epoch
+  # drifting trial is gated against the static trial from the SAME fresh
+  # run, so host speed cancels out.
+  tv="$(sed -nE 's/.*"name": "phy\/full_uplink_trial_timevarying",.*"ns_median": ([0-9.]+).*/\1/p' "$tmp1/BENCH_phy.json" | head -1)"
+  if [ -z "$tv" ]; then
+    echo "FAIL: no phy/full_uplink_trial_timevarying entry in the fresh bench run" >&2
+    exit 1
+  fi
+  if awk -v cur="$tv" -v base="$current" -v pct="$gate_pct" \
+       'BEGIN { exit !(cur <= base * (1 + pct / 100)) }'; then
+    echo "   phy/full_uplink_trial_timevarying: $tv ns vs static $current ns (gate: +$gate_pct%) — OK"
+  else
+    echo "FAIL: phy/full_uplink_trial_timevarying median $tv ns exceeds the static trial's $current ns by more than $gate_pct%" >&2
+    echo "      (epoch selection must stay one slice index on a prebuilt channel)" >&2
     exit 1
   fi
 fi
