@@ -14,7 +14,7 @@ use arachnet_sim::wavesim::WaveSim;
 use biw_channel::resonator::DriveScheme;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Protocol-refinement ablation experiment.
 pub struct Ablation;
@@ -32,8 +32,8 @@ impl Experiment for Ablation {
         "Secs. 5.3-5.6"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_protocol(params.scale(2, 7), &params.sweep())
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_protocol(ctx.scale(2, 7), &ctx.sweep())
     }
 }
 
@@ -152,8 +152,8 @@ impl Experiment for AblationLateArrival {
         "Secs. 5.5-5.6"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_late_arrival(params.scale(2, 7), &params.sweep())
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_late_arrival(ctx.scale(2, 7), &ctx.sweep())
     }
 }
 
@@ -235,8 +235,8 @@ impl Experiment for AblationDrive {
         "Sec. 4.1"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_drive(params.scale(50, 400), &params.sweep())
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_drive(ctx.scale(50, 400), &ctx.sweep())
     }
 }
 
@@ -301,7 +301,7 @@ impl Experiment for AblationStages {
         "Sec. 3.2"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         report_stages()
     }
 }

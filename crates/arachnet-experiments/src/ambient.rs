@@ -5,7 +5,7 @@ use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Ambient vibration-harvesting extension experiment.
 pub struct Ambient;
@@ -23,7 +23,7 @@ impl Experiment for Ambient {
         "Sec. 2.2 (extension)"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let ch = BiwChannel::paper(ChannelConfig {
             noise: NoiseConfig::silent(),
             ..ChannelConfig::default()
@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn table_covers_states_and_rx_row() {
-        let out = Ambient.run(&Params::default()).render();
+        let out = Ambient.run(&ExperimentCtx::default()).render();
         assert!(out.contains("highway"));
         assert!(out.contains("RX sustained"));
         assert!(out.contains("Tag 11"));

@@ -1,16 +1,23 @@
 //! `repro` — regenerate every table and figure of the ARACHNET paper.
 //!
 //! ```text
+//! repro run <artifact|all> [flags]
 //! repro list
-//! repro <artifact> [--quick] [--seed N] [--threads N] [--metrics] [--trace <tag|all>]
-//! repro all [--quick] [--seed N] [--threads N] [--metrics] [--trace <tag|all>]
+//! repro metrics <artifact|all> [flags]      (run with --metrics implied)
+//! repro trace <artifact> <tag|all> [flags]  (run with --trace implied)
+//! repro <artifact|all> [flags]              (legacy alias for `run`)
 //! ```
 //!
-//! The artifact ids come from the experiment registry (`repro list` prints
-//! them with titles and paper anchors). `--quick` shrinks trial counts
-//! (useful in debug builds); the default counts match the paper's where
-//! tractable. `--threads N` caps the parallel sweep engine's worker pool
-//! (sweep results are bit-identical at any thread count).
+//! Flags: `--quick` shrinks trial counts; `--seed N` reseeds every random
+//! stream; `--threads N` caps the parallel sweep pool (results are
+//! bit-identical at any thread count); `--metrics` / `--trace <tag|all>`
+//! toggle observability output; `--readers K` / `--cells K` size a
+//! multi-reader fleet and `--bands B` caps its sub-band budget (mr-*
+//! experiments only — single-reader artifacts reject fleet flags).
+//!
+//! Exit codes: `0` success, `2` usage error (unknown artifact, bad flag
+//! combination), `3` experiment failure (a run panicked or an output file
+//! could not be written).
 //!
 //! `--metrics` prints each experiment's sim-domain metric table (plus
 //! wall-domain diagnostics, which are never exported) and writes the
@@ -22,13 +29,19 @@
 
 use std::env;
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use arachnet_experiments::registry;
-use arachnet_experiments::report::{export_metrics, metrics_json, Experiment, Params};
+use arachnet_experiments::report::{export_metrics, metrics_json, Experiment, ExperimentCtx};
 use arachnet_obs::{render_timeline, take_global_stats, take_spans};
 
 /// How many events the `--trace` text timeline shows.
 const TIMELINE_WINDOW: usize = 40;
+
+/// Exit code for usage errors.
+const EXIT_USAGE: i32 = 2;
+/// Exit code for experiment failures (panics, unwritable outputs).
+const EXIT_FAILURE: i32 = 3;
 
 /// Observability output options parsed from the command line.
 #[derive(Clone, Copy)]
@@ -42,10 +55,12 @@ struct ObsOpts {
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let mut artifact = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut quick = false;
     let mut seed = 1u64;
     let mut threads = None;
+    let mut readers = None;
+    let mut bands = None;
     let mut obs = ObsOpts {
         metrics: false,
         trace: None,
@@ -64,8 +79,21 @@ fn main() {
                 threads = Some(
                     it.next()
                         .and_then(|s| s.parse::<usize>().ok())
-                        .filter(|&n| n >= 1)
-                        .unwrap_or_else(|| usage("--threads needs a positive number")),
+                        .unwrap_or_else(|| usage("--threads needs a number")),
+                );
+            }
+            "--readers" | "--cells" => {
+                readers = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage("--readers/--cells needs a number")),
+                );
+            }
+            "--bands" => {
+                bands = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage("--bands needs a number")),
                 );
             }
             "--metrics" => obs.metrics = true,
@@ -73,53 +101,125 @@ fn main() {
                 let target = it
                     .next()
                     .unwrap_or_else(|| usage("--trace needs a tag id or `all`"));
-                obs.trace = Some(match target.as_str() {
-                    "all" => None,
-                    t => Some(
-                        t.parse::<u8>()
-                            .unwrap_or_else(|_| usage("--trace needs a tag id or `all`")),
-                    ),
-                });
+                obs.trace = Some(parse_trace_target(target));
             }
-            name if artifact.is_none() => artifact = Some(name.to_string()),
-            other => usage(&format!("unexpected argument {other}")),
+            flag if flag.starts_with("--") => usage(&format!("unexpected flag {flag}")),
+            name => positionals.push(name.to_string()),
         }
     }
-    let Some(artifact) = artifact else {
-        usage("missing artifact")
-    };
-    let mut params = if quick {
-        Params::quick(seed)
-    } else {
-        Params::full(seed)
-    };
-    if let Some(n) = threads {
-        params = params.with_threads(n);
-    }
-    params = params.with_observe(obs.metrics || obs.trace.is_some());
-    match artifact.as_str() {
-        "list" => {
+    // Subcommand dispatch; a bare artifact id is a legacy alias for `run`.
+    let (command, artifact) = match positionals.first().map(String::as_str) {
+        None => usage("missing command"),
+        Some("list") => {
+            if positionals.len() > 1 {
+                usage("`list` takes no artifact");
+            }
             for e in registry::all() {
                 println!("{:<22} {:<24} {}", e.id(), e.paper_anchor(), e.title());
             }
+            return;
         }
+        Some("run") | Some("metrics") | Some("trace") => {
+            let cmd = positionals[0].clone();
+            let mut rest = positionals[1..].iter();
+            let Some(artifact) = rest.next() else {
+                usage(&format!("`{cmd}` needs an artifact id"));
+            };
+            match cmd.as_str() {
+                "metrics" => obs.metrics = true,
+                "trace" => {
+                    // `repro trace <id> <tag|all>`; target defaults to all.
+                    let target = rest.next().map(String::as_str).unwrap_or("all");
+                    obs.trace = Some(parse_trace_target(target));
+                }
+                _ => {}
+            }
+            if rest.next().is_some() {
+                usage(&format!("`{cmd}` takes one artifact"));
+            }
+            (cmd, artifact.clone())
+        }
+        Some(_) => {
+            if positionals.len() > 1 {
+                usage("expected one artifact (or a subcommand)");
+            }
+            ("run".to_string(), positionals[0].clone())
+        }
+    };
+    let _ = command;
+    let mut b = ExperimentCtx::builder(seed).observe(obs.metrics || obs.trace.is_some());
+    if quick {
+        b = b.quick();
+    }
+    if let Some(n) = threads {
+        b = b.threads(n);
+    }
+    if let Some(k) = readers {
+        b = b.readers(k);
+    }
+    if let Some(n) = bands {
+        b = b.bands(n);
+    }
+    let ctx = match b.build() {
+        Ok(ctx) => ctx,
+        Err(err) => usage(&format!("invalid run context: {err}")),
+    };
+    match artifact.as_str() {
         "all" => {
             for e in registry::all() {
+                check_ctx(&ctx, e);
+            }
+            for e in registry::all() {
                 println!("==================================================================");
-                run_one(e, &params, obs);
+                run_one(e, &ctx, obs);
             }
         }
         // Historical alias from before Fig. 12(a)/(b) shared one table.
-        "fig12" => run_one(registry::find("fig12a12b").unwrap(), &params, obs),
+        "fig12" => {
+            let e = registry::find("fig12a12b").expect("fig12a12b registered");
+            check_ctx(&ctx, e);
+            run_one(e, &ctx, obs);
+        }
         id => match registry::find(id) {
-            Some(e) => run_one(e, &params, obs),
-            None => usage(&format!("unknown artifact {id}")),
+            Ok(e) => {
+                check_ctx(&ctx, e);
+                run_one(e, &ctx, obs);
+            }
+            Err(err) => usage(&err.to_string()),
         },
     }
 }
 
-fn run_one(e: &'static dyn Experiment, params: &Params, obs: ObsOpts) {
-    let report = e.run(params);
+fn parse_trace_target(target: &str) -> Option<u8> {
+    match target {
+        "all" => None,
+        t => Some(
+            t.parse::<u8>()
+                .unwrap_or_else(|_| usage("--trace needs a tag id or `all`")),
+        ),
+    }
+}
+
+/// Rejects fleet flags on single-reader experiments (usage error).
+fn check_ctx(ctx: &ExperimentCtx, e: &'static dyn Experiment) {
+    if let Err(err) = ctx.validate_for(e) {
+        usage(&format!("{}: {err}", e.id()));
+    }
+}
+
+fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
+    let report = match catch_unwind(AssertUnwindSafe(|| e.run(ctx))) {
+        Ok(report) => report,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("error: experiment {} failed: {msg}", e.id());
+            std::process::exit(EXIT_FAILURE);
+        }
+    };
     println!("{}", report.render());
     if obs.metrics {
         // `metrics_json` adds the generic report-shape counters, so every
@@ -180,19 +280,20 @@ fn print_wall_domain() {
 fn write_file(path: &str, contents: &str) {
     if let Err(err) = fs::write(path, contents) {
         eprintln!("error: cannot write {path}: {err}");
-        std::process::exit(1);
+        std::process::exit(EXIT_FAILURE);
     }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <artifact|all|list> [--quick] [--seed N] [--threads N] [--metrics] \
-         [--trace <tag|all>]"
+        "usage: repro <run|metrics|trace|list> <artifact|all> [--quick] [--seed N] \
+         [--threads N] [--readers K] [--cells K] [--bands B] [--metrics] [--trace <tag|all>]"
     );
+    eprintln!("       repro <artifact|all>   (alias for `repro run`)");
     eprintln!(
         "artifacts: {}",
         registry::all().map(|e| e.id()).collect::<Vec<_>>().join(" ")
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }

@@ -23,7 +23,7 @@ use arachnet_sim::wavesim::WaveSim;
 use biw_channel::timevarying::{ChannelDrift, TimeVaryingChannel};
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 use arachnet_core::slot::Period;
 
@@ -157,8 +157,8 @@ impl Experiment for DynChurn {
         "Sec. 7.4 (extension)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_churn(params.scale(2, 25), &params.sweep(), params.observe)
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_churn(ctx.scale(2, 25), &ctx.sweep(), ctx.observe())
     }
 }
 
@@ -203,8 +203,8 @@ impl Experiment for DynOutage {
         "Sec. 7.4 (extension)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_outage(params.scale(2, 25), &params.sweep(), params.observe)
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_outage(ctx.scale(2, 25), &ctx.sweep(), ctx.observe())
     }
 }
 
@@ -264,8 +264,8 @@ impl Experiment for DynSoak {
         "Sec. 7.4 (extension)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_soak(params.scale(2, 10), &params.sweep(), params.observe)
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_soak(ctx.scale(2, 10), &ctx.sweep(), ctx.observe())
     }
 }
 
@@ -312,8 +312,8 @@ impl Experiment for DynDrift {
         "Sec. 8.1 (extension)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_drift(params.scale(15, 150), &params.sweep(), params.observe)
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_drift(ctx.scale(15, 150), &ctx.sweep(), ctx.observe())
     }
 }
 

@@ -11,7 +11,7 @@ use biw_channel::noise::NoiseConfig;
 use biw_channel::pzt::PztState;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// FDMA parallel-decoding extension experiment.
 pub struct Fdma;
@@ -29,8 +29,8 @@ impl Experiment for Fdma {
         "Sec. 6.3 (extension)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report(params.scale(3, 10), &params.sweep())
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report(ctx.scale(3, 10), &ctx.sweep())
     }
 }
 

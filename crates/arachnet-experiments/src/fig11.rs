@@ -6,7 +6,7 @@ use biw_channel::channel::{BiwChannel, ChannelConfig};
 use biw_channel::noise::NoiseConfig;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 fn channel() -> BiwChannel {
     BiwChannel::paper(ChannelConfig {
@@ -31,7 +31,7 @@ impl Experiment for Fig11a {
         "Fig. 11(a)"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let ch = channel();
         let mut rows = Vec::new();
         for tid in 1..=12u8 {
@@ -88,7 +88,7 @@ impl Experiment for Fig11b {
         "Fig. 11(b)"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let ch = channel();
         let chain = HarvestChain::paper();
         let mut entries: Vec<(u8, f64, f64, f64, f64)> = (1..=12u8)
@@ -137,14 +137,14 @@ mod tests {
 
     #[test]
     fn fig11a_has_12_rows_and_anchors() {
-        let out = Fig11a.run(&Params::default()).render();
+        let out = Fig11a.run(&ExperimentCtx::default()).render();
         assert_eq!(out.lines().filter(|l| l.contains("yes")).count(), 12);
         assert!(out.contains("4.74"));
     }
 
     #[test]
     fn fig11b_reports_paper_span() {
-        let out = Fig11b.run(&Params::default()).render();
+        let out = Fig11b.run(&ExperimentCtx::default()).render();
         assert!(out.contains("4.5 s"));
         assert!(out.contains("resume"));
     }

@@ -10,7 +10,7 @@ use arachnet_sim::sweep::{run_matrix, SweepConfig};
 use arachnet_sim::wavesim::{with_phy_scratch, WaveSim};
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Tags the paper evaluates (near / junction / far).
 pub const TAGS: [u8; 3] = [8, 4, 11];
@@ -33,8 +33,8 @@ impl Experiment for Fig12 {
         "Fig. 12"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report(params.scale(20, 200), &params.sweep(), params.observe)
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report(ctx.scale(20, 200), &ctx.sweep(), ctx.observe())
     }
 }
 

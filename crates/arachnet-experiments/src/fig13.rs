@@ -5,7 +5,7 @@ use arachnet_sim::sweep::{run_matrix, SweepConfig};
 use arachnet_sim::wavesim::WaveSim;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Fig. 13(a): beacons lost of `n` sent, per tag and DL rate.
 pub struct Fig13a;
@@ -23,8 +23,8 @@ impl Experiment for Fig13a {
         "Fig. 13(a)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_a(params.scale(100, 1_000), &params.sweep())
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_a(ctx.scale(100, 1_000), &ctx.sweep())
     }
 }
 
@@ -89,8 +89,8 @@ impl Experiment for Fig13b {
         "Fig. 13(b)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        let sim = WaveSim::paper(params.seed);
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        let sim = WaveSim::paper(ctx.seed());
         let offsets = sim.sync_offsets();
         let rows: Vec<Vec<String>> = offsets
             .iter()
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn fig13b_reports_bound() {
-        let out = Fig13b.run(&Params::default()).render();
+        let out = Fig13b.run(&ExperimentCtx::default()).render();
         assert!(out.contains("max |offset|"));
     }
 }

@@ -6,7 +6,7 @@ use arachnet_sim::wavesim::WaveSim;
 use biw_channel::noise::NoiseConfig;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Fig. 14(a): synthesizes one ping-pong waveform and prints its envelope
 /// profile — DL burst, 20 ms guard, UL backscatter.
@@ -25,8 +25,8 @@ impl Experiment for Fig14a {
         "Fig. 14(a)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        let sim = WaveSim::new(params.seed, NoiseConfig::silent());
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        let sim = WaveSim::new(ctx.seed(), NoiseConfig::silent());
         let (wave, fs) = sim.ping_pong_waveform(8);
         // Envelope in 5 ms bins.
         let bin = (0.005 * fs) as usize;
@@ -69,8 +69,8 @@ impl Experiment for Fig14b {
         "Fig. 14(b)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_b(params.scale(200, 1_000) as usize, &params.sweep())
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_b(ctx.scale(200, 1_000) as usize, &ctx.sweep())
     }
 }
 
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn fig14a_shows_phases() {
-        let out = Fig14a.run(&Params::default()).render();
+        let out = Fig14a.run(&ExperimentCtx::default()).render();
         assert!(out.contains("RMS"));
         assert!(out.lines().count() > 20);
     }

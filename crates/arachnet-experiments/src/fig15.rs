@@ -13,7 +13,7 @@ use arachnet_sim::slotsim::first_convergence_trial;
 use arachnet_sim::sweep::{run_matrix, SweepConfig};
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Convergence-slot cap (trials that never converge count as the cap).
 const CAP: u64 = 500_000;
@@ -105,8 +105,8 @@ impl Experiment for Fig15a {
         "Fig. 15(a)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_a(params.scale(3, 50), &params.sweep(), params.observe)
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_a(ctx.scale(3, 50), &ctx.sweep(), ctx.observe())
     }
 }
 
@@ -139,8 +139,8 @@ impl Experiment for Fig15b {
         "Fig. 15(b)"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report_b(params.scale(3, 50), &params.sweep(), params.observe)
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report_b(ctx.scale(3, 50), &ctx.sweep(), ctx.observe())
     }
 }
 

@@ -5,7 +5,7 @@ use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
 use arachnet_sim::sweep::{run_trials, SweepConfig};
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Fig. 16 experiment: one recorded trajectory plus a multi-seed sweep of
 /// the whole-run averages.
@@ -24,12 +24,12 @@ impl Experiment for Fig16 {
         "Fig. 16"
     }
 
-    fn run(&self, params: &Params) -> Report {
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
         report(
-            params.scale(1_000, 10_000),
-            params.scale(4, 8),
-            &params.sweep(),
-            params.observe,
+            ctx.scale(1_000, 10_000),
+            ctx.scale(4, 8),
+            &ctx.sweep(),
+            ctx.observe(),
         )
     }
 }

@@ -3,7 +3,7 @@
 use arachnet_sensors::StrainSensor;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Fig. 17(b) experiment: displacement sweep −10…+10 cm for three gauges.
 pub struct Fig17b;
@@ -21,7 +21,7 @@ impl Experiment for Fig17b {
         "Fig. 17(b)"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let gauges = [
             ("Tag A", StrainSensor::default().with_gain_factor(1.0)),
             ("Tag B", StrainSensor::default().with_gain_factor(0.85)),
@@ -64,7 +64,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_range_and_monotone() {
-        let out = Fig17b.run(&Params::default()).render();
+        let out = Fig17b.run(&ExperimentCtx::default()).render();
         assert!(out.contains("-10"));
         assert!(out.contains("10"));
         assert!(out.contains("Tag C"));

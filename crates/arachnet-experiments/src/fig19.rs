@@ -5,7 +5,7 @@ use arachnet_sim::metrics::five_num;
 use arachnet_sim::sweep::{run_trials, SweepConfig};
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Fig. 19 experiment: the ALOHA simulation, per-tag table from the base
 /// seed plus a parallel seed sweep of the overall success rate.
@@ -24,11 +24,11 @@ impl Experiment for Fig19 {
         "Fig. 19 / Appendix B"
     }
 
-    fn run(&self, params: &Params) -> Report {
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
         report(
-            if params.quick { 1_000.0 } else { 10_000.0 },
-            params.scale(3, 8),
-            &params.sweep(),
+            if ctx.is_quick() { 1_000.0 } else { 10_000.0 },
+            ctx.scale(3, 8),
+            &ctx.sweep(),
         )
     }
 }

@@ -29,6 +29,7 @@
 //! | [`markov`] | Appendix C — absorbing-chain verification |
 //! | [`ablation`] | refinement / drive-scheme / stage-count ablations |
 //! | [`dyn_scenarios`] | dynamic-network scenarios — churn, drift, outages, soak |
+//! | [`multireader`] | multi-reader fleet — FDMA scaling, interference, sharded soak |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,10 +51,13 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig19;
 pub mod markov;
+pub mod multireader;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod vanilla;
 
-pub use report::{Experiment, Params, Report, Section};
+pub use report::{Experiment, ExperimentCtx, ExperimentCtxBuilder, Report, Section};
+#[allow(deprecated)]
+pub use report::Params;

@@ -6,7 +6,7 @@ use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Appendix C experiment: exact chain analysis cross-checked against
 /// simulation.
@@ -25,8 +25,8 @@ impl Experiment for Markov {
         "Appendix C"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report(params.scale(5, 30))
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report(ctx.scale(5, 30))
     }
 }
 

@@ -1,68 +1,193 @@
-//! The `Experiment` abstraction: structured reports, run parameters, and
-//! the trait every artifact regenerator implements.
+//! The `Experiment` abstraction: structured reports, validated run
+//! contexts, and the trait every artifact regenerator implements.
 //!
 //! Historically each experiment was an ad-hoc `pub fn run(n, seed) ->
 //! String` with its trial counts hard-coded into the `repro` binary. The
 //! redesigned API inverts that: an [`Experiment`] owns its identity
 //! (`id`/`title`/`paper_anchor`) *and* its quick/full trial counts, takes a
-//! uniform [`Params`], and returns a [`Report`] of structured sections
-//! (headers + rows + notes) that callers can either inspect or
+//! uniform [`ExperimentCtx`], and returns a [`Report`] of structured
+//! sections (headers + rows + notes) that callers can either inspect or
 //! [`render`](Report::render) to the classic text tables. The static
 //! registry in [`crate::registry`] is the single source of truth the
 //! `repro` binary, the benches, and the smoke tests all iterate.
+//!
+//! An [`ExperimentCtx`] is built through [`ExperimentCtx::builder`], which
+//! validates the combination up front (zero thread counts, malformed fleet
+//! shapes) and returns [`ConfigError`] instead of deferring the blow-up to
+//! the middle of a long run. The flat `Params` struct this replaces
+//! survives as a deprecated alias with its old constructors.
 
 use arachnet_obs::{json_escape, MetricSet, RecorderSnapshot};
 use arachnet_sim::sweep::SweepConfig;
+use arachnet_sim::ConfigError;
 
 use crate::render;
 
-/// Uniform run parameters for every experiment.
-#[derive(Debug, Clone)]
-pub struct Params {
-    /// Quick mode: reduced trial counts (each experiment owns the actual
-    /// numbers; full mode matches the paper's scale where tractable).
-    pub quick: bool,
-    /// Experiment seed (drives every random stream).
-    pub seed: u64,
-    /// Worker threads for sweep-backed experiments; `None` uses all cores.
-    pub threads: Option<usize>,
-    /// Collect sim-domain metrics and flight-recorder events while running
-    /// (`repro --metrics` / `--trace`). Observation never perturbs random
-    /// streams, so observed and unobserved runs produce identical tables.
-    pub observe: bool,
+/// Most readers a fleet context accepts — the `FleetPlan` limit in the
+/// reader crate, checked here too so the error surfaces at build time.
+const MAX_FLEET_READERS: usize = 8;
+
+/// Validated, uniform run context for every experiment.
+///
+/// Construct through [`ExperimentCtx::builder`]; fields are private so a
+/// value that exists is a value that passed validation. Fleet options
+/// (`readers`/`bands`) only make sense for experiments whose
+/// [`Experiment::multi_reader`] is `true` — [`ExperimentCtx::validate_for`]
+/// enforces that pairing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentCtx {
+    quick: bool,
+    seed: u64,
+    threads: Option<usize>,
+    observe: bool,
+    readers: Option<usize>,
+    bands: Option<usize>,
 }
 
-impl Params {
-    /// Quick-mode parameters.
-    pub fn quick(seed: u64) -> Self {
-        Self {
-            quick: true,
-            seed,
-            threads: None,
-            observe: false,
-        }
+/// Builder for [`ExperimentCtx`] — the only public construction path.
+#[derive(Debug, Clone)]
+pub struct ExperimentCtxBuilder {
+    ctx: ExperimentCtx,
+}
+
+impl ExperimentCtxBuilder {
+    /// Quick mode: reduced trial counts (each experiment owns the actual
+    /// numbers; full mode matches the paper's scale where tractable).
+    pub fn quick(mut self) -> Self {
+        self.ctx.quick = true;
+        self
     }
 
-    /// Full-scale parameters.
-    pub fn full(seed: u64) -> Self {
-        Self {
-            quick: false,
-            seed,
-            threads: None,
-            observe: false,
-        }
+    /// Full-scale mode (the default).
+    pub fn full(mut self) -> Self {
+        self.ctx.quick = false;
+        self
     }
 
     /// Pins the worker-thread count (sweep-backed experiments only).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+    /// Validated at [`Self::build`]: zero is rejected.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.ctx.threads = Some(threads);
         self
     }
 
-    /// Turns metric/event collection on or off.
-    pub fn with_observe(mut self, observe: bool) -> Self {
-        self.observe = observe;
+    /// Collect sim-domain metrics and flight-recorder events while running
+    /// (`repro --metrics` / `--trace`). Observation never perturbs random
+    /// streams, so observed and unobserved runs produce identical tables.
+    pub fn observe(mut self, observe: bool) -> Self {
+        self.ctx.observe = observe;
         self
+    }
+
+    /// Fleet size override for multi-reader experiments (`--readers`).
+    pub fn readers(mut self, readers: usize) -> Self {
+        self.ctx.readers = Some(readers);
+        self
+    }
+
+    /// Sub-band budget override for multi-reader experiments (`--bands`):
+    /// fewer bands than readers forces frequency-space reuse.
+    pub fn bands(mut self, bands: usize) -> Self {
+        self.ctx.bands = Some(bands);
+        self
+    }
+
+    /// Validates the combination and returns the context.
+    pub fn build(self) -> Result<ExperimentCtx, ConfigError> {
+        let c = &self.ctx;
+        if c.threads == Some(0) {
+            return Err(ConfigError::NotPositive {
+                field: "threads",
+                value: 0.0,
+            });
+        }
+        if c.readers == Some(0) {
+            return Err(ConfigError::NotPositive {
+                field: "readers",
+                value: 0.0,
+            });
+        }
+        if c.bands == Some(0) {
+            return Err(ConfigError::NotPositive {
+                field: "bands",
+                value: 0.0,
+            });
+        }
+        if let Some(r) = c.readers {
+            if r > MAX_FLEET_READERS {
+                return Err(ConfigError::Inconsistent {
+                    reason: "readers exceeds the 8-reader fleet plan limit",
+                });
+            }
+            if let Some(b) = c.bands {
+                if b > r {
+                    return Err(ConfigError::Inconsistent {
+                        reason: "more sub-bands than readers",
+                    });
+                }
+            }
+        }
+        Ok(self.ctx)
+    }
+}
+
+impl ExperimentCtx {
+    /// Starts a builder at full scale with the given seed and no
+    /// overrides.
+    pub fn builder(seed: u64) -> ExperimentCtxBuilder {
+        ExperimentCtxBuilder {
+            ctx: ExperimentCtx {
+                quick: false,
+                seed,
+                threads: None,
+                observe: false,
+                readers: None,
+                bands: None,
+            },
+        }
+    }
+
+    /// Quick mode?
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Experiment seed (drives every random stream).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Pinned worker-thread count, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Metric/event collection on?
+    pub fn observe(&self) -> bool {
+        self.observe
+    }
+
+    /// Fleet-size override, if any (multi-reader experiments only).
+    pub fn readers(&self) -> Option<usize> {
+        self.readers
+    }
+
+    /// Sub-band budget override, if any (multi-reader experiments only).
+    pub fn bands(&self) -> Option<usize> {
+        self.bands
+    }
+
+    /// Fleet size for a multi-reader experiment: the `--readers` override
+    /// or the experiment's default.
+    pub fn fleet_readers(&self, default: usize) -> usize {
+        self.readers.unwrap_or(default)
+    }
+
+    /// Sub-band budget for a multi-reader experiment: the `--bands`
+    /// override or the experiment's default, never above the fleet size.
+    pub fn fleet_bands(&self, default: usize) -> usize {
+        let readers = self.fleet_readers(default);
+        self.bands.unwrap_or(default).min(readers)
     }
 
     /// Picks the quick or full variant of a count.
@@ -74,8 +199,9 @@ impl Params {
         }
     }
 
-    /// The sweep configuration implied by these parameters: base seed from
-    /// [`Params::seed`], worker count from [`Params::threads`].
+    /// The sweep configuration implied by this context: base seed from
+    /// [`ExperimentCtx::seed`], worker count from
+    /// [`ExperimentCtx::threads`].
     pub fn sweep(&self) -> SweepConfig {
         let cfg = SweepConfig::new(self.seed);
         match self.threads {
@@ -83,13 +209,65 @@ impl Params {
             None => cfg,
         }
     }
-}
 
-impl Default for Params {
-    fn default() -> Self {
-        Self::quick(1)
+    /// Checks this context against a specific experiment: fleet options on
+    /// a single-reader experiment are a usage error, reported as
+    /// [`ConfigError::Inconsistent`] rather than silently ignored.
+    pub fn validate_for(&self, e: &dyn Experiment) -> Result<(), ConfigError> {
+        if !e.multi_reader() && (self.readers.is_some() || self.bands.is_some()) {
+            return Err(ConfigError::Inconsistent {
+                reason: "fleet options (readers/bands) on a single-reader experiment",
+            });
+        }
+        Ok(())
+    }
+
+    /// Deprecated shim for the old flat `Params::quick`.
+    #[deprecated(note = "use ExperimentCtx::builder(seed).quick().build()")]
+    pub fn quick(seed: u64) -> Self {
+        Self::builder(seed)
+            .quick()
+            .build()
+            .expect("quick preset is always valid")
+    }
+
+    /// Deprecated shim for the old flat `Params::full`.
+    #[deprecated(note = "use ExperimentCtx::builder(seed).build()")]
+    pub fn full(seed: u64) -> Self {
+        Self::builder(seed)
+            .build()
+            .expect("full preset is always valid")
+    }
+
+    /// Deprecated shim for the old `Params::with_threads`. Unlike the
+    /// builder this cannot report an error, so zero panics.
+    #[deprecated(note = "use ExperimentCtx::builder(..).threads(n).build()")]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be positive");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Deprecated shim for the old `Params::with_observe`.
+    #[deprecated(note = "use ExperimentCtx::builder(..).observe(on).build()")]
+    pub fn with_observe(mut self, observe: bool) -> Self {
+        self.observe = observe;
+        self
     }
 }
+
+impl Default for ExperimentCtx {
+    fn default() -> Self {
+        Self::builder(1)
+            .quick()
+            .build()
+            .expect("default context is valid")
+    }
+}
+
+/// The old flat parameter struct, now an alias for the validated context.
+#[deprecated(note = "use ExperimentCtx")]
+pub type Params = ExperimentCtx;
 
 /// One table of an experiment's output: a title, column headers, data
 /// rows, and free-form notes (the "paper says" anchors).
@@ -231,8 +409,14 @@ pub trait Experiment: Sync {
     fn title(&self) -> &'static str;
     /// Where in the paper the artifact lives (e.g. `"Fig. 15(a)"`).
     fn paper_anchor(&self) -> &'static str;
+    /// Whether this experiment simulates a multi-reader fleet — only then
+    /// do the context's fleet options (`readers`/`bands`) apply (see
+    /// [`ExperimentCtx::validate_for`]).
+    fn multi_reader(&self) -> bool {
+        false
+    }
     /// Regenerates the artifact.
-    fn run(&self, params: &Params) -> Report;
+    fn run(&self, ctx: &ExperimentCtx) -> Report;
 }
 
 #[cfg(test)]
@@ -240,16 +424,133 @@ mod tests {
     use super::*;
 
     #[test]
-    fn params_scale_picks_by_mode() {
-        assert_eq!(Params::quick(1).scale(3, 50), 3);
-        assert_eq!(Params::full(1).scale(3, 50), 50);
+    fn ctx_scale_picks_by_mode() {
+        let quick = ExperimentCtx::builder(1).quick().build().unwrap();
+        let full = ExperimentCtx::builder(1).build().unwrap();
+        assert_eq!(quick.scale(3, 50), 3);
+        assert_eq!(full.scale(3, 50), 50);
     }
 
     #[test]
-    fn params_sweep_carries_seed_and_threads() {
-        let cfg = Params::quick(42).with_threads(2).sweep();
+    fn ctx_sweep_carries_seed_and_threads() {
+        let cfg = ExperimentCtx::builder(42)
+            .quick()
+            .threads(2)
+            .build()
+            .unwrap()
+            .sweep();
         assert_eq!(cfg.base_seed, 42);
         assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn ctx_builder_rejects_bad_combinations() {
+        use arachnet_sim::ConfigError;
+        assert_eq!(
+            ExperimentCtx::builder(1).threads(0).build(),
+            Err(ConfigError::NotPositive {
+                field: "threads",
+                value: 0.0
+            })
+        );
+        assert_eq!(
+            ExperimentCtx::builder(1).readers(0).build(),
+            Err(ConfigError::NotPositive {
+                field: "readers",
+                value: 0.0
+            })
+        );
+        assert_eq!(
+            ExperimentCtx::builder(1).bands(0).build(),
+            Err(ConfigError::NotPositive {
+                field: "bands",
+                value: 0.0
+            })
+        );
+        assert!(matches!(
+            ExperimentCtx::builder(1).readers(9).build(),
+            Err(ConfigError::Inconsistent { .. })
+        ));
+        assert!(matches!(
+            ExperimentCtx::builder(1).readers(2).bands(3).build(),
+            Err(ConfigError::Inconsistent { .. })
+        ));
+        let ok = ExperimentCtx::builder(1).readers(4).bands(2).build().unwrap();
+        assert_eq!(ok.fleet_readers(6), 4);
+        assert_eq!(ok.fleet_bands(4), 2);
+    }
+
+    #[test]
+    fn ctx_fleet_defaults_apply_without_overrides() {
+        let ctx = ExperimentCtx::default();
+        assert!(ctx.is_quick());
+        assert_eq!(ctx.fleet_readers(6), 6);
+        assert_eq!(ctx.fleet_bands(4), 4);
+        // The band budget never exceeds the fleet size.
+        let two = ExperimentCtx::builder(1).readers(2).build().unwrap();
+        assert_eq!(two.fleet_bands(4), 2);
+    }
+
+    #[test]
+    fn ctx_validates_fleet_options_against_the_experiment() {
+        use arachnet_sim::ConfigError;
+        struct Single;
+        impl Experiment for Single {
+            fn id(&self) -> &'static str {
+                "single"
+            }
+            fn title(&self) -> &'static str {
+                "single-reader"
+            }
+            fn paper_anchor(&self) -> &'static str {
+                "-"
+            }
+            fn run(&self, _ctx: &ExperimentCtx) -> Report {
+                Report::default()
+            }
+        }
+        struct Multi;
+        impl Experiment for Multi {
+            fn id(&self) -> &'static str {
+                "multi"
+            }
+            fn title(&self) -> &'static str {
+                "multi-reader"
+            }
+            fn paper_anchor(&self) -> &'static str {
+                "-"
+            }
+            fn multi_reader(&self) -> bool {
+                true
+            }
+            fn run(&self, _ctx: &ExperimentCtx) -> Report {
+                Report::default()
+            }
+        }
+        let fleet = ExperimentCtx::builder(1).readers(2).build().unwrap();
+        assert!(matches!(
+            fleet.validate_for(&Single),
+            Err(ConfigError::Inconsistent { .. })
+        ));
+        assert!(fleet.validate_for(&Multi).is_ok());
+        let plain = ExperimentCtx::builder(1).build().unwrap();
+        assert!(plain.validate_for(&Single).is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_params_shims_still_work() {
+        // The old flat API must keep compiling (deprecated) and agree with
+        // the builder it forwards to.
+        let old = Params::quick(7).with_threads(2).with_observe(true);
+        let new = ExperimentCtx::builder(7)
+            .quick()
+            .threads(2)
+            .observe(true)
+            .build()
+            .unwrap();
+        assert_eq!(old, new);
+        assert_eq!(Params::full(3), ExperimentCtx::builder(3).build().unwrap());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use arachnet_core::slot::{occupancy_table, Period, Schedule};
 
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Table 1 experiment.
 pub struct Table1;
@@ -20,7 +20,7 @@ impl Experiment for Table1 {
         "Table 1"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let p = |v| Period::new(v).unwrap();
         let tags = [
             ("tA", Schedule::new(p(2), 0).unwrap(), "pA=2, aA=0"),
@@ -79,7 +79,7 @@ mod tests {
 
     #[test]
     fn renders_and_verifies() {
-        let out = Table1.run(&Params::default()).render();
+        let out = Table1.run(&ExperimentCtx::default()).render();
         assert!(out.contains("tA"));
         assert!(out.contains("exactly one transmitter: yes"));
     }

@@ -3,7 +3,7 @@
 use arachnet_energy::ledger::PowerMode;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Table 2 experiment.
 pub struct Table2;
@@ -21,7 +21,7 @@ impl Experiment for Table2 {
         "Table 2"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let modes = [
             ("RX", PowerMode::rx_default(), (6.4, 12.4, 24.8)),
             ("TX", PowerMode::tx_default(), (4.7, 25.5, 51.0)),
@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn rows_present_and_close() {
-        let out = Table2.run(&Params::default()).render();
+        let out = Table2.run(&ExperimentCtx::default()).render();
         for label in ["RX", "TX", "IDLE"] {
             assert!(out.contains(label));
         }

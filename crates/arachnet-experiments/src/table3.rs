@@ -4,7 +4,7 @@ use arachnet_core::slot::Period;
 use arachnet_sim::patterns::Pattern;
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Table 3 experiment.
 pub struct Table3;
@@ -22,7 +22,7 @@ impl Experiment for Table3 {
         "Table 3"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let patterns = Pattern::table3();
         let count = |p: &Pattern, period: u32| {
             p.tags
@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn matches_paper_values() {
-        let out = Table3.run(&Params::default()).render();
+        let out = Table3.run(&ExperimentCtx::default()).render();
         assert!(out.contains("0.844")); // c3 = 0.84375 rounded
         assert!(out.contains("1.000")); // c5
         assert!(out.contains("c9"));

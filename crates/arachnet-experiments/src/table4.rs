@@ -1,7 +1,7 @@
 //! Table 4 / Appendix D — qualitative comparison of BiW monitoring
 //! solutions.
 
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Table 4 experiment.
 pub struct Table4;
@@ -19,7 +19,7 @@ impl Experiment for Table4 {
         "Table 4 / Appendix D"
     }
 
-    fn run(&self, _params: &Params) -> Report {
+    fn run(&self, _ctx: &ExperimentCtx) -> Report {
         let rows: Vec<Vec<String>> = [
             [
                 "Power Source",
@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn all_aspects_present() {
-        let out = Table4.run(&Params::default()).render();
+        let out = Table4.run(&ExperimentCtx::default()).render();
         for aspect in ["Power Source", "Maintainability", "Data Throughput"] {
             assert!(out.contains(aspect));
         }

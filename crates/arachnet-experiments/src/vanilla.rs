@@ -6,7 +6,7 @@ use arachnet_sim::sweep::{run_matrix, SweepConfig};
 use arachnet_sim::vanilla::{run_vanilla, VanillaConfig};
 
 use crate::render::f;
-use crate::report::{Experiment, Params, Report, Section};
+use crate::report::{Experiment, ExperimentCtx, Report, Section};
 
 /// Vanilla-vs-distributed experiment.
 pub struct Vanilla;
@@ -24,8 +24,8 @@ impl Experiment for Vanilla {
         "Sec. 5.2"
     }
 
-    fn run(&self, params: &Params) -> Report {
-        report(params.scale(3_000, 20_000), &params.sweep())
+    fn run(&self, ctx: &ExperimentCtx) -> Report {
+        report(ctx.scale(3_000, 20_000), &ctx.sweep())
     }
 }
 

@@ -68,7 +68,7 @@ impl DecodeFailReason {
 }
 
 /// Number of distinct [`EventKind`] variants (size of per-kind count arrays).
-pub const KIND_COUNT: usize = 15;
+pub const KIND_COUNT: usize = 17;
 
 /// A structured sim event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +131,18 @@ pub enum EventKind {
         /// Outage length in slots.
         slots: u16,
     },
+    /// The fleet coordinator assigned a reader its FDMA sub-band (the
+    /// `tag` field carries the reader index for fleet-scoped events).
+    ReaderAssigned {
+        /// Sub-band index within the fleet plan.
+        band: u16,
+    },
+    /// Concurrent transmissions from different reader cells interfered
+    /// (co-channel or insufficiently rejected sub-band neighbours).
+    CrossReaderCollision {
+        /// Number of interfering readers active at the time.
+        readers: u8,
+    },
 }
 
 impl EventKind {
@@ -152,6 +164,8 @@ impl EventKind {
             EventKind::TagDeparted => 12,
             EventKind::ChannelEpoch { .. } => 13,
             EventKind::ReaderOutage { .. } => 14,
+            EventKind::ReaderAssigned { .. } => 15,
+            EventKind::CrossReaderCollision { .. } => 16,
         }
     }
 
@@ -173,6 +187,8 @@ impl EventKind {
             "tag_departed",
             "channel_epoch",
             "reader_outage",
+            "reader_assigned",
+            "xreader_collision",
         ];
         LABELS[index]
     }
@@ -191,6 +207,7 @@ impl EventKind {
                 | EventKind::DecodeFail { .. }
                 | EventKind::TagDeparted
                 | EventKind::ReaderOutage { .. }
+                | EventKind::CrossReaderCollision { .. }
         )
     }
 
@@ -222,6 +239,10 @@ impl EventKind {
             EventKind::TagDeparted => "departed the deployment".into(),
             EventKind::ChannelEpoch { epoch } => format!("channel drift epoch {epoch}"),
             EventKind::ReaderOutage { slots } => format!("reader outage ({slots} slots)"),
+            EventKind::ReaderAssigned { band } => format!("assigned FDMA sub-band {band}"),
+            EventKind::CrossReaderCollision { readers } => {
+                format!("cross-reader collision ({readers} interfering readers)")
+            }
         }
     }
 
@@ -239,6 +260,8 @@ impl EventKind {
             EventKind::DecodeFail { reason } => format!(",\"reason\":\"{}\"", reason.label()),
             EventKind::ChannelEpoch { epoch } => format!(",\"epoch\":{epoch}"),
             EventKind::ReaderOutage { slots } => format!(",\"slots\":{slots}"),
+            EventKind::ReaderAssigned { band } => format!(",\"band\":{band}"),
+            EventKind::CrossReaderCollision { readers } => format!(",\"readers\":{readers}"),
             _ => String::new(),
         }
     }
@@ -310,6 +333,8 @@ mod tests {
             EventKind::TagDeparted,
             EventKind::ChannelEpoch { epoch: 2 },
             EventKind::ReaderOutage { slots: 40 },
+            EventKind::ReaderAssigned { band: 1 },
+            EventKind::CrossReaderCollision { readers: 2 },
         ];
         assert_eq!(kinds.len(), KIND_COUNT);
         for (i, k) in kinds.iter().enumerate() {

@@ -14,17 +14,22 @@
 //! * [`pipeline`] — the same receiver assembled as the paper's
 //!   back-pressure block pipeline, for the streaming/real-time form;
 //! * [`driver`] — the slot loop that binds the reader MAC
-//!   (`arachnet-core`) to TX and RX timing.
+//!   (`arachnet-core`) to TX and RX timing;
+//! * [`fleet`] — frequency-space division for reader fleets: the
+//!   validated per-reader FDMA sub-band [`fleet::FleetPlan`] plus the
+//!   inter-reader interference-rejecting [`fleet::FleetReceiver`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod fdma;
+pub mod fleet;
 pub mod pipeline;
 pub mod rx;
 pub mod tx;
 
 pub use driver::ReaderDriver;
+pub use fleet::{FleetPlan, FleetPlanError, FleetReceiver, FleetRxScratch};
 pub use rx::{SlotRx, UplinkReceiver};
 pub use tx::BeaconTransmitter;

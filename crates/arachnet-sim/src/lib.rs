@@ -10,7 +10,11 @@
 //! * **waveform level** ([`wavesim`]) — individual packets synthesized
 //!   through the acoustic channel and decoded by the reader DSP chain:
 //!   uplink SNR and loss (Fig. 12), downlink loss and synchronization
-//!   offsets (Fig. 13), ping-pong latency (Fig. 14).
+//!   offsets (Fig. 13), ping-pong latency (Fig. 14);
+//! * **fleet level** ([`fleet`]) — K reader cells sharing the body under a
+//!   frequency-space division plan: waveform-level cross-reader
+//!   interference trials, and sharded slot-level soaks where every cell
+//!   replays its own scenario over the sweep pool.
 //!
 //! Plus the workload definitions ([`patterns`]: Table 3's nine
 //! configurations), the contention baseline ([`aloha`]: Appendix B),
@@ -27,6 +31,7 @@
 pub mod aloha;
 pub mod config;
 pub mod cosim;
+pub mod fleet;
 pub mod metrics;
 pub mod patterns;
 pub mod scenario;
@@ -36,6 +41,7 @@ pub mod vanilla;
 pub mod wavesim;
 
 pub use config::{AlohaConfigBuilder, ConfigError, CoSimConfigBuilder, SlotSimConfigBuilder};
+pub use fleet::{run_fleet, CellOutcome, FleetCell, FleetUplinkResult, FleetWaveSim};
 pub use patterns::Pattern;
 pub use scenario::{ReconvergenceSample, Scenario, ScenarioEvent, TimedEvent};
 pub use slotsim::{SlotSim, SlotSimConfig};

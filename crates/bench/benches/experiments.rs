@@ -4,7 +4,7 @@
 //! path and measures it. Emits `BENCH_experiments.json`.
 
 use arachnet_experiments::registry;
-use arachnet_experiments::report::Params;
+use arachnet_experiments::report::ExperimentCtx;
 use bench::{Suite, SuiteConfig};
 
 fn main() {
@@ -13,9 +13,9 @@ fn main() {
     let mut cfg = SuiteConfig::default();
     cfg.samples = cfg.samples.min(10);
     let mut s = Suite::with_config("experiments", cfg);
-    let params = Params::quick(1);
+    let ctx = ExperimentCtx::builder(1).quick().build().expect("valid ctx");
     for exp in registry::all() {
-        s.bench(&format!("repro/{}", exp.id()), || exp.run(&params));
+        s.bench(&format!("repro/{}", exp.id()), || exp.run(&ctx));
     }
     s.finish();
 }

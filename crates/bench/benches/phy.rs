@@ -92,6 +92,18 @@ fn bench_trials(s: &mut Suite) {
         let r = sim.uplink_trial_observed(8, 375.0, 1, &mut rec);
         black_box((r.lost, rec.seed()))
     });
+    // Fleet twin of the acceptance entry: the same packet trial as seen by
+    // reader 0 of a two-reader FDMA fleet (both cells synthesize, carriers
+    // superpose, the interfering CW is estimated and subtracted). Not
+    // gated — it pins the cost of the multi-reader path next to the
+    // single-reader baseline so regressions are visible in review.
+    let plan = arachnet_reader::fleet::FleetPlan::fdma(2, 500_000.0).unwrap();
+    let fleet = arachnet_sim::fleet::FleetWaveSim::paper(plan, 1);
+    let fleet_rx = fleet.fleet_rx(0, 375.0);
+    s.bench("phy/full_uplink_trial_two_readers", || {
+        let r = fleet.uplink_trial(&fleet_rx, 0, 8, 1);
+        black_box(r.lost)
+    });
     // The drifting trial over a single identity epoch must cost the same
     // as the static trial: epoch selection is one slice index, and every
     // per-epoch channel is prebuilt at construction. verify.sh gates this

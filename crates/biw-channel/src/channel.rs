@@ -314,14 +314,35 @@ impl BiwChannel {
         out.resize(len, 0.0);
         let mut noise = ChannelNoise::new(self.config.noise, fs, seed ^ 0xA5A5);
         noise.fill(out);
+        self.uplink_add_carrier_into(out);
+        self.uplink_add_tags_into(tags, out);
+    }
+
+    /// Adds this channel's CW carrier-leakage term into `out` *without*
+    /// clearing it — one half of the superposition primitive multi-reader
+    /// synthesis uses to stack several readers' carriers into a single RX
+    /// buffer (see the `fleet` module). Phase 0 lands on `out[0]`.
+    pub fn uplink_add_carrier_into(&self, out: &mut [f64]) {
         match self.cache.period {
-            Some(p) => self.uplink_add_tabulated(tags, out, p),
-            None => self.uplink_add_direct(tags, out),
+            Some(p) => self.add_carrier_tabulated(out, p),
+            None => self.add_carrier_direct(out),
         }
     }
 
-    /// Adds leakage + tag contributions via the period-length tables.
-    fn uplink_add_tabulated(&self, tags: &[(u8, &[PztState])], out: &mut [f64], p: usize) {
+    /// Adds each listed tag's backscatter contribution into `out` *without*
+    /// clearing it (no noise, no carrier term) — the other half of the
+    /// multi-reader superposition primitive. Streams shorter than `out`
+    /// stay absorptive afterwards, exactly as in
+    /// [`BiwChannel::uplink_waveform_seeded_into`].
+    pub fn uplink_add_tags_into(&self, tags: &[(u8, &[PztState])], out: &mut [f64]) {
+        match self.cache.period {
+            Some(p) => self.add_tags_tabulated(tags, out, p),
+            None => self.add_tags_direct(tags, out),
+        }
+    }
+
+    /// Adds the leakage carrier via the period-length table.
+    fn add_carrier_tabulated(&self, out: &mut [f64], p: usize) {
         let leak = &self.cache.leak_tab;
         let mut phase = 0;
         for x in out.iter_mut() {
@@ -331,6 +352,10 @@ impl BiwChannel {
                 phase = 0;
             }
         }
+    }
+
+    /// Adds tag contributions via the period-length tables.
+    fn add_tags_tabulated(&self, tags: &[(u8, &[PztState])], out: &mut [f64], p: usize) {
         for &(id, states) in tags {
             let Some(link) = self.cache.link(id) else {
                 continue;
@@ -364,13 +389,19 @@ impl BiwChannel {
         }
     }
 
-    /// Fallback when the carrier has no exact sample period: direct trig.
-    fn uplink_add_direct(&self, tags: &[(u8, &[PztState])], out: &mut [f64]) {
+    /// Leakage-carrier fallback when the carrier has no exact period.
+    fn add_carrier_direct(&self, out: &mut [f64]) {
         let fs = self.config.sample_rate;
         let w = 2.0 * std::f64::consts::PI * self.config.carrier_hz / fs;
         for (i, x) in out.iter_mut().enumerate() {
             *x += self.config.carrier_leakage * (w * i as f64).sin();
         }
+    }
+
+    /// Tag-contribution fallback when the carrier has no exact period.
+    fn add_tags_direct(&self, tags: &[(u8, &[PztState])], out: &mut [f64]) {
+        let fs = self.config.sample_rate;
+        let w = 2.0 * std::f64::consts::PI * self.config.carrier_hz / fs;
         let rho_refl = self.tag_pzt.reflect(1.0, PztState::Reflective);
         let rho_abso = self.tag_pzt.reflect(1.0, PztState::Absorptive);
         for &(id, states) in tags {
@@ -592,7 +623,8 @@ mod tests {
         let mut fast = Vec::new();
         ch.uplink_waveform_seeded_into(&tags, len, 1, &mut fast);
         let mut direct = vec![0.0; len];
-        ch.uplink_add_direct(&tags, &mut direct);
+        ch.add_carrier_direct(&mut direct);
+        ch.add_tags_direct(&tags, &mut direct);
         for (i, (a, b)) in fast.iter().zip(&direct).enumerate() {
             assert!((a - b).abs() < 1e-6, "sample {i}: {a} vs {b}");
         }

@@ -31,12 +31,16 @@
 //! * [`channel`] — waveform-level synthesis of downlink and uplink signals;
 //! * [`timevarying`] — epoch-wise drift: prebuilt per-epoch channels for
 //!   dynamic-network experiments (gain fades, leakage shifts, noise-floor
-//!   wander, ring-down/Q drift).
+//!   wander, ring-down/Q drift);
+//! * [`fleet`] — the multi-reader channel matrix: K reader cells sharing
+//!   one acoustic medium, with per-reader sub-band carriers and
+//!   reader→reader / reader→tag leakage paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod fleet;
 pub mod geometry;
 pub mod noise;
 pub mod propagation;
@@ -45,6 +49,7 @@ pub mod resonator;
 pub mod timevarying;
 
 pub use channel::BiwChannel;
+pub use fleet::{FleetChannel, FleetChannelConfig};
 pub use geometry::{Deployment, TagSite, Zone};
 pub use propagation::PathSpec;
 pub use timevarying::{ChannelDrift, TimeVaryingChannel};

@@ -46,15 +46,18 @@ pub use biw_channel as channel;
 ///     .build()
 ///     .unwrap();
 /// # let _ = cfg;
+/// let ctx = ExperimentCtx::builder(1).quick().build().unwrap();
 /// let report = experiments::registry::find("table3")
 ///     .unwrap()
-///     .run(&Params::quick(1));
+///     .run(&ctx);
 /// assert!(report.render().contains("c9"));
 /// ```
 pub mod prelude {
     pub use crate::{experiments, sim};
     pub use arachnet_experiments::registry;
-    pub use arachnet_experiments::report::{Experiment, Params, Report, Section};
+    pub use arachnet_experiments::report::{
+        Experiment, ExperimentCtx, ExperimentCtxBuilder, Report, Section,
+    };
     pub use arachnet_sim::aloha::AlohaConfig;
     pub use arachnet_sim::config::{
         AlohaConfigBuilder, ConfigError, CoSimConfigBuilder, SlotSimConfigBuilder,

@@ -246,15 +246,20 @@ fn drift_epoch_switch_mid_trial_still_decodes() {
 #[test]
 fn dyn_experiment_metrics_are_thread_invariant() {
     use arachnet_experiments::registry;
-    use arachnet_experiments::report::{metrics_json, Params};
+    use arachnet_experiments::report::{metrics_json, ExperimentCtx};
 
     for id in ["dyn-churn", "dyn-drift", "dyn-outage", "dyn-soak"] {
         let e = registry::find(id).expect("dyn experiment registered");
         let docs: Vec<String> = [1usize, 2, 8]
             .iter()
             .map(|&t| {
-                let p = Params::quick(9).with_threads(t).with_observe(true);
-                metrics_json(id, &e.run(&p))
+                let ctx = ExperimentCtx::builder(9)
+                    .quick()
+                    .threads(t)
+                    .observe(true)
+                    .build()
+                    .expect("valid fault-injection context");
+                metrics_json(id, &e.run(&ctx))
             })
             .collect();
         assert_eq!(docs[0], docs[1], "{id}: metrics differ, threads 1 vs 2");

@@ -10,12 +10,13 @@
 //! PHY-layer optimization bit for bit.
 
 use arachnet_experiments::registry;
-use arachnet_experiments::report::Params;
+use arachnet_experiments::report::ExperimentCtx;
 
 fn run_full(id: &str) -> String {
+    let ctx = ExperimentCtx::builder(1).build().expect("valid golden context");
     registry::find(id)
-        .unwrap_or_else(|| panic!("registry is missing {id}"))
-        .run(&Params::full(1))
+        .unwrap_or_else(|err| panic!("registry is missing {id}: {err}"))
+        .run(&ctx)
         .render()
 }
 

@@ -9,7 +9,17 @@
 use std::collections::BTreeSet;
 
 use arachnet_experiments::registry;
-use arachnet_experiments::report::{metrics_json, Params};
+use arachnet_experiments::report::{metrics_json, ExperimentCtx};
+
+/// Quick-mode run context shared by the smoke tests.
+fn ctx(seed: u64, threads: usize, observe: bool) -> ExperimentCtx {
+    ExperimentCtx::builder(seed)
+        .quick()
+        .threads(threads)
+        .observe(observe)
+        .build()
+        .expect("valid smoke-test context")
+}
 
 /// Every `repro <id>` token in EXPERIMENTS.md (excluding `all`).
 fn documented_ids() -> BTreeSet<String> {
@@ -37,7 +47,7 @@ fn registry_covers_every_documented_experiment() {
     );
     for id in &ids {
         assert!(
-            registry::find(id).is_some(),
+            registry::find(id).is_ok(),
             "EXPERIMENTS.md documents `repro {id}` but the registry has no such experiment"
         );
     }
@@ -48,7 +58,7 @@ fn registry_ids_resolve_and_describe_themselves() {
     let mut seen = BTreeSet::new();
     for e in registry::all() {
         assert!(seen.insert(e.id()), "duplicate id {}", e.id());
-        assert!(registry::find(e.id()).is_some());
+        assert!(registry::find(e.id()).is_ok());
         assert!(!e.title().is_empty(), "{}: empty title", e.id());
         assert!(!e.paper_anchor().is_empty(), "{}: empty anchor", e.id());
     }
@@ -87,15 +97,18 @@ fn markers(id: &str) -> &'static [&'static str] {
         "dyn-drift" => &["ring-2x", "Tag 11"],
         "dyn-outage" => &["c2-dark512", "burst"],
         "dyn-soak" => &["c3-soak", "unresolved"],
+        "mr-fdma" => &["k4", "R0"],
+        "mr-interference" => &["co-channel", "tag8"],
+        "mr-fleet-soak" => &["cell0", "band"],
         _ => &[],
     }
 }
 
 #[test]
 fn every_registered_experiment_regenerates() {
-    let params = Params::quick(9);
+    let run_ctx = ctx(9, 1, false);
     for e in registry::all() {
-        let out = e.run(&params).render();
+        let out = e.run(&run_ctx).render();
         assert!(!out.trim().is_empty(), "{}: empty output", e.id());
         for m in markers(e.id()) {
             assert!(
@@ -112,8 +125,8 @@ fn every_registered_experiment_is_thread_count_invariant() {
     // `--threads` must change only the wall clock, never the report: every
     // experiment's output at 1 worker must be byte-identical to 4 workers.
     for e in registry::all() {
-        let one = e.run(&Params::quick(9).with_threads(1)).render();
-        let four = e.run(&Params::quick(9).with_threads(4)).render();
+        let one = e.run(&ctx(9, 1, false)).render();
+        let four = e.run(&ctx(9, 4, false)).render();
         assert_eq!(
             one,
             four,
@@ -132,8 +145,8 @@ fn every_registered_experiment_exports_thread_invariant_metrics() {
         let docs: Vec<String> = [1usize, 2, 8]
             .iter()
             .map(|&threads| {
-                let p = Params::quick(9).with_threads(threads).with_observe(true);
-                metrics_json(e.id(), &e.run(&p))
+                let run_ctx = ctx(9, threads, true);
+                metrics_json(e.id(), &e.run(&run_ctx))
             })
             .collect();
         assert_eq!(

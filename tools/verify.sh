@@ -37,19 +37,25 @@ cargo test -q --workspace
 echo "== quick pass over every artifact =="
 "$repro" all --quick --seed "$seed" > /dev/null
 
-echo "== registry coverage: dynamic-scenario experiments =="
-for id in dyn-churn dyn-drift dyn-outage dyn-soak; do
-  if ! "$repro" list | grep -q "^$id "; then
+echo "== registry coverage: dynamic-scenario + multi-reader experiments =="
+# Capture once and grep the file: `repro list | grep -q` can close the
+# pipe before repro finishes writing, panicking it with EPIPE.
+list_out="$(mktemp)"
+"$repro" list > "$list_out"
+for id in dyn-churn dyn-drift dyn-outage dyn-soak mr-fdma mr-interference mr-fleet-soak; do
+  if ! grep -q "^$id " "$list_out"; then
     echo "FAIL: registry does not list $id" >&2
+    rm -f "$list_out"
     exit 1
   fi
 done
-echo "   dyn-churn dyn-drift dyn-outage dyn-soak registered"
+rm -f "$list_out"
+echo "   dyn-* and mr-* experiments registered"
 
 echo "== thread-count determinism (seed $seed) =="
 tmp1="$(mktemp -d)" tmp8="$(mktemp -d)"
 trap 'rm -rf "$tmp1" "$tmp8"' EXIT
-for artifact in fig12a12b fig13a fig14b fig15a fig16 dyn-churn dyn-drift dyn-outage dyn-soak; do
+for artifact in fig12a12b fig13a fig14b fig15a fig16 dyn-churn dyn-drift dyn-outage dyn-soak mr-fdma mr-interference mr-fleet-soak; do
   (cd "$tmp1" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 1 --metrics > stdout.txt)
   (cd "$tmp8" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 8 --metrics > stdout.txt)
   if ! cmp -s "$tmp1/METRICS_$artifact.json" "$tmp8/METRICS_$artifact.json"; then
