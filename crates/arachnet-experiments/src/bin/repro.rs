@@ -15,9 +15,18 @@
 //! multi-reader fleet and `--bands B` caps its sub-band budget (mr-*
 //! experiments only — single-reader artifacts reject fleet flags).
 //!
+//! Resilience flags: `--checkpoint-every N` persists completed trials to
+//! `CHECKPOINT_<id>.bin` every N trials; `--resume` restores them on the
+//! next run (skipping finished work) and produces byte-identical
+//! `METRICS_<id>.json` output at any `--threads` count; `--budget-secs S`
+//! stops dispatching new trials at the deadline and marks the report
+//! `partial=true`; `--halt-after N` deterministically stops after N
+//! dispatches (testing/verify hook for interrupting a run mid-sweep).
+//!
 //! Exit codes: `0` success, `2` usage error (unknown artifact, bad flag
 //! combination), `3` experiment failure (a run panicked or an output file
-//! could not be written).
+//! could not be written). Quarantined trials do *not* fail the run: the
+//! report completes with the failure counted in `sweep.quarantined`.
 //!
 //! `--metrics` prints each experiment's sim-domain metric table (plus
 //! wall-domain diagnostics, which are never exported) and writes the
@@ -34,6 +43,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use arachnet_experiments::registry;
 use arachnet_experiments::report::{export_metrics, metrics_json, Experiment, ExperimentCtx};
 use arachnet_obs::{render_timeline, take_global_stats, take_spans};
+use arachnet_sim::sweep::provenance_events;
 
 /// How many events the `--trace` text timeline shows.
 const TIMELINE_WINDOW: usize = 40;
@@ -61,6 +71,10 @@ fn main() {
     let mut threads = None;
     let mut readers = None;
     let mut bands = None;
+    let mut resume = false;
+    let mut budget_secs = None;
+    let mut checkpoint_every = None;
+    let mut halt_after = None;
     let mut obs = ObsOpts {
         metrics: false,
         trace: None,
@@ -94,6 +108,28 @@ fn main() {
                     it.next()
                         .and_then(|s| s.parse::<usize>().ok())
                         .unwrap_or_else(|| usage("--bands needs a number")),
+                );
+            }
+            "--resume" => resume = true,
+            "--budget-secs" => {
+                budget_secs = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage("--budget-secs needs a number")),
+                );
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage("--checkpoint-every needs a number")),
+                );
+            }
+            "--halt-after" => {
+                halt_after = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| usage("--halt-after needs a number")),
                 );
             }
             "--metrics" => obs.metrics = true,
@@ -160,6 +196,18 @@ fn main() {
     if let Some(n) = bands {
         b = b.bands(n);
     }
+    if resume {
+        b = b.resume(true);
+    }
+    if let Some(s) = budget_secs {
+        b = b.budget_secs(s);
+    }
+    if let Some(n) = checkpoint_every {
+        b = b.checkpoint_every(n);
+    }
+    if let Some(n) = halt_after {
+        b = b.halt_after(n);
+    }
     let ctx = match b.build() {
         Ok(ctx) => ctx,
         Err(err) => usage(&format!("invalid run context: {err}")),
@@ -221,6 +269,28 @@ fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
         }
     };
     println!("{}", report.render());
+    // Resilience provenance: stdout-only, never part of the exported
+    // artifacts, so resumed and uninterrupted runs still compare equal.
+    let stats = &report.sweep;
+    if stats.restored > 0 {
+        println!(
+            "resumed: {} trial(s) restored from CHECKPOINT_{}.bin",
+            stats.restored,
+            e.id()
+        );
+    }
+    if stats.quarantined > 0 {
+        println!(
+            "quarantined: {} trial(s) failed after retries ({} retried in total)",
+            stats.quarantined, stats.retried
+        );
+    }
+    if report.is_partial() {
+        println!(
+            "warning: partial report — sweep budget exhausted with {} trial(s) undispatched",
+            stats.skipped
+        );
+    }
     if obs.metrics {
         // `metrics_json` adds the generic report-shape counters, so every
         // artifact exports a non-empty deterministic document.
@@ -234,6 +304,12 @@ fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
         let snap = &report.snapshot;
         let mut doc = String::new();
         for ev in &snap.events {
+            doc.push_str(&ev.to_json(snap.seed));
+            doc.push('\n');
+        }
+        // Provenance events (SweepResumed / BudgetExhausted) ride along in
+        // the trace export; empty for complete, non-resumed runs.
+        for ev in provenance_events(&report.sweep) {
             doc.push_str(&ev.to_json(snap.seed));
             doc.push('\n');
         }
@@ -288,7 +364,8 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: repro <run|metrics|trace|list> <artifact|all> [--quick] [--seed N] \
-         [--threads N] [--readers K] [--cells K] [--bands B] [--metrics] [--trace <tag|all>]"
+         [--threads N] [--readers K] [--cells K] [--bands B] [--metrics] [--trace <tag|all>] \
+         [--checkpoint-every N] [--resume] [--budget-secs S] [--halt-after N]"
     );
     eprintln!("       repro <artifact|all>   (alias for `repro run`)");
     eprintln!(

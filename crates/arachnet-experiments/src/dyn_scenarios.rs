@@ -18,7 +18,7 @@ use arachnet_sim::metrics::five_num;
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::scenario::Scenario;
 use arachnet_sim::slotsim::run_scenario_trial;
-use arachnet_sim::sweep::{run_matrix, SweepConfig};
+use arachnet_sim::sweep::{run_matrix_sweep, SweepConfig};
 use arachnet_sim::wavesim::WaveSim;
 use biw_channel::timevarying::{ChannelDrift, TimeVaryingChannel};
 
@@ -47,7 +47,7 @@ fn measure(cases: &[Case], trials: u64, sweep: &SweepConfig, observe: bool, titl
     // Trial 0 of each case carries a flight recorder when observation is
     // on; recording never draws from the sim's random streams, so the
     // measured times are identical either way.
-    let matrix = run_matrix(sweep, cases, trials, |c, trial, seed| {
+    let matrix = run_matrix_sweep(sweep, cases, trials, |c, trial, seed| {
         let t = run_scenario_trial(
             &c.pattern,
             &c.scenario,
@@ -62,7 +62,7 @@ fn measure(cases: &[Case], trials: u64, sweep: &SweepConfig, observe: bool, titl
     let mut rows = Vec::new();
     let mut metrics = MetricSet::new();
     let mut snapshot = None;
-    for (c, cell) in cases.iter().zip(&matrix) {
+    for (c, cell) in cases.iter().zip(&matrix.cells) {
         let mut finite: Vec<f64> = Vec::new();
         let mut unresolved = 0u64;
         let mut samples = 0u64;
@@ -124,7 +124,8 @@ fn measure(cases: &[Case], trials: u64, sweep: &SweepConfig, observe: bool, titl
         )
         .with_note(note),
     )
-    .with_metrics(metrics);
+    .with_metrics(metrics)
+    .with_sweep(matrix.stats);
     if let Some(snap) = snapshot {
         report = report.with_snapshot(snap);
     }
@@ -158,7 +159,7 @@ impl Experiment for DynChurn {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Report {
-        report_churn(ctx.scale(2, 25), &ctx.sweep(), ctx.observe())
+        report_churn(ctx.scale(2, 25), &ctx.sweep_for(self.id()), ctx.observe())
     }
 }
 
@@ -204,7 +205,7 @@ impl Experiment for DynOutage {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Report {
-        report_outage(ctx.scale(2, 25), &ctx.sweep(), ctx.observe())
+        report_outage(ctx.scale(2, 25), &ctx.sweep_for(self.id()), ctx.observe())
     }
 }
 
@@ -265,7 +266,7 @@ impl Experiment for DynSoak {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Report {
-        report_soak(ctx.scale(2, 10), &ctx.sweep(), ctx.observe())
+        report_soak(ctx.scale(2, 10), &ctx.sweep_for(self.id()), ctx.observe())
     }
 }
 
@@ -313,7 +314,7 @@ impl Experiment for DynDrift {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Report {
-        report_drift(ctx.scale(15, 150), &ctx.sweep(), ctx.observe())
+        report_drift(ctx.scale(15, 150), &ctx.sweep_for(self.id()), ctx.observe())
     }
 }
 
@@ -350,7 +351,7 @@ pub fn report_drift(n_per_epoch: u64, sweep: &SweepConfig, observe: bool) -> Rep
     let drifts: Vec<ChannelDrift> = ladder.iter().map(|&(_, d)| d).collect();
     let tvc = TimeVaryingChannel::paper(sim.channel().config().clone(), &drifts);
     let tags = [8u8, 4, 11];
-    let matrix = run_matrix(sweep, &tags, 1, |&tid, _trial, seed| {
+    let matrix = run_matrix_sweep(sweep, &tags, 1, |&tid, _trial, seed| {
         let mut recorder = if observe {
             Recorder::enabled(seed)
         } else {
@@ -362,7 +363,7 @@ pub fn report_drift(n_per_epoch: u64, sweep: &SweepConfig, observe: bool) -> Rep
     let mut rows = Vec::new();
     let mut metrics = MetricSet::new();
     let mut snapshot = None;
-    for (&tid, cell) in tags.iter().zip(&matrix) {
+    for (&tid, cell) in tags.iter().zip(&matrix.cells) {
         let Some(Ok((results, snap))) = cell.first() else {
             continue;
         };
@@ -402,7 +403,8 @@ pub fn report_drift(n_per_epoch: u64, sweep: &SweepConfig, observe: bool) -> Rep
              noisy epoch lifts the floor — Tag 11's weak link degrades first.",
         ),
     )
-    .with_metrics(metrics);
+    .with_metrics(metrics)
+    .with_sweep(matrix.stats);
     if let Some(snap) = snapshot {
         report = report.with_snapshot(snap);
     }

@@ -10,7 +10,7 @@ use arachnet_obs::MetricSet;
 use arachnet_sim::metrics::five_num;
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::first_convergence_trial;
-use arachnet_sim::sweep::{run_matrix, SweepConfig};
+use arachnet_sim::sweep::{run_matrix_sweep, SweepConfig};
 
 use crate::render::f;
 use crate::report::{Experiment, ExperimentCtx, Report, Section};
@@ -30,14 +30,14 @@ fn measure(
     // recorder. Recording never draws from the sim's random streams, so
     // the convergence numbers are identical either way; the snapshots ride
     // along in trial-index order, keeping the export thread-invariant.
-    let matrix = run_matrix(sweep, patterns, trials, |p, trial, seed| {
+    let matrix = run_matrix_sweep(sweep, patterns, trials, |p, trial, seed| {
         let t = first_convergence_trial(p, seed, CAP, false, observe && trial == 0);
         (t.converged_at.unwrap_or(CAP) as f64, t.snapshot)
     });
     let mut rows = Vec::new();
     let mut metrics = MetricSet::new();
     let mut snapshot = None;
-    for (p, cell) in patterns.iter().zip(&matrix) {
+    for (p, cell) in patterns.iter().zip(&matrix.cells) {
         let times: Vec<f64> = cell
             .iter()
             .filter_map(|r| r.as_ref().ok())
@@ -82,7 +82,8 @@ fn measure(
         )
         .with_note(note),
     )
-    .with_metrics(metrics);
+    .with_metrics(metrics)
+    .with_sweep(matrix.stats);
     if let Some(snap) = snapshot {
         report = report.with_snapshot(snap);
     }
@@ -106,7 +107,7 @@ impl Experiment for Fig15a {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Report {
-        report_a(ctx.scale(3, 50), &ctx.sweep(), ctx.observe())
+        report_a(ctx.scale(3, 50), &ctx.sweep_for(self.id()), ctx.observe())
     }
 }
 
@@ -140,7 +141,7 @@ impl Experiment for Fig15b {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Report {
-        report_b(ctx.scale(3, 50), &ctx.sweep(), ctx.observe())
+        report_b(ctx.scale(3, 50), &ctx.sweep_for(self.id()), ctx.observe())
     }
 }
 

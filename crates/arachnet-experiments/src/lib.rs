@@ -30,6 +30,7 @@
 //! | [`ablation`] | refinement / drive-scheme / stage-count ablations |
 //! | [`dyn_scenarios`] | dynamic-network scenarios — churn, drift, outages, soak |
 //! | [`multireader`] | multi-reader fleet — FDMA scaling, interference, sharded soak |
+//! | [`resilience`] | sweep-runtime quarantine self-test (injected panic) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +53,7 @@ pub mod fig17;
 pub mod fig19;
 pub mod markov;
 pub mod multireader;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -18,7 +18,7 @@ use arachnet_obs::{EventKind, MetricSet, Recorder, RecorderSnapshot};
 use arachnet_reader::fleet::{FleetPlan, FleetPlanError};
 use arachnet_sim::fleet::{run_fleet, FleetCell, FleetWaveSim};
 use arachnet_sim::scenario::Scenario;
-use arachnet_sim::sweep::{run_matrix, SweepConfig};
+use arachnet_sim::sweep::{run_matrix_sweep, SweepConfig, SweepStats};
 use arachnet_sim::Pattern;
 use arachnet_core::slot::Period;
 
@@ -57,6 +57,7 @@ struct FleetPass {
     snapshot: Option<RecorderSnapshot>,
     delivered: u64,
     sent: u64,
+    stats: SweepStats,
 }
 
 fn fleet_pass(
@@ -70,7 +71,10 @@ fn fleet_pass(
 ) -> FleetPass {
     let sim = FleetWaveSim::paper(plan.clone(), sweep.base_seed);
     let readers: Vec<usize> = (0..plan.readers()).collect();
-    let matrix = run_matrix(sweep, &readers, 1, |&r, _trial, seed| {
+    // Several passes run per experiment, so each gets its own checkpoint
+    // file (when the context wired one in) keyed by the pass label.
+    let sweep = sweep.checkpoint_tagged(label);
+    let matrix = run_matrix_sweep(&sweep, &readers, 1, |&r, _trial, seed| {
         let mut rx = sim.fleet_rx(r, UL_BPS);
         rx.set_rejection(reject);
         let mut recorder = if observe {
@@ -85,7 +89,11 @@ fn fleet_pass(
                 band: plan.band(r) as u16,
             },
         );
-        let result = sim.uplink_trial_observed(&rx, r, tid, n, &mut recorder);
+        // A library error here (bad tid, absent reader) panics the trial,
+        // which the sweep quarantines instead of aborting the experiment.
+        let result = sim
+            .uplink_trial_observed(&rx, r, tid, n, &mut recorder)
+            .unwrap_or_else(|e| panic!("fleet uplink: {e}"));
         (result, recorder.into_snapshot())
     });
     let mut out = FleetPass {
@@ -94,8 +102,9 @@ fn fleet_pass(
         snapshot: None,
         delivered: 0,
         sent: 0,
+        stats: matrix.stats,
     };
-    for (&r, cell) in readers.iter().zip(&matrix) {
+    for (&r, cell) in readers.iter().zip(&matrix.cells) {
         let Some(Ok((res, snap))) = cell.first() else {
             continue;
         };
@@ -154,12 +163,15 @@ impl Experiment for MrFdma {
         let mut rows = Vec::new();
         let mut metrics = MetricSet::new();
         let mut snapshot = None;
+        let mut stats = SweepStats::default();
+        let sweep = ctx.sweep_for(self.id());
         for &k in &fleets {
             let bands = ctx.fleet_bands(k).min(k).max(1);
             let plan = plan_for(k, bands).expect("validated fleet shape");
             let label = format!("k{k}");
-            let pass = fleet_pass(&plan, &label, 8, n, true, &ctx.sweep(), ctx.observe());
+            let pass = fleet_pass(&plan, &label, 8, n, true, &sweep, ctx.observe());
             rows.extend(pass.rows);
+            stats.merge(&pass.stats);
             if ctx.observe() {
                 metrics.merge(&pass.metrics);
                 metrics.set_count(&format!("fleet.fdma.{label}.delivered"), pass.delivered);
@@ -183,7 +195,8 @@ impl Experiment for MrFdma {
                  scale with fleet size.",
             ),
         )
-        .with_metrics(metrics);
+        .with_metrics(metrics)
+        .with_sweep(stats);
         if let Some(snap) = snapshot {
             report = report.with_snapshot(snap);
         }
@@ -216,10 +229,11 @@ impl Experiment for MrInterference {
         let k = ctx.fleet_readers(2);
         let fdma = plan_for(k, k).expect("validated fleet shape");
         let co = FleetPlan::co_channel(k, 90_000.0, FS).expect("validated fleet shape");
-        let sweep = ctx.sweep();
+        let sweep = ctx.sweep_for(self.id());
         let mut rows = Vec::new();
         let mut metrics = MetricSet::new();
         let mut snapshot = None;
+        let mut stats = SweepStats::default();
         for (plan, label, reject) in [
             (&fdma, "fdma-reject", true),
             (&fdma, "fdma-raw", false),
@@ -236,6 +250,7 @@ impl Experiment for MrInterference {
                     ctx.observe(),
                 );
                 rows.extend(pass.rows);
+                stats.merge(&pass.stats);
                 if ctx.observe() {
                     metrics.merge(&pass.metrics);
                     if snapshot.is_none() {
@@ -260,7 +275,8 @@ impl Experiment for MrInterference {
                  foreign CW leak that would otherwise bias the decimated baseband.",
             ),
         )
-        .with_metrics(metrics);
+        .with_metrics(metrics)
+        .with_sweep(stats);
         if let Some(snap) = snapshot {
             report = report.with_snapshot(snap);
         }
@@ -307,7 +323,7 @@ impl Experiment for MrFleetSoak {
             ctx.fleet_readers(6),
             ctx.fleet_bands(4),
             ctx.scale(2, 8),
-            &ctx.sweep(),
+            &ctx.sweep_for(self.id()),
             ctx.observe(),
         )
     }
@@ -330,12 +346,13 @@ pub fn report_fleet_soak(
             scenario: soak_scenario(c),
         })
         .collect();
-    let grid = run_fleet(&plan, &cells, trials, sweep, CAP, observe);
+    let run =
+        run_fleet(&plan, &cells, trials, sweep, CAP, observe).expect("validated fleet shape");
     let mut rows = Vec::new();
     let mut metrics = MetricSet::new();
     let mut snapshot = None;
     let mut shared_cells = 0u64;
-    for (cell, row) in cells.iter().zip(&grid) {
+    for (cell, row) in cells.iter().zip(&run.cells) {
         let mut finite: Vec<u64> = Vec::new();
         let mut unresolved = 0u64;
         let mut band = 0;
@@ -407,7 +424,8 @@ pub fn report_fleet_soak(
              frequency plan, not the MAC, is what keeps them apart.",
         ),
     )
-    .with_metrics(metrics);
+    .with_metrics(metrics)
+    .with_sweep(run.stats);
     if let Some(snap) = snapshot {
         report = report.with_snapshot(snap);
     }

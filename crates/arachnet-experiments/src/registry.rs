@@ -21,6 +21,7 @@ use crate::fig17::Fig17b;
 use crate::fig19::Fig19;
 use crate::markov::Markov;
 use crate::multireader::{MrFdma, MrFleetSoak, MrInterference};
+use crate::resilience::Resilience;
 use crate::table1::Table1;
 use crate::table2::Table2;
 use crate::table3::Table3;
@@ -60,6 +61,7 @@ pub static ALL: &[&'static dyn Experiment] = &[
     &MrFdma,
     &MrInterference,
     &MrFleetSoak,
+    &Resilience,
 ];
 
 /// Iterates every registered experiment in presentation order.

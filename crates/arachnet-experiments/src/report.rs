@@ -18,7 +18,7 @@
 //! survives as a deprecated alias with its old constructors.
 
 use arachnet_obs::{json_escape, MetricSet, RecorderSnapshot};
-use arachnet_sim::sweep::SweepConfig;
+use arachnet_sim::sweep::{CheckpointSpec, SweepConfig, SweepStats};
 use arachnet_sim::ConfigError;
 
 use crate::render;
@@ -42,6 +42,11 @@ pub struct ExperimentCtx {
     observe: bool,
     readers: Option<usize>,
     bands: Option<usize>,
+    resume: bool,
+    budget_secs: Option<u64>,
+    checkpoint_every: Option<u64>,
+    halt_after: Option<u64>,
+    checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 /// Builder for [`ExperimentCtx`] — the only public construction path.
@@ -92,12 +97,57 @@ impl ExperimentCtxBuilder {
         self
     }
 
+    /// Resume from this experiment's `CHECKPOINT_<id>.bin` (`--resume`):
+    /// finished trials are restored instead of recomputed, and the output
+    /// stays byte-identical to an uninterrupted run.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.ctx.resume = resume;
+        self
+    }
+
+    /// Wall-clock budget in seconds (`--budget-secs`): past the deadline
+    /// no new trials are dispatched and the report is flagged partial.
+    pub fn budget_secs(mut self, secs: u64) -> Self {
+        self.ctx.budget_secs = Some(secs);
+        self
+    }
+
+    /// Checkpoint flush interval in trials (`--checkpoint-every`); setting
+    /// it turns checkpointing on. Validated at [`Self::build`]: zero is
+    /// rejected.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.ctx.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Deterministic dispatch cap (`--halt-after`): at most this many jobs
+    /// run, the rest are budget-skipped. The CI-friendly way to simulate
+    /// an interruption, since the skip set is thread-invariant.
+    pub fn halt_after(mut self, jobs: u64) -> Self {
+        self.ctx.halt_after = Some(jobs);
+        self
+    }
+
+    /// Directory for `CHECKPOINT_<id>.bin` files (default: the working
+    /// directory). Tests point this at a temp dir so interrupted runs
+    /// never litter the repo.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.ctx.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Validates the combination and returns the context.
     pub fn build(self) -> Result<ExperimentCtx, ConfigError> {
         let c = &self.ctx;
         if c.threads == Some(0) {
             return Err(ConfigError::NotPositive {
                 field: "threads",
+                value: 0.0,
+            });
+        }
+        if c.checkpoint_every == Some(0) {
+            return Err(ConfigError::NotPositive {
+                field: "checkpoint_every",
                 value: 0.0,
             });
         }
@@ -143,6 +193,11 @@ impl ExperimentCtx {
                 observe: false,
                 readers: None,
                 bands: None,
+                resume: false,
+                budget_secs: None,
+                checkpoint_every: None,
+                halt_after: None,
+                checkpoint_dir: None,
             },
         }
     }
@@ -199,15 +254,63 @@ impl ExperimentCtx {
         }
     }
 
+    /// Resume from an existing checkpoint?
+    pub fn is_resume(&self) -> bool {
+        self.resume
+    }
+
+    /// Wall-clock budget in seconds, if any.
+    pub fn budget_secs(&self) -> Option<u64> {
+        self.budget_secs
+    }
+
+    /// Checkpoint flush interval, if checkpointing was requested.
+    pub fn checkpoint_every(&self) -> Option<u64> {
+        self.checkpoint_every
+    }
+
+    /// Deterministic dispatch cap, if any.
+    pub fn halt_after(&self) -> Option<u64> {
+        self.halt_after
+    }
+
     /// The sweep configuration implied by this context: base seed from
     /// [`ExperimentCtx::seed`], worker count from
-    /// [`ExperimentCtx::threads`].
+    /// [`ExperimentCtx::threads`]. Carries the retry default but none of
+    /// the per-experiment checkpoint/budget wiring — experiments that
+    /// persist state use [`ExperimentCtx::sweep_for`].
     pub fn sweep(&self) -> SweepConfig {
         let cfg = SweepConfig::new(self.seed);
         match self.threads {
             Some(t) => cfg.with_threads(t),
             None => cfg,
         }
+    }
+
+    /// The full resilient sweep configuration for experiment `id`:
+    /// [`ExperimentCtx::sweep`] plus the context's budget / dispatch-cap
+    /// overrides, and — when `--resume` or `--checkpoint-every` was given —
+    /// a checkpoint at `CHECKPOINT_<id>.bin` in the working directory.
+    pub fn sweep_for(&self, id: &str) -> SweepConfig {
+        let mut cfg = self.sweep();
+        if let Some(secs) = self.budget_secs {
+            cfg = cfg.with_budget(std::time::Duration::from_secs(secs));
+        }
+        if let Some(jobs) = self.halt_after {
+            cfg = cfg.with_halt_after(jobs);
+        }
+        if self.resume || self.checkpoint_every.is_some() {
+            let file = format!("CHECKPOINT_{id}.bin");
+            let path = match &self.checkpoint_dir {
+                Some(dir) => dir.join(file),
+                None => std::path::PathBuf::from(file),
+            };
+            let spec = CheckpointSpec::new(path)
+                .with_every(self.checkpoint_every.unwrap_or(8))
+                .with_resume(self.resume);
+            cfg = cfg.with_checkpoint(spec);
+        }
+        cfg
     }
 
     /// Checks this context against a specific experiment: fleet options on
@@ -324,6 +427,10 @@ pub struct Report {
     pub metrics: MetricSet,
     /// Flight-recorder snapshot of a representative trial (`--trace`).
     pub snapshot: RecorderSnapshot,
+    /// Sweep resilience counters (quarantine / resume / budget), merged
+    /// over every sweep the experiment ran. `Default` (all zero) for
+    /// experiments that don't run sweeps.
+    pub sweep: SweepStats,
 }
 
 impl Report {
@@ -355,6 +462,20 @@ impl Report {
         self
     }
 
+    /// Attaches sweep resilience counters (chainable). Experiments that
+    /// run several sweeps merge their stats first.
+    pub fn with_sweep(mut self, sweep: SweepStats) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// `true` when any of this report's sweeps ran out of budget before
+    /// dispatching every trial — the numbers cover a subset of the
+    /// intended trial set.
+    pub fn is_partial(&self) -> bool {
+        self.sweep.partial
+    }
+
     /// The report's metrics plus the snapshot's per-kind event totals
     /// (`sim.events.*`): the exact set `repro --metrics` prints and
     /// exports.
@@ -376,12 +497,15 @@ impl Report {
 
 /// The deterministic `METRICS_<id>.json` document for a report: one line of
 /// JSON containing only sim-domain values, byte-identical at any
-/// `--threads` count. Shared by the `repro` binary and the repo smoke test
-/// so both always agree on the bytes.
+/// `--threads` count. `partial` is `true` when a budget cut the sweep
+/// short — consumers must treat the numbers as covering a subset of the
+/// trial set. Shared by the `repro` binary and the repo smoke test so both
+/// always agree on the bytes.
 pub fn metrics_json(id: &str, report: &Report) -> String {
     format!(
-        "{{\"experiment\":\"{}\",\"metrics\":{}}}\n",
+        "{{\"experiment\":\"{}\",\"partial\":{},\"metrics\":{}}}\n",
         json_escape(id),
+        report.is_partial(),
         export_metrics(report).to_json()
     )
 }
@@ -389,12 +513,26 @@ pub fn metrics_json(id: &str, report: &Report) -> String {
 /// The exact metric set `METRICS_<id>.json` serializes: the report's merged
 /// sim-domain metrics plus generic report-shape counters, so even an
 /// experiment with no bespoke metrics exports a non-empty deterministic
-/// document.
+/// document. Sweep-backed reports also export their quarantine counters —
+/// those are sim-domain (a trial panics or not purely by `(trial, seed)`).
+/// The `restored` counter is deliberately NOT exported: it describes how
+/// *this invocation* got its results, and including it would break the
+/// resumed-equals-uninterrupted byte identity.
 pub fn export_metrics(report: &Report) -> MetricSet {
     let mut metrics = report.merged_metrics();
     let rows: usize = report.sections.iter().map(|s| s.rows.len()).sum();
     metrics.set_count("report.sections", report.sections.len() as u64);
     metrics.set_count("report.rows", rows as u64);
+    let s = &report.sweep;
+    if s.trials > 0 {
+        metrics.set_count("sweep.trials", s.trials);
+        metrics.set_count("sweep.completed", s.completed);
+        metrics.set_count("sweep.quarantined", s.quarantined);
+        metrics.set_count("sweep.retried", s.retried);
+    }
+    if s.partial {
+        metrics.set_count("sweep.skipped", s.skipped);
+    }
     metrics
 }
 
@@ -551,6 +689,68 @@ mod tests {
             .unwrap();
         assert_eq!(old, new);
         assert_eq!(Params::full(3), ExperimentCtx::builder(3).build().unwrap());
+    }
+
+    #[test]
+    fn ctx_sweep_for_wires_resilience_through() {
+        let ctx = ExperimentCtx::builder(5)
+            .quick()
+            .resume(true)
+            .checkpoint_every(3)
+            .halt_after(10)
+            .budget_secs(60)
+            .build()
+            .unwrap();
+        let cfg = ctx.sweep_for("dyn-churn");
+        assert_eq!(cfg.policy.halt_after, Some(10));
+        assert_eq!(cfg.policy.budget, Some(std::time::Duration::from_secs(60)));
+        let spec = cfg.policy.checkpoint.expect("checkpoint wired");
+        assert_eq!(
+            spec.path,
+            std::path::PathBuf::from("CHECKPOINT_dyn-churn.bin")
+        );
+        assert_eq!(spec.every, 3);
+        assert!(spec.resume);
+        // Without resume/checkpoint flags no file is ever touched.
+        let plain = ExperimentCtx::builder(5).build().unwrap().sweep_for("x");
+        assert!(plain.policy.checkpoint.is_none());
+        // Zero flush interval is a config error, not a runtime surprise.
+        assert_eq!(
+            ExperimentCtx::builder(1).checkpoint_every(0).build(),
+            Err(ConfigError::NotPositive {
+                field: "checkpoint_every",
+                value: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn metrics_json_flags_partial_and_exports_quarantine_counters() {
+        let mut stats = SweepStats {
+            trials: 10,
+            completed: 9,
+            quarantined: 1,
+            retried: 2,
+            restored: 4, // provenance: must NOT appear in the export
+            ..SweepStats::default()
+        };
+        let r = Report::default().with_sweep(stats);
+        let doc = metrics_json("x", &r);
+        assert!(doc.contains("\"partial\":false"), "{doc}");
+        assert!(doc.contains("\"sweep.quarantined\":1"), "{doc}");
+        assert!(doc.contains("\"sweep.retried\":2"), "{doc}");
+        assert!(!doc.contains("restored"), "{doc}");
+        assert!(!doc.contains("skipped"), "{doc}");
+        // A budget-cut run is clearly flagged.
+        stats.skipped = 3;
+        stats.partial = true;
+        let partial = Report::default().with_sweep(stats);
+        assert!(partial.is_partial());
+        let doc = metrics_json("x", &partial);
+        assert!(doc.contains("\"partial\":true"), "{doc}");
+        assert!(doc.contains("\"sweep.skipped\":3"), "{doc}");
+        // Sweep-less reports export no sweep counters at all.
+        assert!(!metrics_json("x", &Report::default()).contains("sweep."));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use arachnet_sim::patterns::Pattern;
 use arachnet_sim::slotsim::{SlotSim, SlotSimConfig};
-use arachnet_sim::sweep::{run_matrix, SweepConfig};
+use arachnet_sim::sweep::{run_matrix_sweep, SweepConfig};
 use arachnet_sim::vanilla::{run_vanilla, VanillaConfig};
 
 use crate::render::f;
@@ -25,7 +25,7 @@ impl Experiment for Vanilla {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Report {
-        report(ctx.scale(3_000, 20_000), &ctx.sweep())
+        report(ctx.scale(3_000, 20_000), &ctx.sweep_for(self.id()))
     }
 }
 
@@ -35,7 +35,7 @@ pub fn report(slots: u64, sweep: &SweepConfig) -> Report {
     let losses = [0.0f64, 0.001, 0.005, 0.02];
     // One matrix cell per loss rate; the cell's seed is scheduling-
     // independent, so the whole table is bit-identical at any thread count.
-    let cells = run_matrix(sweep, &losses, 1, |&loss, _trial, seed| {
+    let matrix = run_matrix_sweep(sweep, &losses, 1, |&loss, _trial, seed| {
         let v = run_vanilla(
             &VanillaConfig {
                 pattern: Pattern::c3(),
@@ -54,14 +54,24 @@ pub fn report(slots: u64, sweep: &SweepConfig) -> Report {
         (v.collision_ratio, v.tail_collision_ratio, d.collision_ratio)
     });
     let mut rows = Vec::new();
-    for (&loss, cell) in losses.iter().zip(&cells) {
-        let &(vc, vt, dc) = cell[0].as_ref().expect("trial panicked");
-        rows.push(vec![
-            format!("{:.1}%", loss * 100.0),
-            f(vc, 3),
-            f(vt, 3),
-            f(dc, 3),
-        ]);
+    for (&loss, cell) in losses.iter().zip(&matrix.cells) {
+        // A quarantined cell renders as dashes instead of sinking the
+        // whole report (the sweep counters flag it).
+        let row = match cell.first().and_then(|r| r.as_ref().ok()) {
+            Some(&(vc, vt, dc)) => vec![
+                format!("{:.1}%", loss * 100.0),
+                f(vc, 3),
+                f(vt, 3),
+                f(dc, 3),
+            ],
+            None => vec![
+                format!("{:.1}%", loss * 100.0),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        };
+        rows.push(row);
     }
     // The staggered-start case: vanilla cannot even begin.
     let v = run_vanilla(
@@ -100,6 +110,7 @@ pub fn report(slots: u64, sweep: &SweepConfig) -> Report {
              ratio — the paper's core argument for Secs. 5.3–5.6.",
         ),
     )
+    .with_sweep(matrix.stats)
 }
 
 #[cfg(test)]

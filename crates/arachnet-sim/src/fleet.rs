@@ -33,10 +33,13 @@ use biw_channel::fleet::{FleetChannel, FleetChannelConfig};
 use biw_channel::noise::NoiseConfig;
 use biw_channel::pzt::PztState;
 
+use crate::config::ConfigError;
 use crate::patterns::Pattern;
 use crate::scenario::{ReconvergenceSample, Scenario};
 use crate::slotsim::run_scenario_trial;
-use crate::sweep::{run_matrix, trial_seed, SweepConfig, TrialResult};
+use crate::sweep::{
+    run_matrix_sweep, trial_seed, SweepConfig, SweepStats, TrialError, TrialResult,
+};
 
 /// Reusable fleet PHY working set: one PZT state stream per reader cell,
 /// the superposed reader-side waveform, and the fleet receiver's scratch.
@@ -62,7 +65,7 @@ pub fn with_fleet_scratch<R>(f: impl FnOnce(&mut FleetPhyScratch) -> R) -> R {
 }
 
 /// Result of a multi-reader uplink packet-loss trial at one reader.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetUplinkResult {
     /// Packets sent by the observed reader's own tag.
     pub sent: u64,
@@ -168,9 +171,10 @@ impl FleetWaveSim {
     }
 
     /// Synthesizes cell `c`'s seeded packet into `out` and returns the
-    /// packet that cell's tag sent. The recipe (payload draw, supply sag,
-    /// clock stretch) matches the single-reader simulator exactly; each
-    /// cell's clock is salted by its reader index (cell 0 unsalted).
+    /// packet that cell's tag sent (or the packet-field violation for an
+    /// out-of-range `tid`). The recipe (payload draw, supply sag, clock
+    /// stretch) matches the single-reader simulator exactly; each cell's
+    /// clock is salted by its reader index (cell 0 unsalted).
     fn synth_cell_states(
         &self,
         c: usize,
@@ -178,22 +182,24 @@ impl FleetWaveSim {
         ul_bps: f64,
         packet_seed: u64,
         out: &mut Vec<PztState>,
-    ) -> UlPacket {
+    ) -> Result<UlPacket, arachnet_core::packet::PacketError> {
         let fs = self.channel.cell(c).config().sample_rate;
         let mut rng = TagRng::new(packet_seed);
         let payload = (rng.next_u64() & 0xFFF) as u16;
-        let pkt = UlPacket::new(tid % 16, payload).expect("12-bit payload");
+        let pkt = UlPacket::new(tid, payload)?;
         let mut enc = Fm0Encoder::new();
         let raw = enc.encode(pkt.to_bits().iter());
         let mut clock = McuClock::for_tag(self.seed ^ ((c as u64) << 40), tid);
         clock.set_supply(1.95 + 0.35 * rng.unit_f64());
         let spb = (fs * (1.0 / ul_bps) * (12_000.0 / clock.actual_hz())).round() as usize;
         Self::expand_states_into(&raw, spb, 6 * spb, out);
-        pkt
+        Ok(pkt)
     }
 
     /// Sends packet `i` of every cell's sequence and decodes at `reader`.
-    /// Returns `(own packet, decode)`. Pure in `(reader, tid, i)`.
+    /// Returns `(own packet, decode)`, or a [`TrialError`] (trial = packet
+    /// index) when `reader` is not in the fleet or `tid` overflows the
+    /// packet's 4-bit TID field. Pure in `(reader, tid, i)`.
     fn uplink_packet_at(
         &self,
         rx: &FleetReceiver,
@@ -201,7 +207,7 @@ impl FleetWaveSim {
         tid: u8,
         i: u64,
         s: &mut FleetPhyScratch,
-    ) -> (UlPacket, arachnet_reader::rx::SlotRx) {
+    ) -> Result<(UlPacket, arachnet_reader::rx::SlotRx), TrialError> {
         let k = self.channel.readers();
         let ul_bps = rx.inner().config().ul_bps;
         s.states.resize_with(k, Vec::new);
@@ -209,13 +215,23 @@ impl FleetWaveSim {
         for c in 0..k {
             let seed_c = trial_seed(self.uplink_base_seed(c, tid, ul_bps), i);
             let mut states = std::mem::take(&mut s.states[c]);
-            let pkt = self.synth_cell_states(c, tid, ul_bps, seed_c, &mut states);
+            let pkt = self
+                .synth_cell_states(c, tid, ul_bps, seed_c, &mut states)
+                .map_err(|e| TrialError {
+                    trial: i,
+                    payload: format!("cell {c} packet synthesis: {e}"),
+                    attempts: 1,
+                })?;
             s.states[c] = states;
             if c == reader {
                 own_pkt = Some(pkt);
             }
         }
-        let own_pkt = own_pkt.expect("observed reader is in the fleet");
+        let own_pkt = own_pkt.ok_or_else(|| TrialError {
+            trial: i,
+            payload: format!("observed reader {reader} is not in the {k}-reader fleet"),
+            attempts: 1,
+        })?;
         let tags: Vec<[(u8, &[PztState]); 1]> =
             s.states.iter().map(|st| [(tid, st.as_slice())]).collect();
         let cell_tags: Vec<&[(u8, &[PztState])]> =
@@ -225,20 +241,22 @@ impl FleetWaveSim {
         self.channel
             .rx_waveform_into(reader, &cell_tags, len, seed_own, &mut s.wave);
         let out = rx.process_slot_with(&s.wave, &mut s.rx);
-        (own_pkt, out)
+        Ok((own_pkt, out))
     }
 
     /// Multi-reader Fig. 12 analogue: sends `n` packets from `reader`'s
     /// own tag `tid` while every other cell's copy of the tag transmits
     /// concurrently on its own carrier; counts losses at `reader` and
-    /// packets where cross-reader interference was implicated.
+    /// packets where cross-reader interference was implicated. Errors
+    /// (rather than panicking) on an out-of-range `tid` or a `reader`
+    /// index outside the fleet.
     pub fn uplink_trial(
         &self,
         rx: &FleetReceiver,
         reader: usize,
         tid: u8,
         n: u64,
-    ) -> FleetUplinkResult {
+    ) -> Result<FleetUplinkResult, TrialError> {
         self.uplink_trial_observed(rx, reader, tid, n, &mut Recorder::disabled())
     }
 
@@ -253,14 +271,14 @@ impl FleetWaveSim {
         tid: u8,
         n: u64,
         recorder: &mut Recorder,
-    ) -> FleetUplinkResult {
+    ) -> Result<FleetUplinkResult, TrialError> {
         let k = self.channel.readers();
         with_fleet_scratch(|s| {
             let mut snr_db = f64::NAN;
             let mut lost = 0;
             let mut cross = 0;
             for i in 0..n.max(1) {
-                let (pkt, out) = self.uplink_packet_at(rx, reader, tid, i, s);
+                let (pkt, out) = self.uplink_packet_at(rx, reader, tid, i, s)?;
                 if i == 0 {
                     snr_db = rx.uplink_snr_db_with(&s.wave, &mut s.rx);
                 }
@@ -286,12 +304,12 @@ impl FleetWaveSim {
                     );
                 }
             }
-            FleetUplinkResult {
+            Ok(FleetUplinkResult {
                 sent: n,
                 lost,
                 cross_collisions: cross,
                 snr_db,
-            }
+            })
         })
     }
 }
@@ -326,20 +344,32 @@ pub struct CellOutcome {
     pub snapshot: RecorderSnapshot,
 }
 
+/// Result grid of a slot-level fleet run plus its sweep execution
+/// counters (quarantine / resume / budget, see [`SweepStats`]).
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Per-cell rows of per-trial outcomes: `cells[cell][trial]`.
+    pub cells: Vec<Vec<TrialResult<CellOutcome>>>,
+    /// Resilience counters for the whole K×trials grid.
+    pub stats: SweepStats,
+}
+
 /// Runs a K-cell fleet as a sharded (cell × trial) matrix over the sweep
 /// worker pool. Cell `c`, trial `t` runs `run_scenario_trial` at seed
 /// `trial_seed(trial_seed(sweep.base_seed, c), t)` — the same derivation
 /// `run_matrix` applies everywhere else — so the result grid is
-/// byte-identical at any thread count.
+/// byte-identical at any thread count. The sweep config's resilience
+/// policy (retries, checkpoint/resume, budget) applies over the flattened
+/// job space; counters land in [`FleetRun::stats`].
 ///
 /// When `observe` is set, trial 0 of every cell records its flight; the
 /// snapshot is prefixed with [`EventKind::ReaderAssigned`] (tag = reader
 /// index) and, for cells whose sub-band is reused by a neighbour, an
 /// [`EventKind::CrossReaderCollision`] marker counting the sharers.
 ///
-/// # Panics
+/// # Errors
 ///
-/// When `plan.readers() != cells.len()`.
+/// [`ConfigError::Inconsistent`] when `plan.readers() != cells.len()`.
 pub fn run_fleet(
     plan: &FleetPlan,
     cells: &[FleetCell],
@@ -347,12 +377,12 @@ pub fn run_fleet(
     sweep: &SweepConfig,
     cap: u64,
     observe: bool,
-) -> Vec<Vec<TrialResult<CellOutcome>>> {
-    assert_eq!(
-        plan.readers(),
-        cells.len(),
-        "one FleetCell per planned reader"
-    );
+) -> Result<FleetRun, ConfigError> {
+    if plan.readers() != cells.len() {
+        return Err(ConfigError::Inconsistent {
+            reason: "fleet needs one FleetCell per planned reader",
+        });
+    }
     let sharing: Vec<u8> = (0..cells.len())
         .map(|c| {
             (0..cells.len())
@@ -362,7 +392,7 @@ pub fn run_fleet(
         })
         .collect();
     let indexed: Vec<(usize, &FleetCell)> = cells.iter().enumerate().collect();
-    run_matrix(sweep, &indexed, trials, |&(c, cell), trial, seed| {
+    let run = run_matrix_sweep(sweep, &indexed, trials, |&(c, cell), trial, seed| {
         let record = observe && trial == 0;
         let t = run_scenario_trial(&cell.pattern, &cell.scenario, seed, cap, false, record);
         let mut snapshot = t.snapshot;
@@ -398,6 +428,10 @@ pub fn run_fleet(
             slots: t.slots,
             snapshot,
         }
+    });
+    Ok(FleetRun {
+        cells: run.cells,
+        stats: run.stats,
     })
 }
 
@@ -417,7 +451,7 @@ mod tests {
         let plan = FleetPlan::fdma(1, FS).unwrap();
         let fleet = FleetWaveSim::paper(plan, 42);
         let rx = fleet.fleet_rx(0, 375.0);
-        let a = fleet.uplink_trial(&rx, 0, 8, 6);
+        let a = fleet.uplink_trial(&rx, 0, 8, 6).unwrap();
         let b = WaveSim::paper(42).uplink_trial(8, 375.0, 6);
         assert_eq!(a.sent, b.sent);
         assert_eq!(a.lost, b.lost);
@@ -432,7 +466,7 @@ mod tests {
         let plan = FleetPlan::fdma(2, FS).unwrap();
         let fleet = FleetWaveSim::paper(plan, 7);
         let rx = fleet.fleet_rx(0, 375.0);
-        let r = fleet.uplink_trial(&rx, 0, 8, 5);
+        let r = fleet.uplink_trial(&rx, 0, 8, 5).unwrap();
         assert!(r.lost <= 1, "{}/{} lost under FDMA", r.lost, r.sent);
         assert!(r.snr_db > 5.0, "snr {:.1}", r.snr_db);
     }
@@ -449,13 +483,13 @@ mod tests {
             let plan = FleetPlan::fdma(2, FS).unwrap();
             let fleet = FleetWaveSim::paper(plan, 9);
             let rx = fleet.fleet_rx(0, 375.0);
-            fleet.uplink_trial(&rx, 0, 8, 6)
+            fleet.uplink_trial(&rx, 0, 8, 6).unwrap()
         };
         let co = {
             let plan = FleetPlan::co_channel(2, 90_000.0, FS).unwrap();
             let fleet = FleetWaveSim::paper(plan, 9);
             let rx = fleet.fleet_rx(0, 375.0);
-            fleet.uplink_trial(&rx, 0, 8, 6)
+            fleet.uplink_trial(&rx, 0, 8, 6).unwrap()
         };
         assert_eq!(fdma.cross_collisions, 0, "FDMA flagged {}", fdma.cross_collisions);
         assert_eq!(fdma.lost, 0, "FDMA lost {}/{}", fdma.lost, fdma.sent);
@@ -473,12 +507,12 @@ mod tests {
         let fleet = FleetWaveSim::paper(plan, 21);
         let rx = fleet.fleet_rx(0, 1_500.0);
         let mut rec = Recorder::enabled(21);
-        let r = fleet.uplink_trial_observed(&rx, 0, 11, 8, &mut rec);
+        let r = fleet.uplink_trial_observed(&rx, 0, 11, 8, &mut rec).unwrap();
         let snap = rec.into_snapshot();
         let xidx = EventKind::CrossReaderCollision { readers: 0 }.index();
         assert_eq!(snap.count_at(xidx), r.cross_collisions);
         // Observed trials and bare trials agree.
-        let bare = fleet.uplink_trial(&rx, 0, 11, 8);
+        let bare = fleet.uplink_trial(&rx, 0, 11, 8).unwrap();
         assert_eq!(bare.lost, r.lost);
         assert_eq!(bare.cross_collisions, r.cross_collisions);
         assert_eq!(bare.snr_db, r.snr_db);
@@ -504,26 +538,53 @@ mod tests {
         let plan = FleetPlan::fdma_reuse(3, 2, FS).unwrap();
         let cells = cells3();
         let run = |threads| {
-            run_fleet(
-                &plan,
-                &cells,
-                2,
-                &SweepConfig {
-                    threads,
-                    base_seed: 77,
-                },
-                20_000,
-                true,
-            )
+            let cfg = SweepConfig::new(77).with_threads(threads);
+            run_fleet(&plan, &cells, 2, &cfg, 20_000, true).unwrap()
         };
         let a = run(1);
         let b = run(4);
-        assert_eq!(a.len(), 3);
-        for (ca, cb) in a.iter().zip(&b) {
+        assert_eq!(a.cells.len(), 3);
+        assert_eq!(a.stats.completed, 6);
+        assert_eq!(a.stats.quarantined, 0);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
             for (ta, tb) in ca.iter().zip(cb) {
                 assert_eq!(ta.as_ref().unwrap(), tb.as_ref().unwrap());
             }
         }
+    }
+
+    #[test]
+    fn out_of_range_tid_is_an_error_not_a_panic() {
+        // TID is a 4-bit packet field; 31 overflows it. The old library
+        // `expect` aborted the whole sweep here.
+        let plan = FleetPlan::fdma(2, FS).unwrap();
+        let fleet = FleetWaveSim::paper(plan, 13);
+        let rx = fleet.fleet_rx(0, 375.0);
+        let e = fleet.uplink_trial(&rx, 0, 31, 4).unwrap_err();
+        assert_eq!(e.trial, 0, "fails on the first packet");
+        assert!(e.payload.contains("TID 31"), "{}", e.payload);
+    }
+
+    #[test]
+    fn absent_observed_reader_is_an_error_not_a_panic() {
+        let plan = FleetPlan::fdma(2, FS).unwrap();
+        let fleet = FleetWaveSim::paper(plan, 13);
+        let rx = fleet.fleet_rx(0, 375.0);
+        let e = fleet.uplink_trial(&rx, 5, 8, 4).unwrap_err();
+        assert!(
+            e.payload.contains("reader 5 is not in the 2-reader fleet"),
+            "{}",
+            e.payload
+        );
+    }
+
+    #[test]
+    fn mismatched_plan_and_cells_is_a_config_error() {
+        let plan = FleetPlan::fdma(2, FS).unwrap();
+        let cells = cells3(); // 3 cells against a 2-reader plan
+        let cfg = SweepConfig::new(1).with_threads(1);
+        let err = run_fleet(&plan, &cells, 1, &cfg, 20_000, false).unwrap_err();
+        assert!(matches!(err, ConfigError::Inconsistent { .. }));
     }
 
     #[test]
@@ -532,17 +593,10 @@ mod tests {
         // the sharers get a CrossReaderCollision marker, the loner none.
         let plan = FleetPlan::fdma_reuse(3, 2, FS).unwrap();
         let cells = cells3();
-        let grid = run_fleet(
-            &plan,
-            &cells,
-            1,
-            &SweepConfig {
-                threads: 1,
-                base_seed: 5,
-            },
-            20_000,
-            true,
-        );
+        let cfg = SweepConfig::new(5).with_threads(1);
+        let grid = run_fleet(&plan, &cells, 1, &cfg, 20_000, true)
+            .unwrap()
+            .cells;
         for (c, row) in grid.iter().enumerate() {
             let out = row[0].as_ref().unwrap();
             let first = out.snapshot.events.first().expect("recorded trial");
@@ -576,17 +630,10 @@ mod tests {
     fn unobserved_fleet_trials_carry_empty_snapshots() {
         let plan = FleetPlan::fdma(2, FS).unwrap();
         let cells = cells3().into_iter().take(2).collect::<Vec<_>>();
-        let grid = run_fleet(
-            &plan,
-            &cells,
-            2,
-            &SweepConfig {
-                threads: 2,
-                base_seed: 3,
-            },
-            20_000,
-            false,
-        );
+        let cfg = SweepConfig::new(3).with_threads(2);
+        let grid = run_fleet(&plan, &cells, 2, &cfg, 20_000, false)
+            .unwrap()
+            .cells;
         for row in &grid {
             for t in row {
                 assert!(t.as_ref().unwrap().snapshot.events.is_empty());

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod aloha;
+pub mod codec;
 pub mod config;
 pub mod cosim;
 pub mod fleet;
@@ -40,9 +41,13 @@ pub mod sweep;
 pub mod vanilla;
 pub mod wavesim;
 
+pub use codec::TrialCodec;
 pub use config::{AlohaConfigBuilder, ConfigError, CoSimConfigBuilder, SlotSimConfigBuilder};
-pub use fleet::{run_fleet, CellOutcome, FleetCell, FleetUplinkResult, FleetWaveSim};
+pub use fleet::{run_fleet, CellOutcome, FleetCell, FleetRun, FleetUplinkResult, FleetWaveSim};
 pub use patterns::Pattern;
 pub use scenario::{ReconvergenceSample, Scenario, ScenarioEvent, TimedEvent};
 pub use slotsim::{SlotSim, SlotSimConfig};
-pub use sweep::{run_matrix, run_trials, SweepConfig, SweepSummary};
+pub use sweep::{
+    run_matrix, run_matrix_sweep, run_sweep, run_trials, CheckpointSpec, MatrixRun,
+    ResiliencePolicy, SweepConfig, SweepRun, SweepStats, SweepSummary,
+};

@@ -1,10 +1,11 @@
-//! Deterministic parallel trial runner.
+//! Deterministic, resilient parallel trial runner.
 //!
 //! The evaluation sweeps (Fig. 15's 9 patterns × dozens of convergence
-//! trials, Fig. 19's ALOHA runs, the ablations) are embarrassingly
-//! parallel: every trial is a pure function of `(pattern, seed)`. This
-//! module runs such sweeps over a `std::thread::scope` worker pool while
-//! keeping results **bit-identical at any thread count**:
+//! trials, Fig. 19's ALOHA runs, the dyn-* soaks, the fleet grids) are
+//! embarrassingly parallel: every trial is a pure function of
+//! `(pattern, seed)`. This module runs such sweeps over a
+//! `std::thread::scope` worker pool while keeping results **bit-identical
+//! at any thread count**:
 //!
 //! * each trial's seed is derived from the sweep's base seed and the trial
 //!   index alone ([`trial_seed`], a splitmix64 finalizer) — never from
@@ -19,6 +20,31 @@
 //!   surfaces as structured errors for its unreported trials, never as a
 //!   harness panic.
 //!
+//! On top of that baseline, [`ResiliencePolicy`] adds the machinery long
+//! sweeps need to survive real hosts:
+//!
+//! * **trial quarantine** — a panicking trial is retried up to
+//!   [`ResiliencePolicy::retries`] times, each attempt at a
+//!   deterministically-salted seed ([`retry_seed`]); a trial that fails
+//!   every attempt is *quarantined*: its slot carries the final
+//!   [`TrialError`] (with the attempt count) and the sweep keeps going.
+//!   Because panics are pure in `(trial, seed)`, the quarantine set is
+//!   itself deterministic and safe to export in metrics.
+//! * **checkpoint/resume** — with a [`CheckpointSpec`], [`run_sweep`] /
+//!   [`run_matrix_sweep`] append every completed trial to a
+//!   length-prefixed binary file (exact [`TrialCodec`] encodings, floats
+//!   as raw bits). A resumed sweep restores those slots instead of
+//!   recomputing them, so an interrupted-then-resumed run is
+//!   byte-identical to an uninterrupted one at any thread count. The file
+//!   is deleted when the sweep completes.
+//! * **deadline budgets** — [`ResiliencePolicy::budget`] stops
+//!   *dispatching* new trials once the wall-clock deadline passes (already
+//!   running trials finish and are checkpointed); undispatched slots come
+//!   back as budget-skip errors and [`SweepStats::partial`] flags the
+//!   report. [`ResiliencePolicy::halt_after`] is the deterministic
+//!   test/CI analogue: it caps the number of dispatched jobs by *index*,
+//!   which is scheduler-independent.
+//!
 //! ```
 //! use arachnet_sim::sweep::{SweepConfig, run_trials};
 //!
@@ -27,25 +53,36 @@
 //! assert_eq!(squares[3], Ok(9));
 //! ```
 
+use std::fs;
+use std::io::{Seek, SeekFrom, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use arachnet_obs::{flush_thread_spans, global_counter_add, global_histo_record, span};
+use arachnet_obs::{
+    flush_thread_spans, global_counter_add, global_histo_record, span, Event, EventKind, NO_TAG,
+};
 
+use crate::codec::TrialCodec;
 use crate::metrics::{five_num, Ecdf, FiveNum};
 
-/// Sweep configuration: worker count and base seed.
+/// Sweep configuration: worker count, base seed, and resilience policy.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Worker threads. `1` runs inline on the calling thread.
     pub threads: usize,
     /// Base seed; trial `i` runs with [`trial_seed`]`(base_seed, i)`.
     pub base_seed: u64,
+    /// Retry / checkpoint / budget behaviour (see [`ResiliencePolicy`]).
+    pub policy: ResiliencePolicy,
 }
 
 impl SweepConfig {
     /// A sweep seeded with `base_seed`, using all available cores (or the
-    /// `ARACHNET_SWEEP_THREADS` environment override).
+    /// `ARACHNET_SWEEP_THREADS` environment override) and the default
+    /// resilience policy (one retry, no checkpoint, no budget).
     pub fn new(base_seed: u64) -> Self {
         let threads = std::env::var("ARACHNET_SWEEP_THREADS")
             .ok()
@@ -59,6 +96,7 @@ impl SweepConfig {
         Self {
             threads,
             base_seed,
+            policy: ResiliencePolicy::default(),
         }
     }
 
@@ -67,21 +105,190 @@ impl SweepConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Overrides the per-trial retry budget (0 disables retries).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.policy.retries = retries;
+        self
+    }
+
+    /// Sets a wall-clock budget: once it elapses, no new trials are
+    /// dispatched and the sweep reports [`SweepStats::partial`].
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.policy.budget = Some(budget);
+        self
+    }
+
+    /// Caps the number of jobs dispatched this run (deterministic
+    /// interruption for tests and the resume-determinism CI gate).
+    pub fn with_halt_after(mut self, jobs: u64) -> Self {
+        self.policy.halt_after = Some(jobs);
+        self
+    }
+
+    /// Attaches a checkpoint file ([`run_sweep`] / [`run_matrix_sweep`]
+    /// honour it; the codec-less [`run_trials`] / [`run_matrix`] ignore
+    /// it, since they cannot serialize results).
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.policy.checkpoint = Some(spec);
+        self
+    }
+
+    /// A copy of this config whose checkpoint path (if any) is suffixed
+    /// with `tag` — for experiments that run several sweeps and must not
+    /// share one checkpoint file between them.
+    pub fn checkpoint_tagged(&self, tag: &str) -> Self {
+        let mut cfg = self.clone();
+        if let Some(spec) = cfg.policy.checkpoint.take() {
+            cfg.policy.checkpoint = Some(spec.tagged(tag));
+        }
+        cfg
+    }
 }
 
-/// A trial that failed instead of returning a value: it panicked, or its
-/// worker thread died before reporting it.
+/// How a sweep behaves when trials fail, hosts die, or time runs out.
+#[derive(Debug, Clone)]
+pub struct ResiliencePolicy {
+    /// Extra attempts for a panicking trial, each at a salted
+    /// deterministic seed ([`retry_seed`]). Default 1.
+    pub retries: u32,
+    /// Wall-clock dispatch budget. `None` (default) runs to completion.
+    pub budget: Option<Duration>,
+    /// Deterministic dispatch cap: at most this many jobs (by dispatch
+    /// index) run; the rest are budget-skipped. `None` (default) is
+    /// unlimited. Unlike [`Self::budget`], the skip set is independent of
+    /// scheduling, so partial results stay thread-invariant.
+    pub halt_after: Option<u64>,
+    /// Persist completed trials for crash/interrupt recovery.
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self {
+            retries: 1,
+            budget: None,
+            halt_after: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// Where and how often a sweep checkpoints completed trials.
+///
+/// File format (all integers little-endian):
+///
+/// ```text
+/// header:  "ACP1" | base_seed u64 | total_trials u64          (20 bytes)
+/// record:  trial u64 | kind u8 | attempts u32 | len u32 | payload
+/// ```
+///
+/// `kind` 0 carries a [`TrialCodec`] encoding of the result; `kind` 1 a
+/// UTF-8 quarantine payload. A torn tail (the process died mid-write) is
+/// detected by the length prefix and truncated away on resume; a header
+/// that does not match the resuming sweep's `(base_seed, trials)` shape
+/// makes the whole file ignored — never silently misapplied.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (conventionally `CHECKPOINT_<id>.bin`).
+    pub path: PathBuf,
+    /// Flush to disk after this many completed trials (min 1).
+    pub every: u64,
+    /// Restore completed trials from an existing file before running.
+    /// When `false`, any existing file is overwritten.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// A spec at `path`, flushing every 16 trials, not resuming.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every: 16,
+            resume: false,
+        }
+    }
+
+    /// Overrides the flush interval (clamped to at least 1).
+    pub fn with_every(mut self, every: u64) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Sets whether an existing file is restored or overwritten.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// A copy of this spec whose file name carries `.<tag>` before the
+    /// extension (`CHECKPOINT_x.bin` → `CHECKPOINT_x.<tag>.bin`), so
+    /// multiple sweeps inside one experiment get distinct files. Tag
+    /// characters outside `[A-Za-z0-9_-]` are replaced with `_`.
+    pub fn tagged(&self, tag: &str) -> Self {
+        let safe: String = tag
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("CHECKPOINT");
+        let name = match self.path.extension().and_then(|e| e.to_str()) {
+            Some(ext) => format!("{stem}.{safe}.{ext}"),
+            None => format!("{stem}.{safe}"),
+        };
+        let mut spec = self.clone();
+        spec.path = self.path.with_file_name(name);
+        spec
+    }
+}
+
+/// Payload of a budget-skipped slot: the trial was never dispatched
+/// because the sweep's budget (or dispatch cap) ran out first.
+pub const BUDGET_SKIP_PAYLOAD: &str = "skipped: sweep budget exhausted before dispatch";
+
+/// A trial that failed instead of returning a value: it panicked on every
+/// attempt, its worker thread died before reporting it, or the sweep's
+/// budget ran out before it was dispatched.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrialError {
     /// Index of the failed trial.
     pub trial: u64,
     /// The panic payload (or a description of how the trial was lost).
     pub payload: String,
+    /// Attempts made (first run plus retries); 0 for budget-skipped
+    /// slots that never ran.
+    pub attempts: u32,
+}
+
+impl TrialError {
+    /// `true` when this slot was never dispatched because the sweep's
+    /// wall-clock budget (or dispatch cap) ran out — a *partial-report*
+    /// marker, not a quarantined failure.
+    pub fn is_budget_skip(&self) -> bool {
+        self.payload == BUDGET_SKIP_PAYLOAD
+    }
 }
 
 impl std::fmt::Display for TrialError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trial {} failed: {}", self.trial, self.payload)
+        if self.attempts > 1 {
+            write!(
+                f,
+                "trial {} failed after {} attempts: {}",
+                self.trial, self.attempts, self.payload
+            )
+        } else {
+            write!(f, "trial {} failed: {}", self.trial, self.payload)
+        }
     }
 }
 
@@ -101,6 +308,135 @@ pub fn trial_seed(base_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Salt folded into retry seeds so attempt `a > 0` of a trial draws a
+/// stream decorrelated from attempt 0 (and from every other trial).
+const RETRY_SALT: u64 = 0xA5A5_5EED_0BAD_F00D;
+
+/// Seed for retry `attempt` (1-based) of a trial whose first attempt ran
+/// at `first_seed`. Deterministic: a flaky-by-seed trial either always
+/// recovers on the same attempt or is always quarantined.
+pub fn retry_seed(first_seed: u64, attempt: u64) -> u64 {
+    trial_seed(first_seed ^ RETRY_SALT, attempt)
+}
+
+/// Counters describing how resilient a sweep's execution was. The
+/// sim-domain fields (`trials`, `completed`, `quarantined`, `retried`,
+/// `skipped`, `partial`) are deterministic and safe to export in metrics;
+/// `restored` is run-shape provenance (how this particular invocation got
+/// its results) and must stay out of deterministic exports, or a resumed
+/// run could never be byte-identical to an uninterrupted one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Total slots in the sweep.
+    pub trials: u64,
+    /// Slots that hold a value.
+    pub completed: u64,
+    /// Slots quarantined after exhausting every attempt (plus slots lost
+    /// to a dying worker).
+    pub quarantined: u64,
+    /// Extra attempts made beyond each trial's first (counting restored
+    /// trials' recorded attempts, so resumed runs report identically).
+    pub retried: u64,
+    /// Slots restored from a checkpoint instead of recomputed.
+    pub restored: u64,
+    /// Slots never dispatched because the budget/dispatch cap ran out.
+    pub skipped: u64,
+    /// `true` when any slot was budget-skipped: the report is partial.
+    pub partial: bool,
+}
+
+impl SweepStats {
+    /// Accumulates another sweep's counters into this one (for
+    /// experiments that run several sweeps and report once).
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.trials += other.trials;
+        self.completed += other.completed;
+        self.quarantined += other.quarantined;
+        self.retried += other.retried;
+        self.restored += other.restored;
+        self.skipped += other.skipped;
+        self.partial |= other.partial;
+    }
+}
+
+/// A resilient sweep's results plus its execution counters.
+#[derive(Debug, Clone)]
+pub struct SweepRun<T> {
+    /// Per-trial outcomes, ordered by trial index.
+    pub results: Vec<TrialResult<T>>,
+    /// Quarantine / resume / budget counters.
+    pub stats: SweepStats,
+}
+
+impl<T> SweepRun<T> {
+    /// Flight-recorder events for the quarantined slots (deterministic:
+    /// safe to merge into exported snapshots).
+    pub fn quarantine_events(&self) -> Vec<Event> {
+        quarantine_events(&self.results)
+    }
+}
+
+/// A resilient matrix run: `cells[cell][trial]` plus execution counters.
+#[derive(Debug, Clone)]
+pub struct MatrixRun<T> {
+    /// Per-cell rows of per-trial outcomes, ordered like the inputs.
+    pub cells: Vec<Vec<TrialResult<T>>>,
+    /// Quarantine / resume / budget counters for the whole grid.
+    pub stats: SweepStats,
+}
+
+impl<T> MatrixRun<T> {
+    /// Flight-recorder events for the quarantined slots (slot = flat job
+    /// index over the `cells × trials` grid).
+    pub fn quarantine_events(&self) -> Vec<Event> {
+        quarantine_events(self.cells.iter().flatten())
+    }
+}
+
+/// One [`EventKind::TrialQuarantined`] per quarantined slot (budget skips
+/// excluded — they are partial-report markers, not failures).
+pub fn quarantine_events<'a, T: 'a>(
+    results: impl IntoIterator<Item = &'a TrialResult<T>>,
+) -> Vec<Event> {
+    results
+        .into_iter()
+        .filter_map(|r| r.as_ref().err())
+        .filter(|e| !e.is_budget_skip())
+        .map(|e| Event {
+            slot: e.trial,
+            tag: NO_TAG,
+            kind: EventKind::TrialQuarantined {
+                attempts: e.attempts.min(u8::MAX as u32) as u8,
+            },
+        })
+        .collect()
+}
+
+/// Provenance events for how this run executed ([`EventKind::SweepResumed`],
+/// [`EventKind::BudgetExhausted`]). Wall/run-shape domain: print or trace
+/// them, but never fold them into deterministic metric exports — a resumed
+/// run restores a different number of trials than an uninterrupted one.
+pub fn provenance_events(stats: &SweepStats) -> Vec<Event> {
+    let mut out = Vec::new();
+    if stats.restored > 0 {
+        out.push(Event {
+            slot: 0,
+            tag: NO_TAG,
+            kind: EventKind::SweepResumed {
+                restored: stats.restored.min(u64::from(u16::MAX)) as u16,
+            },
+        });
+    }
+    if stats.partial {
+        out.push(Event {
+            slot: 0,
+            tag: NO_TAG,
+            kind: EventKind::BudgetExhausted,
+        });
+    }
+    out
+}
+
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -111,30 +447,238 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs `trials` independent trials of `f(trial_index, trial_seed)` across
-/// the worker pool and returns results ordered by trial index. Bit-identical
-/// at any thread count; a panicking trial yields `Err(TrialError)` in its
-/// slot. Even a worker thread dying outside the isolated-panic window (a
-/// panic escaping `catch_unwind`, e.g. a panic-in-panic abort path caught
-/// as unwind) cannot poison the sweep: the trials it never reported come
-/// back as structured errors.
-pub fn run_trials<T, F>(cfg: &SweepConfig, trials: u64, f: F) -> Vec<TrialResult<T>>
+/// Function-pointer vtable for checkpoint serialization, so the core
+/// runner stays monomorphic over `T` without a `TrialCodec` bound on the
+/// codec-less entry points.
+struct CodecVt<T> {
+    encode: fn(&T, &mut Vec<u8>),
+    decode: fn(&mut &[u8]) -> Option<T>,
+}
+
+impl<T> Clone for CodecVt<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for CodecVt<T> {}
+
+const CKPT_MAGIC: [u8; 4] = *b"ACP1";
+const CKPT_HEADER_LEN: usize = 20;
+const CKPT_REC_HEADER_LEN: usize = 17;
+
+/// One parsed checkpoint record.
+struct CkptRecord {
+    trial: u64,
+    ok: bool,
+    attempts: u32,
+    payload: Vec<u8>,
+}
+
+fn encode_record(trial: u64, kind: u8, attempts: u32, payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&trial.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&attempts.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Parses a checkpoint file. Returns the valid records and the byte
+/// length of the valid prefix (a torn tail is reported and dropped), or
+/// `None` when the file is absent or its header does not match this
+/// sweep's `(base_seed, trials)` shape.
+fn load_checkpoint(path: &Path, base_seed: u64, trials: u64) -> Option<(Vec<CkptRecord>, u64)> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < CKPT_HEADER_LEN || bytes[..4] != CKPT_MAGIC {
+        arachnet_obs::warn!(
+            "ignoring checkpoint '{}': missing or foreign header",
+            path.display()
+        );
+        return None;
+    }
+    let seed = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+    let total = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+    if seed != base_seed || total != trials {
+        arachnet_obs::warn!(
+            "ignoring checkpoint '{}': shape mismatch (file seed {seed}, {total} trials; sweep seed {base_seed}, {trials} trials)",
+            path.display()
+        );
+        return None;
+    }
+    let mut records = Vec::new();
+    let mut off = CKPT_HEADER_LEN;
+    while bytes.len() - off >= CKPT_REC_HEADER_LEN {
+        let trial = u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?);
+        let kind = bytes[off + 8];
+        let attempts = u32::from_le_bytes(bytes[off + 9..off + 13].try_into().ok()?);
+        let len = u32::from_le_bytes(bytes[off + 13..off + 17].try_into().ok()?) as usize;
+        let body = off + CKPT_REC_HEADER_LEN;
+        if kind > 1 || trial >= trials || bytes.len() - body < len {
+            break;
+        }
+        records.push(CkptRecord {
+            trial,
+            ok: kind == 0,
+            attempts,
+            payload: bytes[body..body + len].to_vec(),
+        });
+        off = body + len;
+    }
+    if off < bytes.len() {
+        arachnet_obs::warn!(
+            "checkpoint '{}': dropping {} torn trailing bytes",
+            path.display(),
+            bytes.len() - off
+        );
+    }
+    Some((records, off as u64))
+}
+
+/// Buffered appender for checkpoint records.
+struct CkptWriter {
+    file: fs::File,
+    buf: Vec<u8>,
+    buffered: u64,
+    every: u64,
+}
+
+impl CkptWriter {
+    fn push(&mut self, rec: &[u8]) -> std::io::Result<()> {
+        self.buf.extend_from_slice(rec);
+        self.buffered += 1;
+        if self.buffered >= self.every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.buffered = 0;
+        Ok(())
+    }
+}
+
+/// Opens the checkpoint file for appending. `append_at` truncates to the
+/// valid prefix of a resumed file; `None` starts a fresh file with a new
+/// header. I/O failure disables checkpointing (with a warning) — it never
+/// fails the sweep.
+fn open_writer(
+    spec: &CheckpointSpec,
+    base_seed: u64,
+    trials: u64,
+    append_at: Option<u64>,
+) -> Option<CkptWriter> {
+    let opened = (|| -> std::io::Result<fs::File> {
+        match append_at {
+            Some(valid) => {
+                let mut f = fs::OpenOptions::new().write(true).open(&spec.path)?;
+                f.set_len(valid)?;
+                f.seek(SeekFrom::End(0))?;
+                Ok(f)
+            }
+            None => {
+                let mut f = fs::File::create(&spec.path)?;
+                let mut header = Vec::with_capacity(CKPT_HEADER_LEN);
+                header.extend_from_slice(&CKPT_MAGIC);
+                header.extend_from_slice(&base_seed.to_le_bytes());
+                header.extend_from_slice(&trials.to_le_bytes());
+                f.write_all(&header)?;
+                Ok(f)
+            }
+        }
+    })();
+    match opened {
+        Ok(file) => Some(CkptWriter {
+            file,
+            buf: Vec::new(),
+            buffered: 0,
+            every: spec.every.max(1),
+        }),
+        Err(e) => {
+            arachnet_obs::warn!(
+                "sweep checkpoint '{}' unavailable, checkpointing disabled: {e}",
+                spec.path.display()
+            );
+            None
+        }
+    }
+}
+
+type JobOutput<T> = (u64, u32, TrialResult<T>);
+
+/// The shared runner behind every public entry point: seed derivation via
+/// `seed_of`, retry/quarantine around `f`, optional checkpoint restore +
+/// append when `codec` is present, budget/halt dispatch gating, and the
+/// scheduling-independent merge.
+fn run_core<T, F, S>(
+    cfg: &SweepConfig,
+    trials: u64,
+    seed_of: S,
+    f: F,
+    codec: Option<CodecVt<T>>,
+) -> SweepRun<T>
 where
     T: Send,
     F: Fn(u64, u64) -> T + Sync,
+    S: Fn(u64) -> u64 + Sync,
 {
-    let one_trial = |i: u64| -> (u64, TrialResult<T>) {
-        let seed = trial_seed(cfg.base_seed, i);
-        let r = catch_unwind(AssertUnwindSafe(|| f(i, seed))).map_err(|p| TrialError {
-            trial: i,
-            payload: panic_text(p),
-        });
-        (i, r)
-    };
-
-    let workers = cfg.threads.clamp(1, trials.max(1) as usize);
+    let pol = &cfg.policy;
     let mut slots: Vec<Option<TrialResult<T>>> = (0..trials).map(|_| None).collect();
-    let mut worker_deaths: Vec<String> = Vec::new();
+    let mut attempts_of: Vec<u32> = vec![0; trials as usize];
+    let mut restored = 0u64;
+
+    // --- restore from checkpoint ---------------------------------------
+    let ckpt = match (&codec, pol.checkpoint.as_ref()) {
+        (Some(_), Some(spec)) => Some(spec),
+        _ => None,
+    };
+    let mut writer: Option<CkptWriter> = None;
+    if let (Some(vt), Some(spec)) = (codec, ckpt) {
+        let mut append_at = None;
+        if spec.resume {
+            if let Some((records, valid)) = load_checkpoint(&spec.path, cfg.base_seed, trials) {
+                for rec in records {
+                    let i = rec.trial as usize;
+                    let slot = if rec.ok {
+                        let mut input = rec.payload.as_slice();
+                        match (vt.decode)(&mut input) {
+                            Some(v) if input.is_empty() => Ok(v),
+                            _ => {
+                                arachnet_obs::warn!(
+                                    "checkpoint '{}': undecodable record for trial {}, re-running it",
+                                    spec.path.display(),
+                                    rec.trial
+                                );
+                                continue;
+                            }
+                        }
+                    } else {
+                        Err(TrialError {
+                            trial: rec.trial,
+                            payload: String::from_utf8_lossy(&rec.payload).into_owned(),
+                            attempts: rec.attempts,
+                        })
+                    };
+                    if slots[i].is_none() {
+                        restored += 1;
+                    }
+                    slots[i] = Some(slot);
+                    attempts_of[i] = rec.attempts;
+                }
+                append_at = Some(valid);
+            }
+        }
+        writer = open_writer(spec, cfg.base_seed, trials, append_at);
+    }
+
+    let pending: Vec<u64> = (0..trials)
+        .filter(|&i| slots[i as usize].is_none())
+        .collect();
+    let workers = cfg.threads.clamp(1, pending.len().max(1));
+
     // Wall-domain utilization stats land in the obs globals; `take_global_stats`
     // reads them out. They are diagnostics about this host's scheduling, so
     // they are never part of the deterministic metrics export (DESIGN.md §11).
@@ -142,31 +686,109 @@ where
     global_counter_add("sweep.sweeps", 1);
     global_counter_add("sweep.trials", trials);
     global_counter_add("sweep.workers", workers as u64);
-    if workers <= 1 {
-        for i in 0..trials {
-            let _t = span("sweep.trial");
-            let (idx, r) = one_trial(i);
-            slots[idx as usize] = Some(r);
+    if restored > 0 {
+        global_counter_add("sweep.resumed_trials", restored);
+    }
+
+    let deadline = pol.budget.map(|b| Instant::now() + b);
+    let retries = pol.retries;
+    let next_job = AtomicU64::new(0);
+    let starved = AtomicBool::new(false);
+    let sink: Mutex<Option<CkptWriter>> = Mutex::new(writer);
+
+    let one_job = |i: u64| -> JobOutput<T> {
+        let first = seed_of(i);
+        let mut attempt = 0u32;
+        loop {
+            let seed = if attempt == 0 {
+                first
+            } else {
+                retry_seed(first, u64::from(attempt))
+            };
+            let r = catch_unwind(AssertUnwindSafe(|| f(i, seed)));
+            attempt += 1;
+            match r {
+                Ok(v) => return (i, attempt, Ok(v)),
+                Err(p) => {
+                    if attempt > retries {
+                        return (
+                            i,
+                            attempt,
+                            Err(TrialError {
+                                trial: i,
+                                payload: panic_text(p),
+                                attempts: attempt,
+                            }),
+                        );
+                    }
+                    global_counter_add("sweep.retries", 1);
+                }
+            }
         }
-        global_histo_record("sweep.jobs_per_worker", trials);
+    };
+
+    let checkpoint_one = |i: u64, attempts: u32, r: &TrialResult<T>| {
+        let Some(vt) = codec else { return };
+        let mut guard = sink.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(w) = guard.as_mut() else { return };
+        let mut payload = Vec::new();
+        let kind = match r {
+            Ok(v) => {
+                (vt.encode)(v, &mut payload);
+                0u8
+            }
+            Err(e) => {
+                payload.extend_from_slice(e.payload.as_bytes());
+                1
+            }
+        };
+        let mut rec = Vec::with_capacity(CKPT_REC_HEADER_LEN + payload.len());
+        encode_record(i, kind, attempts, &payload, &mut rec);
+        if let Err(e) = w.push(&rec) {
+            arachnet_obs::warn!("sweep checkpoint write failed, checkpointing disabled: {e}");
+            *guard = None;
+        }
+    };
+
+    let work = || {
+        let mut local: Vec<JobOutput<T>> = Vec::new();
+        loop {
+            let k = next_job.fetch_add(1, Ordering::Relaxed);
+            if k >= pending.len() as u64 {
+                break;
+            }
+            if pol.halt_after.is_some_and(|h| k >= h)
+                || deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                starved.store(true, Ordering::Relaxed);
+                break;
+            }
+            let i = pending[k as usize];
+            let _t = span("sweep.trial");
+            let out = one_job(i);
+            checkpoint_one(out.0, out.1, &out.2);
+            local.push(out);
+        }
+        // How evenly the shared counter spread jobs across workers (a
+        // proxy for steal balance).
+        global_histo_record("sweep.jobs_per_worker", local.len() as u64);
+        local
+    };
+
+    let mut worker_deaths: Vec<String> = Vec::new();
+    let mut outputs: Vec<JobOutput<T>> = Vec::new();
+    if pending.is_empty() {
+        // Fully restored (or zero trials): nothing to dispatch — and no
+        // jobs_per_worker sample, so readers of that histogram must
+        // tolerate its absence.
+    } else if workers <= 1 {
+        outputs = work();
     } else {
-        let next_job = AtomicU64::new(0);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next_job.fetch_add(1, Ordering::Relaxed);
-                            if i >= trials {
-                                break;
-                            }
-                            let _t = span("sweep.trial");
-                            local.push(one_trial(i));
-                        }
-                        // How evenly the shared counter spread jobs across
-                        // workers (a proxy for steal balance).
-                        global_histo_record("sweep.jobs_per_worker", local.len() as u64);
+                        let local = work();
                         // Spans recorded inside trials live in this worker's
                         // thread-local map; merge them before the thread dies.
                         flush_thread_spans();
@@ -176,17 +798,20 @@ where
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok(local) => {
-                        for (i, r) in local {
-                            slots[i as usize] = Some(r);
-                        }
-                    }
+                    Ok(local) => outputs.extend(local),
                     Err(p) => worker_deaths.push(panic_text(p)),
                 }
             }
         });
     }
-    let detail = if worker_deaths.is_empty() {
+    for (i, a, r) in outputs {
+        attempts_of[i as usize] = a;
+        slots[i as usize] = Some(r);
+    }
+
+    // --- merge ----------------------------------------------------------
+    let starved = starved.load(Ordering::Relaxed);
+    let death_detail = if worker_deaths.is_empty() {
         "trial was never executed".to_string()
     } else {
         format!(
@@ -194,25 +819,151 @@ where
             worker_deaths.join("; ")
         )
     };
-    slots
+    let mut stats = SweepStats {
+        trials,
+        restored,
+        ..SweepStats::default()
+    };
+    let results: Vec<TrialResult<T>> = slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| {
-            slot.unwrap_or_else(|| {
+        .map(|(i, slot)| match slot {
+            Some(r) => r,
+            None if starved && worker_deaths.is_empty() => {
+                stats.skipped += 1;
                 Err(TrialError {
                     trial: i as u64,
-                    payload: detail.clone(),
+                    payload: BUDGET_SKIP_PAYLOAD.to_string(),
+                    attempts: 0,
                 })
-            })
+            }
+            None => Err(TrialError {
+                trial: i as u64,
+                payload: death_detail.clone(),
+                attempts: 1,
+            }),
         })
-        .collect()
+        .collect();
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(_) => stats.completed += 1,
+            Err(e) if e.is_budget_skip() => {}
+            Err(_) => stats.quarantined += 1,
+        }
+        stats.retried += u64::from(attempts_of[i].saturating_sub(1));
+    }
+    stats.partial = stats.skipped > 0;
+    if stats.quarantined > 0 {
+        global_counter_add("sweep.quarantined", stats.quarantined);
+    }
+    if stats.skipped > 0 {
+        global_counter_add("sweep.budget_skipped", stats.skipped);
+    }
+
+    // --- finalize the checkpoint ----------------------------------------
+    {
+        let mut guard = sink.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(w) = guard.as_mut() {
+            if let Err(e) = w.flush() {
+                arachnet_obs::warn!("sweep checkpoint final flush failed: {e}");
+            }
+        }
+        if let Some(spec) = ckpt {
+            if !stats.partial && worker_deaths.is_empty() {
+                // The sweep completed: the checkpoint has served its
+                // purpose (quarantined slots are final results, not work
+                // to redo).
+                *guard = None;
+                let _ = fs::remove_file(&spec.path);
+            }
+        }
+    }
+
+    SweepRun { results, stats }
+}
+
+/// Runs `trials` independent trials of `f(trial_index, trial_seed)` across
+/// the worker pool and returns results ordered by trial index. Bit-identical
+/// at any thread count; a panicking trial is retried per the config's
+/// [`ResiliencePolicy`] and quarantined as `Err(TrialError)` in its slot on
+/// final failure. Even a worker thread dying outside the isolated-panic
+/// window cannot poison the sweep: the trials it never reported come back
+/// as structured errors. Checkpoint specs are ignored here (no codec) —
+/// use [`run_sweep`] for resumable sweeps.
+pub fn run_trials<T, F>(cfg: &SweepConfig, trials: u64, f: F) -> Vec<TrialResult<T>>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    run_core(
+        cfg,
+        trials,
+        |i| trial_seed(cfg.base_seed, i),
+        f,
+        None::<CodecVt<T>>,
+    )
+    .results
+}
+
+/// [`run_trials`] with the full resilience feature set: the returned
+/// [`SweepRun`] carries quarantine/resume/budget counters, and when the
+/// config has a [`CheckpointSpec`], completed trials are persisted and
+/// restored so an interrupted sweep resumes byte-identically.
+pub fn run_sweep<T, F>(cfg: &SweepConfig, trials: u64, f: F) -> SweepRun<T>
+where
+    T: Send + TrialCodec,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    run_core(
+        cfg,
+        trials,
+        |i| trial_seed(cfg.base_seed, i),
+        f,
+        Some(CodecVt {
+            encode: <T as TrialCodec>::encode,
+            decode: <T as TrialCodec>::decode,
+        }),
+    )
+}
+
+fn matrix_core<P, T, F>(
+    cfg: &SweepConfig,
+    cells: &[P],
+    trials: u64,
+    f: F,
+    codec: Option<CodecVt<T>>,
+) -> SweepRun<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P, u64, u64) -> T + Sync,
+{
+    let per = trials.max(1);
+    let total = cells.len() as u64 * trials;
+    run_core(
+        cfg,
+        total,
+        |job| trial_seed(trial_seed(cfg.base_seed, job / per), job % per),
+        |job, seed| f(&cells[(job / per) as usize], job % per, seed),
+        codec,
+    )
+}
+
+fn reshape<T>(flat: Vec<TrialResult<T>>, cells: usize, trials: u64) -> Vec<Vec<TrialResult<T>>> {
+    let mut out: Vec<Vec<TrialResult<T>>> = Vec::with_capacity(cells);
+    let mut it = flat.into_iter();
+    for _ in 0..cells {
+        out.push(it.by_ref().take(trials as usize).collect());
+    }
+    out
 }
 
 /// Runs a `cells × trials` matrix (e.g. Table 3 patterns × seeds) over one
 /// shared worker pool, returning `results[cell][trial]` ordered like the
 /// inputs. A trial's seed depends only on `(base_seed, cell index, trial
 /// index)` — never on worker scheduling — so the whole matrix is
-/// bit-identical at any thread count.
+/// bit-identical at any thread count. Retries re-run a trial at a salted
+/// seed ([`retry_seed`] over the cell-trial seed).
 pub fn run_matrix<P, T, F>(
     cfg: &SweepConfig,
     cells: &[P],
@@ -224,19 +975,38 @@ where
     T: Send,
     F: Fn(&P, u64, u64) -> T + Sync,
 {
-    let total = cells.len() as u64 * trials;
-    let flat = run_trials(cfg, total, |job, _job_seed| {
-        let cell = (job / trials.max(1)) as usize;
-        let trial = job % trials.max(1);
-        let seed = trial_seed(trial_seed(cfg.base_seed, cell as u64), trial);
-        f(&cells[cell], trial, seed)
-    });
-    let mut out: Vec<Vec<TrialResult<T>>> = Vec::with_capacity(cells.len());
-    let mut it = flat.into_iter();
-    for _ in 0..cells.len() {
-        out.push(it.by_ref().take(trials as usize).collect());
+    let run = matrix_core(cfg, cells, trials, f, None::<CodecVt<T>>);
+    reshape(run.results, cells.len(), trials)
+}
+
+/// [`run_matrix`] with the full resilience feature set (checkpoint/resume
+/// over the flattened `cells × trials` job space, quarantine and budget
+/// counters in [`MatrixRun::stats`]).
+pub fn run_matrix_sweep<P, T, F>(
+    cfg: &SweepConfig,
+    cells: &[P],
+    trials: u64,
+    f: F,
+) -> MatrixRun<T>
+where
+    P: Sync,
+    T: Send + TrialCodec,
+    F: Fn(&P, u64, u64) -> T + Sync,
+{
+    let run = matrix_core(
+        cfg,
+        cells,
+        trials,
+        f,
+        Some(CodecVt {
+            encode: <T as TrialCodec>::encode,
+            decode: <T as TrialCodec>::decode,
+        }),
+    );
+    MatrixRun {
+        cells: reshape(run.results, cells.len(), trials),
+        stats: run.stats,
     }
-    out
 }
 
 /// Aggregate of a sweep of scalar trials: five-number summary, empirical
@@ -277,6 +1047,18 @@ mod tests {
     use super::*;
     use crate::patterns::Pattern;
     use crate::slotsim::first_convergence_time;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A unique checkpoint path under the system temp dir (tests run in
+    /// parallel within one process and across processes).
+    fn temp_ckpt(label: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "arachnet_ckpt_{}_{label}_{n}.bin",
+            std::process::id()
+        ))
+    }
 
     #[test]
     fn results_are_ordered_by_trial_index() {
@@ -315,13 +1097,57 @@ mod tests {
         assert_eq!(single, run_at(7));
         assert_eq!(single.len(), 3);
         assert!(single.iter().all(|row| row.len() == 5));
-        // Distinct cells must not share trial seeds.
-        let seeds: std::collections::HashSet<u64> = single
+        // Distinct cells must not share trial seeds. Error slots are
+        // propagated, never unwrapped: collect the successes explicitly.
+        let oks: Vec<u64> = single
             .iter()
             .flatten()
-            .map(|r| r.as_ref().unwrap().2)
+            .filter_map(|r| r.as_ref().ok())
+            .map(|&(_, _, seed)| seed)
             .collect();
+        assert_eq!(oks.len(), 15, "all matrix slots succeeded");
+        let seeds: std::collections::HashSet<u64> = oks.into_iter().collect();
         assert_eq!(seeds.len(), 15);
+    }
+
+    #[test]
+    fn matrix_quarantines_injected_panic_without_poisoning_the_grid() {
+        // Regression for the aggregator unwrap: one poisoned slot must
+        // stay a structured error in its own cell while every other slot
+        // keeps its value — at any thread count.
+        let cells = ["a", "b", "c"];
+        let run_at = |threads| {
+            let cfg = SweepConfig::new(11).with_threads(threads).with_retries(1);
+            run_matrix(&cfg, &cells, 4, |&name, t, seed| {
+                assert!(
+                    !(name == "b" && t == 2),
+                    "injected failure in cell b trial 2"
+                );
+                (name.len() as u64, t, seed)
+            })
+        };
+        let grid = run_at(1);
+        assert_eq!(grid, run_at(5), "error slots are thread-invariant too");
+        for (c, row) in grid.iter().enumerate() {
+            for (t, r) in row.iter().enumerate() {
+                if c == 1 && t == 2 {
+                    let e = r.as_ref().unwrap_err();
+                    assert!(e.payload.contains("injected failure"), "{}", e.payload);
+                    assert_eq!(e.attempts, 2, "first attempt plus one retry");
+                    // Flat job index over the 3×4 grid.
+                    assert_eq!(e.trial, 6);
+                } else {
+                    assert!(r.is_ok(), "cell {c} trial {t} poisoned: {r:?}");
+                }
+            }
+        }
+        // The quarantined slot surfaces as a deterministic recorder event.
+        let events = quarantine_events(grid.iter().flatten());
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            EventKind::TrialQuarantined { attempts: 2 }
+        );
     }
 
     #[test]
@@ -342,6 +1168,307 @@ mod tests {
         }
     }
 
+    #[test]
+    fn retry_recovers_a_seed_flaky_trial() {
+        // A trial that panics only at its attempt-0 seed succeeds on the
+        // salted retry — deterministically.
+        let base = 1234;
+        let cfg = SweepConfig::new(base).with_threads(2).with_retries(1);
+        let run = run_sweep(&cfg, 6, |i, seed| {
+            assert!(
+                !(i == 3 && seed == trial_seed(base, 3)),
+                "flaky at first seed"
+            );
+            seed
+        });
+        assert!(run.results.iter().all(Result::is_ok));
+        assert_eq!(run.results[3], Ok(retry_seed(trial_seed(base, 3), 1)));
+        assert_eq!(run.stats.completed, 6);
+        assert_eq!(run.stats.retried, 1);
+        assert_eq!(run.stats.quarantined, 0);
+        assert!(!run.stats.partial);
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_with_attempt_count() {
+        let cfg = SweepConfig::new(5).with_threads(1).with_retries(2);
+        let run = run_sweep(&cfg, 4, |i, _seed| {
+            assert!(i != 1, "always fails");
+            i
+        });
+        let e = run.results[1].as_ref().unwrap_err();
+        assert_eq!(e.attempts, 3, "first attempt plus two retries");
+        assert!(!e.is_budget_skip());
+        assert_eq!(run.stats.quarantined, 1);
+        assert_eq!(run.stats.retried, 2);
+        assert_eq!(run.stats.completed, 3);
+        let events = run.quarantine_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].slot, 1);
+        assert_eq!(events[0].kind, EventKind::TrialQuarantined { attempts: 3 });
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        // Regression: 8 requested workers with 2 trials must neither
+        // spawn idle workers nor panic any utilization bookkeeping.
+        let cfg = SweepConfig::new(3).with_threads(8);
+        let out = run_trials(&cfg, 2, |i, _| i * 10);
+        assert_eq!(out, vec![Ok(0), Ok(10)]);
+        // The jobs_per_worker histogram may have been drained by a
+        // concurrent test (the global sinks are process-wide), so its
+        // absence is tolerated — the old `.expect()` here was the bug.
+        let stats = arachnet_obs::take_global_stats();
+        if let Some(jobs) = stats.histos.get("sweep.jobs_per_worker") {
+            assert!(jobs.count() >= 1);
+        }
+    }
+
+    #[test]
+    fn sweeps_publish_worker_utilization_stats() {
+        // Utilization diagnostics land in the process-global obs sinks.
+        // Other tests in this binary also run sweeps concurrently, so the
+        // assertions are lower bounds, never exact counts — and a
+        // concurrent `take_global_stats` can have drained a sink entirely,
+        // so presence is checked gracefully instead of `.expect()`ed.
+        let cfg = SweepConfig::new(77).with_threads(3);
+        let out = run_trials(&cfg, 12, |i, _| i + 1);
+        assert_eq!(out.len(), 12);
+        let stats = arachnet_obs::take_global_stats();
+        if let Some(jobs) = stats.histos.get("sweep.jobs_per_worker") {
+            assert!(jobs.count() >= 1, "at least this sweep's workers sampled");
+        }
+        if let Some(&trials) = stats.counters.get("sweep.trials") {
+            assert!(trials >= 12, "sweep.trials: {trials}");
+        }
+    }
+
+    #[test]
+    fn budget_zero_skips_everything_as_a_partial_report() {
+        let cfg = SweepConfig::new(8)
+            .with_threads(4)
+            .with_budget(Duration::ZERO);
+        let run = run_sweep(&cfg, 5, |i, _| i);
+        assert_eq!(run.stats.skipped, 5);
+        assert_eq!(run.stats.completed, 0);
+        assert!(run.stats.partial);
+        assert!(run
+            .results
+            .iter()
+            .all(|r| r.as_ref().is_err_and(TrialError::is_budget_skip)));
+        // Skips are partial-report markers, not quarantined failures.
+        assert_eq!(run.stats.quarantined, 0);
+        assert!(run.quarantine_events().is_empty());
+        let prov = provenance_events(&run.stats);
+        assert_eq!(prov.len(), 1);
+        assert_eq!(prov[0].kind, EventKind::BudgetExhausted);
+    }
+
+    #[test]
+    fn halt_after_is_deterministic_across_thread_counts() {
+        let run_at = |threads| {
+            let cfg = SweepConfig::new(21).with_threads(threads).with_halt_after(3);
+            run_sweep(&cfg, 8, |i, seed| (i, seed))
+        };
+        let single = run_at(1);
+        assert_eq!(single.stats.completed, 3);
+        assert_eq!(single.stats.skipped, 5);
+        assert!(single.stats.partial);
+        for threads in [2, 4, 8] {
+            let multi = run_at(threads);
+            assert_eq!(single.results, multi.results, "threads={threads}");
+            assert_eq!(single.stats, multi.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_an_uninterrupted_run() {
+        let path = temp_ckpt("resume");
+        let uninterrupted = {
+            let cfg = SweepConfig::new(99).with_threads(2);
+            run_sweep(&cfg, 10, |i, seed| (i, seed))
+        };
+        // Interrupt after 4 dispatched jobs, checkpointing every trial.
+        let partial = {
+            let cfg = SweepConfig::new(99)
+                .with_threads(2)
+                .with_halt_after(4)
+                .with_checkpoint(CheckpointSpec::new(&path).with_every(1));
+            run_sweep(&cfg, 10, |i, seed| (i, seed))
+        };
+        assert!(partial.stats.partial);
+        assert_eq!(partial.stats.completed, 4);
+        assert!(path.exists(), "partial run must keep its checkpoint");
+        // Resume at a different thread count: byte-identical results.
+        let resumed = {
+            let cfg = SweepConfig::new(99).with_threads(8).with_checkpoint(
+                CheckpointSpec::new(&path).with_every(1).with_resume(true),
+            );
+            run_sweep(&cfg, 10, |i, seed| (i, seed))
+        };
+        assert_eq!(resumed.results, uninterrupted.results);
+        assert_eq!(resumed.stats.restored, 4);
+        assert_eq!(resumed.stats.completed, 10);
+        assert!(!resumed.stats.partial);
+        let prov = provenance_events(&resumed.stats);
+        assert_eq!(prov[0].kind, EventKind::SweepResumed { restored: 4 });
+        assert!(!path.exists(), "completed run must delete its checkpoint");
+    }
+
+    #[test]
+    fn checkpoint_restores_quarantined_trials_with_their_attempts() {
+        let path = temp_ckpt("quarantine");
+        let mk = |halt: Option<u64>, resume: bool| {
+            let spec = CheckpointSpec::new(&path).with_every(1).with_resume(resume);
+            let mut cfg = SweepConfig::new(4)
+                .with_threads(1)
+                .with_retries(1)
+                .with_checkpoint(spec);
+            if let Some(h) = halt {
+                cfg = cfg.with_halt_after(h);
+            }
+            run_sweep(&cfg, 5, |i, _seed| {
+                assert!(i != 0, "poison pill");
+                i
+            })
+        };
+        let first = mk(Some(2), false);
+        assert_eq!(first.stats.quarantined, 1);
+        assert!(first.stats.partial);
+        let resumed = mk(None, true);
+        assert_eq!(resumed.stats.restored, 2, "err and ok records restored");
+        assert_eq!(resumed.stats.quarantined, 1);
+        assert_eq!(resumed.stats.retried, 1, "restored attempts counted");
+        let e = resumed.results[0].as_ref().unwrap_err();
+        assert!(e.payload.contains("poison pill"), "{}", e.payload);
+        assert_eq!(e.attempts, 2);
+        // Identical to a run that never checkpointed.
+        let fresh = {
+            let cfg = SweepConfig::new(4).with_threads(1).with_retries(1);
+            run_sweep(&cfg, 5, |i, _seed| {
+                assert!(i != 0, "poison pill");
+                i
+            })
+        };
+        assert_eq!(resumed.results, fresh.results);
+        assert_eq!(resumed.stats.quarantined, fresh.stats.quarantined);
+        assert_eq!(resumed.stats.retried, fresh.stats.retried);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_is_truncated_not_trusted() {
+        let path = temp_ckpt("torn");
+        {
+            let cfg = SweepConfig::new(31)
+                .with_threads(1)
+                .with_halt_after(3)
+                .with_checkpoint(CheckpointSpec::new(&path).with_every(1));
+            run_sweep(&cfg, 6, |i, seed| (i, seed));
+        }
+        // Simulate a crash mid-write: garbage half-record at the tail.
+        {
+            let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[9, 9, 9, 9, 9]).unwrap();
+        }
+        let resumed = {
+            let cfg = SweepConfig::new(31).with_threads(2).with_checkpoint(
+                CheckpointSpec::new(&path).with_every(1).with_resume(true),
+            );
+            run_sweep(&cfg, 6, |i, seed| (i, seed))
+        };
+        assert_eq!(resumed.stats.restored, 3, "valid prefix only");
+        let fresh = {
+            let cfg = SweepConfig::new(31).with_threads(1);
+            run_sweep(&cfg, 6, |i, seed| (i, seed))
+        };
+        assert_eq!(resumed.results, fresh.results);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn mismatched_checkpoint_header_is_ignored() {
+        let path = temp_ckpt("mismatch");
+        {
+            let cfg = SweepConfig::new(1)
+                .with_threads(1)
+                .with_halt_after(2)
+                .with_checkpoint(CheckpointSpec::new(&path).with_every(1));
+            run_sweep(&cfg, 4, |i, seed| (i, seed));
+        }
+        // Different base seed: the file must be ignored, not misapplied.
+        let (_, warnings) = arachnet_obs::capture(|| {
+            let cfg = SweepConfig::new(2).with_threads(1).with_checkpoint(
+                CheckpointSpec::new(&path).with_every(1).with_resume(true),
+            );
+            let run = run_sweep(&cfg, 4, |i, seed| (i, seed));
+            assert_eq!(run.stats.restored, 0);
+            assert_eq!(run.stats.completed, 4);
+        });
+        assert!(
+            warnings.iter().any(|w| w.contains("shape mismatch")),
+            "{warnings:?}"
+        );
+        assert!(!path.exists(), "completed run cleans up");
+    }
+
+    #[test]
+    fn matrix_sweep_checkpoints_over_the_flat_job_space() {
+        let path = temp_ckpt("matrix");
+        let cells = [10u64, 20, 30];
+        let full = {
+            let cfg = SweepConfig::new(55).with_threads(2);
+            run_matrix_sweep(&cfg, &cells, 4, |&c, t, seed| (c + t, seed))
+        };
+        let partial = {
+            let cfg = SweepConfig::new(55)
+                .with_threads(2)
+                .with_halt_after(5)
+                .with_checkpoint(CheckpointSpec::new(&path).with_every(1));
+            run_matrix_sweep(&cfg, &cells, 4, |&c, t, seed| (c + t, seed))
+        };
+        assert!(partial.stats.partial);
+        let resumed = {
+            let cfg = SweepConfig::new(55).with_threads(7).with_checkpoint(
+                CheckpointSpec::new(&path).with_every(1).with_resume(true),
+            );
+            run_matrix_sweep(&cfg, &cells, 4, |&c, t, seed| (c + t, seed))
+        };
+        assert_eq!(resumed.cells, full.cells);
+        assert_eq!(resumed.stats.restored, 5);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn tagged_checkpoint_specs_get_distinct_files() {
+        let spec = CheckpointSpec::new("CHECKPOINT_mr-fdma.bin");
+        let a = spec.tagged("k2");
+        let b = spec.tagged("k4");
+        assert_eq!(a.path, PathBuf::from("CHECKPOINT_mr-fdma.k2.bin"));
+        assert_eq!(b.path, PathBuf::from("CHECKPOINT_mr-fdma.k4.bin"));
+        // Hostile tag characters are sanitized away from the filesystem.
+        let c = spec.tagged("../../etc");
+        assert_eq!(c.path, PathBuf::from("CHECKPOINT_mr-fdma.______etc.bin"));
+        // Configs without a checkpoint pass through tagging unchanged.
+        let cfg = SweepConfig::new(1).checkpoint_tagged("x");
+        assert!(cfg.policy.checkpoint.is_none());
+    }
+
+    #[test]
+    fn summarize_splits_values_and_panics() {
+        let cfg = SweepConfig::new(3).with_threads(2);
+        let out = run_trials(&cfg, 9, |i, _| {
+            assert!(i % 4 != 3, "boom");
+            i as f64
+        });
+        let s = summarize(&out);
+        assert_eq!(s.ok, 7);
+        assert_eq!(s.errors.len(), 2);
+        assert_eq!(s.stats.min, 0.0);
+        assert_eq!(s.stats.max, 8.0);
+        assert_eq!(s.ecdf.len(), 7);
+    }
+
     /// Property (testkit): whatever the trial count, thread count and
     /// panic pattern, a panicking trial surfaces as `Err(TrialError)` in
     /// its own slot — never as a harness panic — and every other slot
@@ -358,7 +1485,9 @@ mod tests {
             "sweep_panic_isolation",
             &g,
             |&(trials, threads, modulus)| {
-                let cfg = SweepConfig::new(trials ^ 0xC0FFEE).with_threads(threads as usize);
+                let cfg = SweepConfig::new(trials ^ 0xC0FFEE)
+                    .with_threads(threads as usize)
+                    .with_retries(0);
                 let out = run_trials(&cfg, trials, |i, _| {
                     assert!(i % modulus != 0, "synthetic failure at {i}");
                     i * 3
@@ -379,52 +1508,16 @@ mod tests {
     }
 
     #[test]
-    fn sweeps_publish_worker_utilization_stats() {
-        // Utilization diagnostics land in the process-global obs sinks.
-        // Other tests in this binary also run sweeps concurrently, so the
-        // assertions are lower bounds, never exact counts.
-        let cfg = SweepConfig::new(77).with_threads(3);
-        let out = run_trials(&cfg, 12, |i, _| i + 1);
-        assert_eq!(out.len(), 12);
-        let stats = arachnet_obs::take_global_stats();
-        assert!(
-            stats.counters.get("sweep.trials").copied().unwrap_or(0) >= 12,
-            "sweep.trials missing: {:?}",
-            stats.counters
-        );
-        assert!(stats.counters.get("sweep.sweeps").copied().unwrap_or(0) >= 1);
-        let jobs = stats
-            .histos
-            .get("sweep.jobs_per_worker")
-            .expect("jobs_per_worker histo");
-        assert!(jobs.count() >= 3, "one sample per worker, got {}", jobs.count());
-        // Trial spans were flushed from the worker threads before join.
-        let spans = arachnet_obs::take_spans();
-        let trial = spans.iter().find(|(n, _)| *n == "sweep.trial");
-        assert!(trial.is_some_and(|(_, s)| s.calls >= 12), "spans: {spans:?}");
-    }
-
-    #[test]
-    fn summarize_splits_values_and_panics() {
-        let cfg = SweepConfig::new(3).with_threads(2);
-        let out = run_trials(&cfg, 9, |i, _| {
-            assert!(i % 4 != 3, "boom");
-            i as f64
-        });
-        let s = summarize(&out);
-        assert_eq!(s.ok, 7);
-        assert_eq!(s.errors.len(), 2);
-        assert_eq!(s.stats.min, 0.0);
-        assert_eq!(s.stats.max, 8.0);
-        assert_eq!(s.ecdf.len(), 7);
-    }
-
-    #[test]
     fn trial_seeds_are_decorrelated() {
         let a = trial_seed(1, 0);
         let b = trial_seed(1, 1);
         assert_ne!(a, b);
         assert!((a ^ b).count_ones() > 8);
+        // Retry seeds are decorrelated from first-attempt seeds too.
+        let r1 = retry_seed(a, 1);
+        assert_ne!(r1, a);
+        assert!((r1 ^ a).count_ones() > 8);
+        assert_ne!(retry_seed(a, 1), retry_seed(a, 2));
     }
 
     #[test]
@@ -434,5 +1527,14 @@ mod tests {
         assert!(out.is_empty());
         let m = run_matrix(&cfg, &[1, 2], 0, |_, _, _| 0u8);
         assert_eq!(m, vec![Vec::new(), Vec::new()]);
+        // Even with a checkpoint attached: no residue left behind.
+        let path = temp_ckpt("empty");
+        let cfg = SweepConfig::new(5)
+            .with_threads(4)
+            .with_checkpoint(CheckpointSpec::new(&path).with_resume(true));
+        let run = run_sweep(&cfg, 0, |i, _| i);
+        assert!(run.results.is_empty());
+        assert_eq!(run.stats, SweepStats::default());
+        assert!(!path.exists());
     }
 }

@@ -69,7 +69,7 @@ pub struct WaveSim {
 }
 
 /// Result of an uplink packet-loss trial.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UplinkResult {
     /// Packets sent.
     pub sent: u64,

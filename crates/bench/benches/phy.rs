@@ -101,7 +101,7 @@ fn bench_trials(s: &mut Suite) {
     let fleet = arachnet_sim::fleet::FleetWaveSim::paper(plan, 1);
     let fleet_rx = fleet.fleet_rx(0, 375.0);
     s.bench("phy/full_uplink_trial_two_readers", || {
-        let r = fleet.uplink_trial(&fleet_rx, 0, 8, 1);
+        let r = fleet.uplink_trial(&fleet_rx, 0, 8, 1).expect("in-range bench trial");
         black_box(r.lost)
     });
     // The drifting trial over a single identity epoch must cost the same

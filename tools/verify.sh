@@ -42,7 +42,7 @@ echo "== registry coverage: dynamic-scenario + multi-reader experiments =="
 # pipe before repro finishes writing, panicking it with EPIPE.
 list_out="$(mktemp)"
 "$repro" list > "$list_out"
-for id in dyn-churn dyn-drift dyn-outage dyn-soak mr-fdma mr-interference mr-fleet-soak; do
+for id in dyn-churn dyn-drift dyn-outage dyn-soak mr-fdma mr-interference mr-fleet-soak resilience; do
   if ! grep -q "^$id " "$list_out"; then
     echo "FAIL: registry does not list $id" >&2
     rm -f "$list_out"
@@ -50,7 +50,7 @@ for id in dyn-churn dyn-drift dyn-outage dyn-soak mr-fdma mr-interference mr-fle
   fi
 done
 rm -f "$list_out"
-echo "   dyn-* and mr-* experiments registered"
+echo "   dyn-*, mr-*, and resilience experiments registered"
 
 echo "== thread-count determinism (seed $seed) =="
 tmp1="$(mktemp -d)" tmp8="$(mktemp -d)"
@@ -76,6 +76,62 @@ for artifact in fig12a12b fig13a fig14b; do
   fi
   echo "   $artifact: report byte-identical at 1 vs 8 threads"
 done
+
+echo "== checkpoint/resume determinism (seed $seed) =="
+# An interrupted-then-resumed sweep must export byte-identical metrics to
+# an uninterrupted run, at every thread count. `--halt-after 3` plays the
+# interruption deterministically; `--resume` picks the checkpoint up.
+base="$(mktemp -d)"
+(cd "$base" && "$OLDPWD/$repro" metrics dyn-churn --quick --seed "$seed" --threads 2 > stdout.txt)
+for threads in 1 2 8; do
+  rdir="$(mktemp -d)"
+  (cd "$rdir" && "$OLDPWD/$repro" metrics dyn-churn --quick --seed "$seed" --threads "$threads" \
+     --checkpoint-every 1 --halt-after 3 > run1.txt)
+  if ! grep -q '"partial":true' "$rdir/METRICS_dyn-churn.json"; then
+    echo "FAIL: halted dyn-churn run at --threads $threads is not flagged partial" >&2
+    exit 1
+  fi
+  if [ ! -f "$rdir/CHECKPOINT_dyn-churn.bin" ]; then
+    echo "FAIL: halted dyn-churn run at --threads $threads left no checkpoint" >&2
+    exit 1
+  fi
+  (cd "$rdir" && "$OLDPWD/$repro" metrics dyn-churn --quick --seed "$seed" --threads "$threads" \
+     --resume > run2.txt)
+  if [ -f "$rdir/CHECKPOINT_dyn-churn.bin" ]; then
+    echo "FAIL: completed resume at --threads $threads did not delete the checkpoint" >&2
+    exit 1
+  fi
+  if ! cmp -s "$rdir/METRICS_dyn-churn.json" "$base/METRICS_dyn-churn.json"; then
+    echo "FAIL: resumed METRICS_dyn-churn.json differs from an uninterrupted run at --threads $threads" >&2
+    diff "$rdir/METRICS_dyn-churn.json" "$base/METRICS_dyn-churn.json" | head >&2
+    exit 1
+  fi
+  echo "   dyn-churn: interrupt+resume at --threads $threads byte-identical to uninterrupted"
+  rm -rf "$rdir"
+done
+rm -rf "$base"
+
+echo "== quarantine smoke: injected panic must not abort the run =="
+qdir="$(mktemp -d)"
+# `resilience` panics one trial by design; the sweep must quarantine it
+# (exit 0 with sweep.quarantined=1), never exit 3 like a harness panic.
+if ! (cd "$qdir" && RUST_BACKTRACE=0 "$OLDPWD/$repro" metrics resilience --quick --seed "$seed" \
+       --threads 4 > stdout.txt 2> stderr.txt); then
+  echo "FAIL: repro run resilience exited non-zero — quarantine did not contain the panic" >&2
+  tail -5 "$qdir/stderr.txt" >&2
+  exit 1
+fi
+if ! grep -q '"sweep.quarantined":1' "$qdir/METRICS_resilience.json"; then
+  echo "FAIL: METRICS_resilience.json does not report sweep.quarantined=1" >&2
+  grep -o '"sweep[^,}]*' "$qdir/METRICS_resilience.json" >&2 || true
+  exit 1
+fi
+if ! grep -q '"partial":false' "$qdir/METRICS_resilience.json"; then
+  echo "FAIL: a quarantined trial must not mark the report partial" >&2
+  exit 1
+fi
+echo "   resilience: quarantined=1, exit 0, report complete"
+rm -rf "$qdir"
 
 if [ "${ARACHNET_SKIP_BENCH_GATE:-0}" = "1" ]; then
   echo "== recorder-overhead bench gate: SKIPPED (ARACHNET_SKIP_BENCH_GATE=1) =="
