@@ -5,6 +5,7 @@
 //! repro list
 //! repro metrics <artifact|all> [flags]      (run with --metrics implied)
 //! repro trace <artifact> <tag|all> [flags]  (run with --trace implied)
+//! repro diff <A.json> <B.json> [--tolerance F]
 //! repro <artifact|all> [flags]              (legacy alias for `run`)
 //! ```
 //!
@@ -23,10 +24,21 @@
 //! `partial=true`; `--halt-after N` deterministically stops after N
 //! dispatches (testing/verify hook for interrupting a run mid-sweep).
 //!
-//! Exit codes: `0` success, `2` usage error (unknown artifact, bad flag
-//! combination), `3` experiment failure (a run panicked or an output file
-//! could not be written). Quarantined trials do *not* fail the run: the
-//! report completes with the failure counted in `sweep.quarantined`.
+//! Telemetry flags (DESIGN.md §15, all wall-domain — the deterministic
+//! exports never change): `--journal` streams progress heartbeats to
+//! `JOURNAL_<id>.jsonl` and a live stderr line; `--stall-secs S` pins the
+//! stall watchdog's soft deadline (without it the watchdog auto-calibrates
+//! from the running median trial duration); `--chrome` (with `trace`)
+//! additionally writes `TRACE_<id>.chrome.json`, a Chrome `trace_event`
+//! timeline of per-worker trial lanes, sim events, and span aggregates;
+//! `--trace-window N` sizes the text timeline (default 40);
+//! `--ring-capacity N` overrides the flight-recorder ring size.
+//!
+//! Exit codes: `0` success, `1` regression (`diff` found violations), `2`
+//! usage error (unknown artifact, bad flag combination), `3` experiment
+//! failure (a run panicked or an output file could not be written).
+//! Quarantined trials do *not* fail the run: the report completes with the
+//! failure counted in `sweep.quarantined`.
 //!
 //! `--metrics` prints each experiment's sim-domain metric table (plus
 //! wall-domain diagnostics, which are never exported) and writes the
@@ -34,20 +46,34 @@
 //! `--threads` count. `--trace <tag|all>` dumps the flight-recorder events
 //! of a representative trial to `TRACE_<id>.jsonl` and prints a text
 //! timeline of the last slots leading up to the first anomaly, optionally
-//! filtered to one tag id.
+//! filtered to one tag id. `repro diff` compares two `METRICS_*.json`
+//! documents under a relative per-metric tolerance and prints a regression
+//! report naming every metric that moved.
 
 use std::env;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use arachnet_experiments::diff::diff_metrics;
 use arachnet_experiments::registry;
 use arachnet_experiments::report::{export_metrics, metrics_json, Experiment, ExperimentCtx};
-use arachnet_obs::{render_timeline, take_global_stats, take_spans};
+use arachnet_obs::{
+    chrome_trace, flush_warnings, render_timeline, set_default_ring_capacity, take_global_stats,
+    take_spans, SpanStat,
+};
 use arachnet_sim::sweep::provenance_events;
 
-/// How many events the `--trace` text timeline shows.
+/// Default `--trace-window`: how many events the text timeline shows.
 const TIMELINE_WINDOW: usize = 40;
+/// Largest `--trace-window` accepted (the timeline is for humans).
+const MAX_TRACE_WINDOW: usize = 10_000;
+/// Microseconds one sim slot occupies on the Chrome trace's sim timeline.
+/// Display scale only: protocol slots are 1 s, but compressing them to
+/// 1 ms keeps thousand-slot soaks browsable next to the wall-clock lanes.
+const CHROME_SLOT_US: u64 = 1_000;
 
+/// Exit code for `diff` regressions (tolerance violations).
+const EXIT_REGRESSION: i32 = 1;
 /// Exit code for usage errors.
 const EXIT_USAGE: i32 = 2;
 /// Exit code for experiment failures (panics, unwritable outputs).
@@ -61,6 +87,10 @@ struct ObsOpts {
     /// `--trace`: `None` = off, `Some(None)` = all tags,
     /// `Some(Some(t))` = filter the timeline to tag `t`.
     trace: Option<Option<u8>>,
+    /// `--chrome`: also write the Chrome `trace_event` export.
+    chrome: bool,
+    /// `--trace-window N`: text-timeline length.
+    trace_window: usize,
 }
 
 fn main() {
@@ -75,9 +105,15 @@ fn main() {
     let mut budget_secs = None;
     let mut checkpoint_every = None;
     let mut halt_after = None;
+    let mut journal = false;
+    let mut stall_secs = None;
+    let mut ring_capacity = None;
+    let mut tolerance = 0.0f64;
     let mut obs = ObsOpts {
         metrics: false,
         trace: None,
+        chrome: false,
+        trace_window: TIMELINE_WINDOW,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -132,6 +168,42 @@ fn main() {
                         .unwrap_or_else(|| usage("--halt-after needs a number")),
                 );
             }
+            "--journal" => journal = true,
+            "--stall-secs" => {
+                stall_secs = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage("--stall-secs needs a number")),
+                );
+            }
+            "--ring-capacity" => {
+                ring_capacity = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage("--ring-capacity needs a number")),
+                );
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a number"));
+                if !(tolerance.is_finite() && tolerance >= 0.0) {
+                    usage("--tolerance must be finite and non-negative");
+                }
+            }
+            "--chrome" => obs.chrome = true,
+            "--trace-window" => {
+                obs.trace_window = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage("--trace-window needs a number"));
+                if obs.trace_window == 0 || obs.trace_window > MAX_TRACE_WINDOW {
+                    usage(&format!(
+                        "--trace-window must be in 1..={MAX_TRACE_WINDOW}"
+                    ));
+                }
+            }
             "--metrics" => obs.metrics = true,
             "--trace" => {
                 let target = it
@@ -153,6 +225,14 @@ fn main() {
             for e in registry::all() {
                 println!("{:<22} {:<24} {}", e.id(), e.paper_anchor(), e.title());
             }
+            return;
+        }
+        Some("diff") => {
+            let files = &positionals[1..];
+            if files.len() != 2 {
+                usage("`diff` takes exactly two METRICS json files");
+            }
+            run_diff(&files[0], &files[1], tolerance);
             return;
         }
         Some("run") | Some("metrics") | Some("trace") => {
@@ -183,7 +263,14 @@ fn main() {
         }
     };
     let _ = command;
-    let mut b = ExperimentCtx::builder(seed).observe(obs.metrics || obs.trace.is_some());
+    if obs.chrome && obs.trace.is_none() {
+        usage("--chrome needs the `trace` subcommand (or --trace)");
+    }
+    let mut b = ExperimentCtx::builder(seed)
+        .observe(obs.metrics || obs.trace.is_some())
+        .journal(journal)
+        // The Chrome export's worker lanes come from sweep telemetry.
+        .lanes(obs.chrome);
     if quick {
         b = b.quick();
     }
@@ -208,10 +295,19 @@ fn main() {
     if let Some(n) = halt_after {
         b = b.halt_after(n);
     }
+    if let Some(s) = stall_secs {
+        b = b.stall_secs(s);
+    }
+    if let Some(n) = ring_capacity {
+        b = b.ring_capacity(n);
+    }
     let ctx = match b.build() {
         Ok(ctx) => ctx,
         Err(err) => usage(&format!("invalid run context: {err}")),
     };
+    if let Some(cap) = ctx.ring_capacity() {
+        set_default_ring_capacity(cap);
+    }
     match artifact.as_str() {
         "all" => {
             for e in registry::all() {
@@ -236,6 +332,35 @@ fn main() {
             Err(err) => usage(&err.to_string()),
         },
     }
+    // Print the `×N` summaries for any stderr warnings that repeated
+    // (a stalled soak warns every watchdog poll; one line, not a flood).
+    flush_warnings();
+}
+
+/// `repro diff A.json B.json`: the regression sentinel. Prints a
+/// per-metric report; exits [`EXIT_REGRESSION`] when any metric moved past
+/// the relative tolerance (or changed shape), [`EXIT_FAILURE`] when a
+/// document is unreadable or not valid JSON.
+fn run_diff(left: &str, right: &str, tolerance: f64) {
+    let read = |path: &str| {
+        fs::read_to_string(path).unwrap_or_else(|err| {
+            eprintln!("error: cannot read {path}: {err}");
+            std::process::exit(EXIT_FAILURE);
+        })
+    };
+    let (a, b) = (read(left), read(right));
+    match diff_metrics(&a, &b, tolerance) {
+        Ok(report) => {
+            print!("{}", report.render(left, right));
+            if !report.is_ok() {
+                std::process::exit(EXIT_REGRESSION);
+            }
+        }
+        Err(err) => {
+            eprintln!("error: diff {left} {right}: {err}");
+            std::process::exit(EXIT_FAILURE);
+        }
+    }
 }
 
 fn parse_trace_target(target: &str) -> Option<u8> {
@@ -256,6 +381,11 @@ fn check_ctx(ctx: &ExperimentCtx, e: &'static dyn Experiment) {
 }
 
 fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
+    // The journal opens in append mode (several sweeps of one experiment
+    // share the file); a fresh invocation starts from a clean slate.
+    if let Some(path) = ctx.journal_path(e.id()) {
+        let _ = fs::remove_file(&path);
+    }
     let report = match catch_unwind(AssertUnwindSafe(|| e.run(ctx))) {
         Ok(report) => report,
         Err(payload) => {
@@ -291,6 +421,18 @@ fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
             stats.skipped
         );
     }
+    if report.telemetry.stalled > 0 {
+        println!(
+            "stalled: {} trial(s) exceeded the watchdog's soft deadline (still completed)",
+            report.telemetry.stalled
+        );
+    }
+    if let Some(path) = ctx.journal_path(e.id()) {
+        println!("journal: heartbeats -> {}", path.display());
+    }
+    // Spans drain once per experiment; the metrics printout and the Chrome
+    // export share the same snapshot.
+    let spans = take_spans();
     if obs.metrics {
         // `metrics_json` adds the generic report-shape counters, so every
         // artifact exports a non-empty deterministic document.
@@ -298,7 +440,7 @@ fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
         write_file(&path, &metrics_json(e.id(), &report));
         println!("-- metrics (sim-domain, exported to {path}) --");
         print!("{}", export_metrics(&report).render());
-        print_wall_domain();
+        print_wall_domain(&spans);
     }
     if let Some(tag) = obs.trace {
         let snap = &report.snapshot;
@@ -308,8 +450,12 @@ fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
             doc.push('\n');
         }
         // Provenance events (SweepResumed / BudgetExhausted) ride along in
-        // the trace export; empty for complete, non-resumed runs.
-        for ev in provenance_events(&report.sweep) {
+        // the trace export; empty for complete, non-resumed runs. The
+        // watchdog's stall events do too — wall-domain, trace-only.
+        for ev in provenance_events(&report.sweep)
+            .iter()
+            .chain(&report.telemetry.stall_events)
+        {
             doc.push_str(&ev.to_json(snap.seed));
             doc.push('\n');
         }
@@ -320,14 +466,29 @@ fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
             snap.events.len(),
             snap.total()
         );
-        print!("{}", render_timeline(&snap.events, tag, TIMELINE_WINDOW));
+        print!("{}", render_timeline(&snap.events, tag, obs.trace_window));
+        if obs.chrome {
+            let doc = chrome_trace(
+                &report.telemetry.lanes,
+                &spans,
+                &snap.events,
+                snap.seed,
+                CHROME_SLOT_US,
+            );
+            let path = format!("TRACE_{}.chrome.json", e.id());
+            write_file(&path, &doc);
+            println!(
+                "-- chrome trace: {} worker lanes + {} sim events -> {path} (chrome://tracing) --",
+                report.telemetry.lanes.len(),
+                snap.events.len()
+            );
+        }
     }
 }
 
 /// Wall-clock diagnostics (spans, sweep utilization): printed for humans,
 /// never exported — they differ run to run and across thread counts.
-fn print_wall_domain() {
-    let spans = take_spans();
+fn print_wall_domain(spans: &[(&'static str, SpanStat)]) {
     let globals = take_global_stats();
     if spans.is_empty() && globals.counters.is_empty() && globals.histos.is_empty() {
         return;
@@ -365,8 +526,10 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro <run|metrics|trace|list> <artifact|all> [--quick] [--seed N] \
          [--threads N] [--readers K] [--cells K] [--bands B] [--metrics] [--trace <tag|all>] \
-         [--checkpoint-every N] [--resume] [--budget-secs S] [--halt-after N]"
+         [--checkpoint-every N] [--resume] [--budget-secs S] [--halt-after N] \
+         [--journal] [--stall-secs S] [--chrome] [--trace-window N] [--ring-capacity N]"
     );
+    eprintln!("       repro diff <A.json> <B.json> [--tolerance F]");
     eprintln!("       repro <artifact|all>   (alias for `repro run`)");
     eprintln!(
         "artifacts: {}",

@@ -125,7 +125,8 @@ fn measure(cases: &[Case], trials: u64, sweep: &SweepConfig, observe: bool, titl
         .with_note(note),
     )
     .with_metrics(metrics)
-    .with_sweep(matrix.stats);
+    .with_sweep(matrix.stats)
+    .with_telemetry(matrix.telemetry);
     if let Some(snap) = snapshot {
         report = report.with_snapshot(snap);
     }
@@ -404,7 +405,8 @@ pub fn report_drift(n_per_epoch: u64, sweep: &SweepConfig, observe: bool) -> Rep
         ),
     )
     .with_metrics(metrics)
-    .with_sweep(matrix.stats);
+    .with_sweep(matrix.stats)
+    .with_telemetry(matrix.telemetry);
     if let Some(snap) = snapshot {
         report = report.with_snapshot(snap);
     }

@@ -18,7 +18,7 @@ use arachnet_obs::{EventKind, MetricSet, Recorder, RecorderSnapshot};
 use arachnet_reader::fleet::{FleetPlan, FleetPlanError};
 use arachnet_sim::fleet::{run_fleet, FleetCell, FleetWaveSim};
 use arachnet_sim::scenario::Scenario;
-use arachnet_sim::sweep::{run_matrix_sweep, SweepConfig, SweepStats};
+use arachnet_sim::sweep::{run_matrix_sweep, RunTelemetry, SweepConfig, SweepStats};
 use arachnet_sim::Pattern;
 use arachnet_core::slot::Period;
 
@@ -58,6 +58,7 @@ struct FleetPass {
     delivered: u64,
     sent: u64,
     stats: SweepStats,
+    telemetry: RunTelemetry,
 }
 
 fn fleet_pass(
@@ -103,6 +104,7 @@ fn fleet_pass(
         delivered: 0,
         sent: 0,
         stats: matrix.stats,
+        telemetry: matrix.telemetry,
     };
     for (&r, cell) in readers.iter().zip(&matrix.cells) {
         let Some(Ok((res, snap))) = cell.first() else {
@@ -164,6 +166,7 @@ impl Experiment for MrFdma {
         let mut metrics = MetricSet::new();
         let mut snapshot = None;
         let mut stats = SweepStats::default();
+        let mut telemetry = RunTelemetry::default();
         let sweep = ctx.sweep_for(self.id());
         for &k in &fleets {
             let bands = ctx.fleet_bands(k).min(k).max(1);
@@ -172,6 +175,7 @@ impl Experiment for MrFdma {
             let pass = fleet_pass(&plan, &label, 8, n, true, &sweep, ctx.observe());
             rows.extend(pass.rows);
             stats.merge(&pass.stats);
+            telemetry.merge(pass.telemetry);
             if ctx.observe() {
                 metrics.merge(&pass.metrics);
                 metrics.set_count(&format!("fleet.fdma.{label}.delivered"), pass.delivered);
@@ -196,7 +200,8 @@ impl Experiment for MrFdma {
             ),
         )
         .with_metrics(metrics)
-        .with_sweep(stats);
+        .with_sweep(stats)
+        .with_telemetry(telemetry);
         if let Some(snap) = snapshot {
             report = report.with_snapshot(snap);
         }
@@ -234,6 +239,7 @@ impl Experiment for MrInterference {
         let mut metrics = MetricSet::new();
         let mut snapshot = None;
         let mut stats = SweepStats::default();
+        let mut telemetry = RunTelemetry::default();
         for (plan, label, reject) in [
             (&fdma, "fdma-reject", true),
             (&fdma, "fdma-raw", false),
@@ -251,6 +257,7 @@ impl Experiment for MrInterference {
                 );
                 rows.extend(pass.rows);
                 stats.merge(&pass.stats);
+                telemetry.merge(pass.telemetry);
                 if ctx.observe() {
                     metrics.merge(&pass.metrics);
                     if snapshot.is_none() {
@@ -276,7 +283,8 @@ impl Experiment for MrInterference {
             ),
         )
         .with_metrics(metrics)
-        .with_sweep(stats);
+        .with_sweep(stats)
+        .with_telemetry(telemetry);
         if let Some(snap) = snapshot {
             report = report.with_snapshot(snap);
         }
@@ -425,7 +433,8 @@ pub fn report_fleet_soak(
         ),
     )
     .with_metrics(metrics)
-    .with_sweep(run.stats);
+    .with_sweep(run.stats)
+    .with_telemetry(run.telemetry);
     if let Some(snap) = snapshot {
         report = report.with_snapshot(snap);
     }

@@ -18,7 +18,7 @@
 //! survives as a deprecated alias with its old constructors.
 
 use arachnet_obs::{json_escape, MetricSet, RecorderSnapshot};
-use arachnet_sim::sweep::{CheckpointSpec, SweepConfig, SweepStats};
+use arachnet_sim::sweep::{CheckpointSpec, RunTelemetry, SweepConfig, SweepStats, TelemetrySpec};
 use arachnet_sim::ConfigError;
 
 use crate::render;
@@ -27,6 +27,10 @@ use crate::render;
 /// reader crate, checked here too so the error surfaces at build time.
 const MAX_FLEET_READERS: usize = 8;
 
+/// Largest flight-recorder ring capacity the builder accepts — an event is
+/// tens of bytes, so this caps the ring at a few tens of megabytes.
+const MAX_RING_CAPACITY: usize = 1 << 20;
+
 /// Validated, uniform run context for every experiment.
 ///
 /// Construct through [`ExperimentCtx::builder`]; fields are private so a
@@ -34,7 +38,7 @@ const MAX_FLEET_READERS: usize = 8;
 /// (`readers`/`bands`) only make sense for experiments whose
 /// [`Experiment::multi_reader`] is `true` — [`ExperimentCtx::validate_for`]
 /// enforces that pairing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentCtx {
     quick: bool,
     seed: u64,
@@ -47,6 +51,10 @@ pub struct ExperimentCtx {
     checkpoint_every: Option<u64>,
     halt_after: Option<u64>,
     checkpoint_dir: Option<std::path::PathBuf>,
+    journal: bool,
+    stall_secs: Option<f64>,
+    lanes: bool,
+    ring_capacity: Option<usize>,
 }
 
 /// Builder for [`ExperimentCtx`] — the only public construction path.
@@ -136,6 +144,39 @@ impl ExperimentCtxBuilder {
         self
     }
 
+    /// Stream wall-domain progress heartbeats to `JOURNAL_<id>.jsonl`
+    /// (`--journal`). Strictly diagnostic: the deterministic metrics export
+    /// is unaffected.
+    pub fn journal(mut self, journal: bool) -> Self {
+        self.ctx.journal = journal;
+        self
+    }
+
+    /// Stall-watchdog soft deadline in seconds (`--stall-secs`). Without
+    /// it the watchdog auto-calibrates from the running median trial
+    /// duration. Validated at [`Self::build`]: must be finite and positive.
+    pub fn stall_secs(mut self, secs: f64) -> Self {
+        self.ctx.stall_secs = Some(secs);
+        self
+    }
+
+    /// Record per-worker trial lanes for the Chrome trace export
+    /// (`repro trace --chrome`).
+    pub fn lanes(mut self, lanes: bool) -> Self {
+        self.ctx.lanes = lanes;
+        self
+    }
+
+    /// Flight-recorder ring capacity override (`--ring-capacity`; default
+    /// [`arachnet_obs::DEFAULT_CAPACITY`]). Affects only how many recent
+    /// events the trace window can show — per-kind counts, and therefore
+    /// the metrics export, see every event regardless. Validated at
+    /// [`Self::build`]: zero and absurdly large values are rejected.
+    pub fn ring_capacity(mut self, cap: usize) -> Self {
+        self.ctx.ring_capacity = Some(cap);
+        self
+    }
+
     /// Validates the combination and returns the context.
     pub fn build(self) -> Result<ExperimentCtx, ConfigError> {
         let c = &self.ctx;
@@ -162,6 +203,27 @@ impl ExperimentCtxBuilder {
                 field: "bands",
                 value: 0.0,
             });
+        }
+        if let Some(secs) = c.stall_secs {
+            if !(secs.is_finite() && secs > 0.0) {
+                return Err(ConfigError::NotPositive {
+                    field: "stall_secs",
+                    value: secs,
+                });
+            }
+        }
+        if c.ring_capacity == Some(0) {
+            return Err(ConfigError::NotPositive {
+                field: "ring_capacity",
+                value: 0.0,
+            });
+        }
+        if let Some(cap) = c.ring_capacity {
+            if cap > MAX_RING_CAPACITY {
+                return Err(ConfigError::Inconsistent {
+                    reason: "ring_capacity exceeds the 1Mi-event ceiling",
+                });
+            }
         }
         if let Some(r) = c.readers {
             if r > MAX_FLEET_READERS {
@@ -198,6 +260,10 @@ impl ExperimentCtx {
                 checkpoint_every: None,
                 halt_after: None,
                 checkpoint_dir: None,
+                journal: false,
+                stall_secs: None,
+                lanes: false,
+                ring_capacity: None,
             },
         }
     }
@@ -274,6 +340,33 @@ impl ExperimentCtx {
         self.halt_after
     }
 
+    /// Journal heartbeats requested?
+    pub fn journal(&self) -> bool {
+        self.journal
+    }
+
+    /// Stall-watchdog soft-deadline override, if any.
+    pub fn stall_secs(&self) -> Option<f64> {
+        self.stall_secs
+    }
+
+    /// Per-worker trial lanes requested (Chrome trace export)?
+    pub fn lanes(&self) -> bool {
+        self.lanes
+    }
+
+    /// Flight-recorder ring capacity override, if any.
+    pub fn ring_capacity(&self) -> Option<usize> {
+        self.ring_capacity
+    }
+
+    /// Any run telemetry (journal / watchdog / lanes) requested? When
+    /// false, [`ExperimentCtx::sweep_for`] leaves the sweep's telemetry off
+    /// and the whole layer costs nothing.
+    pub fn wants_telemetry(&self) -> bool {
+        self.journal || self.stall_secs.is_some() || self.lanes
+    }
+
     /// The sweep configuration implied by this context: base seed from
     /// [`ExperimentCtx::seed`], worker count from
     /// [`ExperimentCtx::threads`]. Carries the retry default but none of
@@ -310,7 +403,33 @@ impl ExperimentCtx {
                 .with_resume(self.resume);
             cfg = cfg.with_checkpoint(spec);
         }
+        if self.wants_telemetry() {
+            let mut tele = TelemetrySpec::new().with_lanes(self.lanes);
+            if let Some(path) = self.journal_path(id) {
+                tele = tele.with_journal(path);
+            }
+            if let Some(secs) = self.stall_secs {
+                tele = tele.with_stall_secs(secs);
+            }
+            cfg = cfg.with_telemetry(tele);
+        }
         cfg
+    }
+
+    /// The journal file this context would write for experiment `id`
+    /// (`JOURNAL_<id>.jsonl`, in the checkpoint dir when one is set), or
+    /// `None` when journaling is off. The `repro` binary deletes any stale
+    /// file here before a fresh run, since the journal opens in append
+    /// mode.
+    pub fn journal_path(&self, id: &str) -> Option<std::path::PathBuf> {
+        if !self.journal {
+            return None;
+        }
+        let file = format!("JOURNAL_{id}.jsonl");
+        Some(match &self.checkpoint_dir {
+            Some(dir) => dir.join(file),
+            None => std::path::PathBuf::from(file),
+        })
     }
 
     /// Checks this context against a specific experiment: fleet options on
@@ -431,6 +550,10 @@ pub struct Report {
     /// over every sweep the experiment ran. `Default` (all zero) for
     /// experiments that don't run sweeps.
     pub sweep: SweepStats,
+    /// Wall-domain run telemetry (worker lanes, stall events), merged over
+    /// every sweep the experiment ran. Empty unless the context requested
+    /// telemetry; never part of the deterministic metrics export.
+    pub telemetry: RunTelemetry,
 }
 
 impl Report {
@@ -466,6 +589,13 @@ impl Report {
     /// run several sweeps merge their stats first.
     pub fn with_sweep(mut self, sweep: SweepStats) -> Self {
         self.sweep = sweep;
+        self
+    }
+
+    /// Attaches wall-domain run telemetry (chainable). Experiments that
+    /// run several sweeps [`merge`](RunTelemetry::merge) theirs first.
+    pub fn with_telemetry(mut self, telemetry: RunTelemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -722,6 +852,53 @@ mod tests {
                 value: 0.0
             })
         );
+    }
+
+    #[test]
+    fn ctx_wires_telemetry_and_validates_it() {
+        use arachnet_sim::ConfigError;
+        let ctx = ExperimentCtx::builder(5)
+            .quick()
+            .journal(true)
+            .stall_secs(2.5)
+            .lanes(true)
+            .checkpoint_dir("ckpts")
+            .build()
+            .unwrap();
+        assert!(ctx.wants_telemetry());
+        let cfg = ctx.sweep_for("dyn-churn");
+        let tele = cfg.telemetry.expect("telemetry wired");
+        assert_eq!(
+            tele.journal,
+            Some(std::path::PathBuf::from("ckpts/JOURNAL_dyn-churn.jsonl"))
+        );
+        assert_eq!(tele.stall_secs, Some(2.5));
+        assert!(tele.lanes);
+        assert_eq!(ctx.journal_path("dyn-churn"), tele.journal);
+        // Plain contexts leave the whole layer off.
+        let plain = ExperimentCtx::builder(5).build().unwrap();
+        assert!(!plain.wants_telemetry());
+        assert!(plain.sweep_for("x").telemetry.is_none());
+        assert_eq!(plain.journal_path("x"), None);
+        // Bad values are config errors at build time, not runtime surprises.
+        assert!(matches!(
+            ExperimentCtx::builder(1).stall_secs(0.0).build(),
+            Err(ConfigError::NotPositive { .. })
+        ));
+        assert!(matches!(
+            ExperimentCtx::builder(1).stall_secs(f64::NAN).build(),
+            Err(ConfigError::NotPositive { .. })
+        ));
+        assert!(matches!(
+            ExperimentCtx::builder(1).ring_capacity(0).build(),
+            Err(ConfigError::NotPositive { .. })
+        ));
+        assert!(matches!(
+            ExperimentCtx::builder(1).ring_capacity((1 << 20) + 1).build(),
+            Err(ConfigError::Inconsistent { .. })
+        ));
+        let cap = ExperimentCtx::builder(1).ring_capacity(64).build().unwrap();
+        assert_eq!(cap.ring_capacity(), Some(64));
     }
 
     #[test]

@@ -90,6 +90,7 @@ impl Experiment for Resilience {
         )
         .with_metrics(metrics)
         .with_sweep(run.stats)
+        .with_telemetry(run.telemetry)
     }
 }
 

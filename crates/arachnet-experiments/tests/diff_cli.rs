@@ -1,0 +1,65 @@
+//! `repro diff` exit-code contract, through the real binary: `0` for
+//! documents within tolerance, `1` for a regression, `2` for usage
+//! errors, `3` for unreadable/invalid input.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+const A: &str = r#"{"experiment":"x","partial":false,"metrics":{"snr":12.5,"loss":0.01}}"#;
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arachnet_diff_cli_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn diff_exit_codes_cover_identical_tolerable_and_violating() {
+    let dir = scratch();
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    fs::write(&a, A).unwrap();
+    fs::write(&b, A.replace("12.5", "12.6")).unwrap(); // rel diff ~0.8%
+    let a = a.to_str().unwrap();
+    let b = b.to_str().unwrap();
+
+    // Identical documents pass the exact gate.
+    let out = repro(&["diff", a, a, "--tolerance", "0"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Drift within tolerance passes and is reported as ok.
+    let out = repro(&["diff", a, b, "--tolerance", "0.01"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("ok"), "{stdout}");
+
+    // The same drift past a tight tolerance is a regression: exit 1 and
+    // the report names the metric.
+    let out = repro(&["diff", a, b, "--tolerance", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("VIOLATION metrics.snr"), "{stdout}");
+
+    // Unreadable and malformed inputs are failures, not regressions.
+    let out = repro(&["diff", a, dir.join("missing.json").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let bad = dir.join("bad.json");
+    fs::write(&bad, "not json").unwrap();
+    let out = repro(&["diff", a, bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    // Wrong arity is a usage error.
+    let out = repro(&["diff", a]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let _ = fs::remove_dir_all(&dir);
+}

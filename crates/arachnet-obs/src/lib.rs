@@ -21,30 +21,52 @@
 //!   at any `--threads` count is enforced by the repo smoke tests.
 //!
 //! The [`warn!`] macro (and [`capture`]) replace ad-hoc `eprintln!` warnings
-//! so tests can assert on what was emitted.
+//! so tests can assert on what was emitted; the stderr path deduplicates
+//! repeats ([`flush_warnings`] prints the `×N` summaries).
+//!
+//! On top of these sits the **run-telemetry** layer (DESIGN.md §15), all
+//! strictly wall-domain so it can never perturb the deterministic metrics
+//! export: [`Journal`]/[`Heartbeat`]/[`read_journal`] (append-only,
+//! torn-tail-tolerant JSONL progress heartbeats), [`Watchdog`] (soft-
+//! deadline stall detection feeding [`EventKind::TrialStalled`]),
+//! [`chrome_trace`]/[`TrialLane`] (Chrome `trace_event` export merging
+//! worker lanes, sim events, and span aggregates on a dual-clock
+//! timeline), and [`parse_json`] (the minimal JSON reader behind journal
+//! recovery and `repro diff`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrometrace;
 mod counter;
 mod event;
 mod global;
 mod histo;
+mod journal;
+mod jsonval;
 mod metrics;
 mod recorder;
 mod span;
 mod timeline;
 mod warnsink;
+mod watchdog;
 
+pub use chrometrace::{chrome_trace, TrialLane};
 pub use counter::Counter;
 pub use event::{DecodeFailReason, Event, EventKind, MigrateReason, KIND_COUNT, NO_TAG};
 pub use global::{global_counter_add, global_histo_record, take_global_stats, GlobalStats};
 pub use histo::Histo;
+pub use journal::{read_journal, Heartbeat, Journal};
+pub use jsonval::{parse_json, JsonError, JsonValue};
 pub use metrics::{MetricSet, MetricValue};
-pub use recorder::{Recorder, RecorderSnapshot};
+pub use recorder::{
+    default_ring_capacity, set_default_ring_capacity, Recorder, RecorderSnapshot,
+    DEFAULT_CAPACITY,
+};
 pub use span::{flush_thread_spans, span, take_spans, SpanStat, SpanTimer};
 pub use timeline::render_timeline;
-pub use warnsink::{capture, warn_str};
+pub use warnsink::{capture, flush_warnings, warn_str};
+pub use watchdog::Watchdog;
 
 /// Format an `f64` for the deterministic JSON export.
 ///

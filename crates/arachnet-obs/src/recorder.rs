@@ -3,10 +3,30 @@
 use crate::event::{Event, EventKind, KIND_COUNT};
 use crate::metrics::MetricSet;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default ring capacity: enough to hold the tail of a long convergence run
 /// without ever reallocating after warmup.
 pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Process-wide default ring capacity used by [`Recorder::enabled`].
+///
+/// `ExperimentCtx` pushes its builder-validated `--ring-capacity` here so
+/// every recorder an experiment creates internally picks it up without
+/// threading a capacity through each call site. Capacity only bounds ring
+/// *retention*; per-kind counts are never dropped, so the deterministic
+/// metrics export is unaffected by this knob.
+static DEFAULT_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Set the process-wide default ring capacity (clamped to ≥ 1).
+pub fn set_default_ring_capacity(cap: usize) {
+    DEFAULT_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default ring capacity [`Recorder::enabled`] uses.
+pub fn default_ring_capacity() -> usize {
+    DEFAULT_CAP.load(Ordering::Relaxed)
+}
 
 #[derive(Clone, Debug)]
 struct Active {
@@ -34,10 +54,11 @@ impl Recorder {
         Recorder(None)
     }
 
-    /// An enabled recorder with the default ring capacity, stamped with the
-    /// trial seed used for this sim run.
+    /// An enabled recorder with the process default ring capacity (see
+    /// [`set_default_ring_capacity`]; 4096 unless overridden), stamped with
+    /// the trial seed used for this sim run.
     pub fn enabled(seed: u64) -> Self {
-        Self::with_capacity(seed, DEFAULT_CAPACITY)
+        Self::with_capacity(seed, default_ring_capacity())
     }
 
     /// An enabled recorder holding at most `cap` events (`cap >= 1`).
@@ -188,6 +209,25 @@ mod tests {
         // Oldest evicted first: the retained window is the most recent.
         assert_eq!(s.events.first().unwrap().slot, 7);
         assert_eq!(s.events.last().unwrap().slot, 10);
+    }
+
+    #[test]
+    fn default_ring_capacity_is_configurable() {
+        // Runs in one test to avoid racing the process-wide default
+        // against parallel tests that call `Recorder::enabled`.
+        assert_eq!(default_ring_capacity(), DEFAULT_CAPACITY);
+        set_default_ring_capacity(2);
+        let mut r = Recorder::enabled(1);
+        for slot in 0..5u64 {
+            r.record(slot, NO_TAG, EventKind::Empty);
+        }
+        let s = r.into_snapshot();
+        set_default_ring_capacity(DEFAULT_CAPACITY);
+        assert_eq!(s.events.len(), 2, "ring bounded by the new default");
+        assert_eq!(s.total(), 5, "counts never dropped regardless of capacity");
+        set_default_ring_capacity(0);
+        assert_eq!(default_ring_capacity(), 1, "clamped to >= 1");
+        set_default_ring_capacity(DEFAULT_CAPACITY);
     }
 
     #[test]

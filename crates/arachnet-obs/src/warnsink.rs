@@ -12,15 +12,61 @@ static CAPTURED: Mutex<Option<Vec<String>>> = Mutex::new(None);
 /// Serializes concurrent [`capture`] calls so captures don't interleave.
 static CAPTURE_GATE: Mutex<()> = Mutex::new(());
 
+/// Messages already printed to stderr this run, with occurrence counts.
+/// Bounded: past [`DEDUP_LIMIT`] distinct messages, new ones print
+/// unconditionally (no dedup) rather than growing without bound.
+static DEDUP: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+
+/// Maximum distinct messages the stderr dedup table tracks.
+const DEDUP_LIMIT: usize = 512;
+
 /// Emit a warning to the process-wide sink.
 ///
 /// Prefer the [`warn!`](crate::warn!) macro, which accepts format args.
+///
+/// On the stderr path, repeated identical messages print only once; the
+/// repeats are counted and summarized by [`flush_warnings`] (a stalled
+/// soak run warning every poll must not flood stderr). The [`capture`]
+/// path records every call verbatim — tests see the true sequence.
 pub fn warn_str(msg: &str) {
     let mut guard = CAPTURED.lock().unwrap_or_else(|e| e.into_inner());
     match guard.as_mut() {
         Some(buf) => buf.push(msg.to_string()),
-        None => eprintln!("warning: {msg}"),
+        None => {
+            drop(guard);
+            let mut seen = DEDUP.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = seen.iter_mut().find(|(m, _)| m == msg) {
+                entry.1 += 1;
+                return; // suppressed; flush_warnings reports the ×N
+            }
+            if seen.len() < DEDUP_LIMIT {
+                seen.push((msg.to_string(), 1));
+            }
+            drop(seen);
+            eprintln!("warning: {msg}");
+        }
     }
+}
+
+/// Print a `×N` summary line for every stderr warning that repeated, then
+/// reset the dedup table. Call once at process exit (repro does).
+///
+/// Returns the summary lines (also printed to stderr) so callers and tests
+/// can inspect what was suppressed.
+pub fn flush_warnings() -> Vec<String> {
+    let drained: Vec<(String, u64)> = {
+        let mut seen = DEDUP.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *seen)
+    };
+    let mut out = Vec::new();
+    for (msg, n) in drained {
+        if n > 1 {
+            let line = format!("{msg} (×{n} total, {} repeats suppressed)", n - 1);
+            eprintln!("warning: {line}");
+            out.push(line);
+        }
+    }
+    out
 }
 
 /// Run `f` with the warning sink redirected to a buffer; returns `f`'s
@@ -56,6 +102,25 @@ macro_rules! warn {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn stderr_path_deduplicates_and_flush_summarizes() {
+        // Hold the capture gate so no concurrent `capture` redirects these
+        // warnings into its buffer (the stderr/dedup path must be active).
+        let _gate = super::CAPTURE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        super::flush_warnings(); // start from a clean table
+        let msg = format!("dedup probe {}", std::process::id());
+        crate::warn_str(&msg); // prints
+        crate::warn_str(&msg); // suppressed
+        crate::warn_str(&msg); // suppressed
+        crate::warn_str("dedup lone message"); // prints, never repeats
+        let summaries = super::flush_warnings();
+        assert_eq!(summaries.len(), 1, "only repeated messages summarize: {summaries:?}");
+        assert!(summaries[0].contains(&msg), "{summaries:?}");
+        assert!(summaries[0].contains("×3"), "{summaries:?}");
+        assert!(summaries[0].contains("2 repeats suppressed"), "{summaries:?}");
+        assert!(super::flush_warnings().is_empty(), "flush resets the table");
+    }
+
     #[test]
     fn capture_collects_warnings() {
         let (val, warnings) = crate::capture(|| {

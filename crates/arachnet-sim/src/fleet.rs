@@ -352,6 +352,9 @@ pub struct FleetRun {
     pub cells: Vec<Vec<TrialResult<CellOutcome>>>,
     /// Resilience counters for the whole K×trials grid.
     pub stats: SweepStats,
+    /// Wall-domain run telemetry (worker lanes, stall events) for the
+    /// grid; empty unless the sweep config requested telemetry.
+    pub telemetry: crate::sweep::RunTelemetry,
 }
 
 /// Runs a K-cell fleet as a sharded (cell × trial) matrix over the sweep
@@ -432,6 +435,7 @@ pub fn run_fleet(
     Ok(FleetRun {
         cells: run.cells,
         stats: run.stats,
+        telemetry: run.telemetry,
     })
 }
 

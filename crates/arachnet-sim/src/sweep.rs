@@ -57,12 +57,13 @@ use std::fs;
 use std::io::{Seek, SeekFrom, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use arachnet_obs::{
-    flush_thread_spans, global_counter_add, global_histo_record, span, Event, EventKind, NO_TAG,
+    flush_thread_spans, global_counter_add, global_histo_record, span, Event, EventKind,
+    Heartbeat, Journal, TrialLane, Watchdog, NO_TAG,
 };
 
 use crate::codec::TrialCodec;
@@ -77,6 +78,9 @@ pub struct SweepConfig {
     pub base_seed: u64,
     /// Retry / checkpoint / budget behaviour (see [`ResiliencePolicy`]).
     pub policy: ResiliencePolicy,
+    /// Wall-domain run telemetry: journal, watchdog, trial lanes.
+    /// `None` (default) costs nothing — no monitor thread is spawned.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl SweepConfig {
@@ -97,6 +101,7 @@ impl SweepConfig {
             threads,
             base_seed,
             policy: ResiliencePolicy::default(),
+            telemetry: None,
         }
     }
 
@@ -143,6 +148,102 @@ impl SweepConfig {
             cfg.policy.checkpoint = Some(spec.tagged(tag));
         }
         cfg
+    }
+
+    /// Attaches run telemetry (journal heartbeats, stall watchdog, trial
+    /// lanes). All of it is wall-domain: it cannot change the sweep's
+    /// deterministic results at any thread count.
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = Some(spec);
+        self
+    }
+}
+
+/// Wall-domain run-telemetry options for a sweep.
+///
+/// Attaching a spec makes the sweep entry points spawn one
+/// monitor thread alongside the workers (even at `--threads 1`, so the
+/// watchdog can observe a single stuck worker). With no spec attached the
+/// sweep runs exactly as before — zero extra threads, zero extra work.
+#[derive(Debug, Clone)]
+pub struct TelemetrySpec {
+    /// Append [`Heartbeat`] lines to this JSONL file and mirror them to
+    /// stderr as a live progress line. `None` disables heartbeats (the
+    /// watchdog can still run).
+    pub journal: Option<PathBuf>,
+    /// Interval between heartbeats (min 100 ms; default 1 s).
+    pub heartbeat: Duration,
+    /// Stall watchdog soft deadline override in seconds. `None` derives
+    /// the deadline from the running median of trial durations.
+    pub stall_secs: Option<f64>,
+    /// When `true`, also derive a per-trial stall watchdog even without a
+    /// `stall_secs` override, and capture per-worker [`TrialLane`]s for
+    /// the Chrome trace export (small per-trial allocation).
+    pub lanes: bool,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetrySpec {
+    /// A spec with no journal, auto watchdog deadline, no lane capture.
+    pub fn new() -> Self {
+        Self {
+            journal: None,
+            heartbeat: Duration::from_secs(1),
+            stall_secs: None,
+            lanes: false,
+        }
+    }
+
+    /// Journal heartbeats to `path` (conventionally `JOURNAL_<id>.jsonl`).
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Overrides the heartbeat interval (clamped to ≥ 100 ms).
+    pub fn with_heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = interval.max(Duration::from_millis(100));
+        self
+    }
+
+    /// Fixes the watchdog soft deadline instead of deriving it from the
+    /// running median of trial durations.
+    pub fn with_stall_secs(mut self, secs: f64) -> Self {
+        self.stall_secs = Some(secs);
+        self
+    }
+
+    /// Enables per-worker trial-lane capture for the Chrome trace export.
+    pub fn with_lanes(mut self, lanes: bool) -> Self {
+        self.lanes = lanes;
+        self
+    }
+}
+
+/// Wall-domain telemetry a sweep collected while it ran. Diagnostics
+/// only — trace and journal artifacts, never the deterministic metrics
+/// export (a lane's timing differs every run).
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Per-worker trial lanes (empty unless [`TelemetrySpec::lanes`]).
+    pub lanes: Vec<TrialLane>,
+    /// One [`EventKind::TrialStalled`] per trial the watchdog flagged.
+    pub stall_events: Vec<Event>,
+    /// Trials flagged by the stall watchdog.
+    pub stalled: u64,
+}
+
+impl RunTelemetry {
+    /// Accumulates another run's telemetry (for multi-pass experiments).
+    pub fn merge(&mut self, other: RunTelemetry) {
+        self.lanes.extend(other.lanes);
+        self.stall_events.extend(other.stall_events);
+        self.stalled += other.stalled;
     }
 }
 
@@ -366,6 +467,9 @@ pub struct SweepRun<T> {
     pub results: Vec<TrialResult<T>>,
     /// Quarantine / resume / budget counters.
     pub stats: SweepStats,
+    /// Wall-domain telemetry (empty unless the config attached a
+    /// [`TelemetrySpec`]).
+    pub telemetry: RunTelemetry,
 }
 
 impl<T> SweepRun<T> {
@@ -383,6 +487,9 @@ pub struct MatrixRun<T> {
     pub cells: Vec<Vec<TrialResult<T>>>,
     /// Quarantine / resume / budget counters for the whole grid.
     pub stats: SweepStats,
+    /// Wall-domain telemetry (empty unless the config attached a
+    /// [`TelemetrySpec`]; lane `trial` values are flat job indices).
+    pub telemetry: RunTelemetry,
 }
 
 impl<T> MatrixRun<T> {
@@ -609,6 +716,108 @@ fn open_writer(
 
 type JobOutput<T> = (u64, u32, TrialResult<T>);
 
+/// Live telemetry shared between the workers and the monitor thread.
+/// Everything in here is wall-domain; no field ever feeds results.
+struct TeleRt {
+    spec: TelemetrySpec,
+    watchdog: Watchdog,
+    start: Instant,
+    journal: Mutex<Option<Journal>>,
+    finished_live: AtomicU64,
+    quarantined_live: AtomicU64,
+    inflight: AtomicU32,
+}
+
+impl TeleRt {
+    fn new(spec: TelemetrySpec, workers: usize) -> Self {
+        let journal = spec.journal.as_deref().map(Journal::open);
+        let watchdog = Watchdog::new(workers, spec.stall_secs);
+        TeleRt {
+            spec,
+            watchdog,
+            start: Instant::now(),
+            journal: Mutex::new(journal),
+            finished_live: AtomicU64::new(0),
+            quarantined_live: AtomicU64::new(0),
+            inflight: AtomicU32::new(0),
+        }
+    }
+
+    fn begin(&self, worker: usize, trial: u64) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        self.watchdog.begin(worker, trial);
+    }
+
+    fn end<T>(&self, worker: usize, out: &JobOutput<T>) {
+        self.watchdog.end(worker);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.finished_live.fetch_add(1, Ordering::Relaxed);
+        if out.2.is_err() {
+            self.quarantined_live.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Emit one heartbeat: append to the journal and mirror a progress
+    /// line to stderr. No-op without a journal path.
+    fn emit(
+        &self,
+        trials: u64,
+        restored: u64,
+        skipped: u64,
+        workers: u32,
+        deadline: Option<Instant>,
+        done: bool,
+    ) {
+        if self.spec.journal.is_none() {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let finished = self.finished_live.load(Ordering::Relaxed);
+        let quarantined = self.quarantined_live.load(Ordering::Relaxed);
+        let completed = restored + finished.saturating_sub(quarantined);
+        let tps = if elapsed > 0.0 {
+            finished as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = trials
+            .saturating_sub(restored)
+            .saturating_sub(finished)
+            .saturating_sub(skipped);
+        let eta_secs = if done {
+            None
+        } else if remaining == 0 {
+            Some(0.0)
+        } else if tps > 0.0 {
+            Some(remaining as f64 / tps)
+        } else {
+            None
+        };
+        let budget_secs_left = deadline
+            .map(|d| d.saturating_duration_since(Instant::now()).as_secs_f64())
+            .filter(|_| !done);
+        let beat = Heartbeat {
+            t_ms: self.start.elapsed().as_millis().min(u64::MAX as u128) as u64,
+            trials,
+            completed,
+            quarantined,
+            restored,
+            skipped,
+            inflight: self.inflight.load(Ordering::Relaxed),
+            workers,
+            stalled: self.watchdog.stalled(),
+            tps,
+            eta_secs,
+            budget_secs_left,
+            done,
+        };
+        if let Some(j) = self.journal.lock().unwrap_or_else(|p| p.into_inner()).as_mut() {
+            j.append(&beat);
+        }
+        eprintln!("{}", beat.progress_line());
+    }
+}
+
 /// The shared runner behind every public entry point: seed derivation via
 /// `seed_of`, retry/quarantine around `f`, optional checkpoint restore +
 /// append when `codec` is present, budget/halt dispatch gating, and the
@@ -695,6 +904,10 @@ where
     let next_job = AtomicU64::new(0);
     let starved = AtomicBool::new(false);
     let sink: Mutex<Option<CkptWriter>> = Mutex::new(writer);
+    let tele: Option<TeleRt> = cfg
+        .telemetry
+        .as_ref()
+        .map(|spec| TeleRt::new(spec.clone(), workers));
 
     let one_job = |i: u64| -> JobOutput<T> {
         let first = seed_of(i);
@@ -750,8 +963,9 @@ where
         }
     };
 
-    let work = || {
+    let work = |widx: usize| {
         let mut local: Vec<JobOutput<T>> = Vec::new();
+        let mut lanes: Vec<TrialLane> = Vec::new();
         loop {
             let k = next_job.fetch_add(1, Ordering::Relaxed);
             if k >= pending.len() as u64 {
@@ -765,42 +979,90 @@ where
             }
             let i = pending[k as usize];
             let _t = span("sweep.trial");
+            let lane_start = tele.as_ref().map(|t| {
+                t.begin(widx, i);
+                t.start.elapsed()
+            });
             let out = one_job(i);
+            if let Some(t) = tele.as_ref() {
+                t.end(widx, &out);
+                if t.spec.lanes {
+                    let start_us = lane_start
+                        .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+                        .unwrap_or(0);
+                    let end_us = t.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    lanes.push(TrialLane {
+                        trial: i,
+                        worker: widx as u32,
+                        start_us,
+                        dur_us: end_us.saturating_sub(start_us),
+                        ok: out.2.is_ok(),
+                    });
+                }
+            }
             checkpoint_one(out.0, out.1, &out.2);
             local.push(out);
         }
         // How evenly the shared counter spread jobs across workers (a
         // proxy for steal balance).
         global_histo_record("sweep.jobs_per_worker", local.len() as u64);
-        local
+        (local, lanes)
     };
 
     let mut worker_deaths: Vec<String> = Vec::new();
     let mut outputs: Vec<JobOutput<T>> = Vec::new();
+    let mut all_lanes: Vec<TrialLane> = Vec::new();
     if pending.is_empty() {
         // Fully restored (or zero trials): nothing to dispatch — and no
         // jobs_per_worker sample, so readers of that histogram must
         // tolerate its absence.
-    } else if workers <= 1 {
-        outputs = work();
+    } else if workers <= 1 && tele.is_none() {
+        let (local, lanes) = work(0);
+        outputs = local;
+        all_lanes = lanes;
     } else {
+        // With telemetry attached, even a 1-worker sweep takes the scoped
+        // path so the monitor thread can watch it.
+        let monitor_stop = AtomicBool::new(false);
         std::thread::scope(|scope| {
+            let work = &work;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let local = work();
+                .map(|widx| {
+                    scope.spawn(move || {
+                        let out = work(widx);
                         // Spans recorded inside trials live in this worker's
                         // thread-local map; merge them before the thread dies.
                         flush_thread_spans();
-                        local
+                        out
                     })
                 })
                 .collect();
+            let monitor = tele.as_ref().map(|t| {
+                let monitor_stop = &monitor_stop;
+                scope.spawn(move || {
+                    let mut last_beat = Instant::now();
+                    while !monitor_stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(25));
+                        t.watchdog.poll();
+                        if last_beat.elapsed() >= t.spec.heartbeat {
+                            last_beat = Instant::now();
+                            t.emit(trials, restored, 0, workers as u32, deadline, false);
+                        }
+                    }
+                })
+            });
             for h in handles {
                 match h.join() {
-                    Ok(local) => outputs.extend(local),
+                    Ok((local, lanes)) => {
+                        outputs.extend(local);
+                        all_lanes.extend(lanes);
+                    }
                     Err(p) => worker_deaths.push(panic_text(p)),
                 }
+            }
+            monitor_stop.store(true, Ordering::Relaxed);
+            if let Some(m) = monitor {
+                let _ = m.join();
             }
         });
     }
@@ -879,7 +1141,37 @@ where
         }
     }
 
-    SweepRun { results, stats }
+    // --- finalize telemetry ---------------------------------------------
+    // The final heartbeat is written here (outside the monitor loop) so
+    // even a sweep shorter than one heartbeat interval journals at least
+    // one line, with `done:true` and the final skip count.
+    let telemetry = match tele {
+        None => RunTelemetry::default(),
+        Some(t) => {
+            t.watchdog.poll();
+            t.emit(
+                trials,
+                restored,
+                stats.skipped,
+                workers as u32,
+                deadline,
+                true,
+            );
+            let stall_events = t.watchdog.take_events();
+            all_lanes.sort_unstable_by_key(|l| (l.start_us, l.worker, l.trial));
+            RunTelemetry {
+                lanes: all_lanes,
+                stalled: t.watchdog.stalled(),
+                stall_events,
+            }
+        }
+    };
+
+    SweepRun {
+        results,
+        stats,
+        telemetry,
+    }
 }
 
 /// Runs `trials` independent trials of `f(trial_index, trial_seed)` across
@@ -1006,6 +1298,7 @@ where
     MatrixRun {
         cells: reshape(run.results, cells.len(), trials),
         stats: run.stats,
+        telemetry: run.telemetry,
     }
 }
 
@@ -1504,6 +1797,64 @@ mod tests {
                 }
                 Ok(())
             },
+        );
+    }
+
+    #[test]
+    fn telemetry_journals_heartbeats_and_captures_lanes() {
+        let path = temp_ckpt("journal").with_extension("jsonl");
+        let _ = fs::remove_file(&path);
+        let cfg = SweepConfig::new(5).with_threads(2).with_telemetry(
+            TelemetrySpec::new().with_journal(&path).with_lanes(true),
+        );
+        let run = run_sweep(&cfg, 6, |i, seed| (i, seed));
+        assert_eq!(run.stats.completed, 6);
+        // At least the final heartbeat is journaled, marked done, and
+        // reads back through the torn-tail-tolerant parser.
+        let beats = arachnet_obs::read_journal(&path).unwrap();
+        let last = beats.last().expect("final heartbeat");
+        assert!(last.done);
+        assert_eq!(last.trials, 6);
+        assert_eq!(last.completed, 6);
+        assert_eq!(last.inflight, 0);
+        assert_eq!(last.workers, 2);
+        // Every trial got a lane, each assigned to a real worker.
+        assert_eq!(run.telemetry.lanes.len(), 6);
+        let mut seen: Vec<u64> = run.telemetry.lanes.iter().map(|l| l.trial).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert!(run.telemetry.lanes.iter().all(|l| l.worker < 2 && l.ok));
+        // Telemetry is wall-domain: results identical to a plain run.
+        let plain = run_sweep(&SweepConfig::new(5).with_threads(1), 6, |i, seed| (i, seed));
+        assert_eq!(run.results, plain.results);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn watchdog_flags_an_injected_slow_trial() {
+        let cfg = SweepConfig::new(9)
+            .with_threads(2)
+            .with_telemetry(TelemetrySpec::new().with_stall_secs(0.05));
+        let (run, warnings) = arachnet_obs::capture(|| {
+            run_sweep(&cfg, 3, |i, _seed| {
+                if i == 1 {
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+                i
+            })
+        });
+        assert_eq!(run.stats.completed, 3, "a stalled trial still completes");
+        assert_eq!(run.telemetry.stalled, 1);
+        assert_eq!(run.telemetry.stall_events.len(), 1);
+        let e = &run.telemetry.stall_events[0];
+        assert_eq!(e.slot, 1, "stall event carries the trial index");
+        assert!(
+            matches!(e.kind, EventKind::TrialStalled { waited_ms } if waited_ms >= 50),
+            "{e:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("stalled") && w.contains("trial 1")),
+            "{warnings:?}"
         );
     }
 

@@ -2,8 +2,9 @@
 # Repo verification: build, lint, full test suite, a quick pass over every
 # registered experiment, the parallel-sweep determinism check
 # (byte-identical `repro` output and METRICS exports at 1 vs 8 worker
-# threads), hygiene (no tracked target/ artifacts), and the
-# recorder-overhead bench gate.
+# threads, gated by `repro diff --tolerance 0`), the run-telemetry smoke
+# (journal heartbeats parse, chrome trace loads), hygiene (no tracked
+# target/ artifacts), and the recorder-overhead bench gate.
 #
 # Usage: tools/verify.sh [seed]     (default seed 7)
 #
@@ -58,9 +59,11 @@ trap 'rm -rf "$tmp1" "$tmp8"' EXIT
 for artifact in fig12a12b fig13a fig14b fig15a fig16 dyn-churn dyn-drift dyn-outage dyn-soak mr-fdma mr-interference mr-fleet-soak; do
   (cd "$tmp1" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 1 --metrics > stdout.txt)
   (cd "$tmp8" && "$OLDPWD/$repro" "$artifact" --quick --seed "$seed" --threads 8 --metrics > stdout.txt)
-  if ! cmp -s "$tmp1/METRICS_$artifact.json" "$tmp8/METRICS_$artifact.json"; then
+  # `repro diff --tolerance 0` is the exact gate `cmp` used to be, but a
+  # failure names the metric that moved instead of "files differ".
+  if ! "$repro" diff "$tmp1/METRICS_$artifact.json" "$tmp8/METRICS_$artifact.json" --tolerance 0 > "$tmp1/diff.txt"; then
     echo "FAIL: METRICS_$artifact.json differs between --threads 1 and --threads 8" >&2
-    diff "$tmp1/METRICS_$artifact.json" "$tmp8/METRICS_$artifact.json" | head >&2
+    cat "$tmp1/diff.txt" >&2
     exit 1
   fi
   echo "   $artifact: METRICS export byte-identical at 1 vs 8 threads"
@@ -111,6 +114,52 @@ for threads in 1 2 8; do
 done
 rm -rf "$base"
 
+echo "== run telemetry: journal heartbeats + chrome trace (seed $seed) =="
+tdir="$(mktemp -d)"
+(cd "$tdir" && "$OLDPWD/$repro" metrics dyn-soak --quick --seed "$seed" --threads 2 \
+   --journal > stdout.txt 2> stderr.txt)
+if [ ! -s "$tdir/JOURNAL_dyn-soak.jsonl" ]; then
+  echo "FAIL: --journal produced no JOURNAL_dyn-soak.jsonl" >&2
+  exit 1
+fi
+if ! grep -q '\[journal\]' "$tdir/stderr.txt"; then
+  echo "FAIL: --journal did not stream a progress line to stderr" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tdir/JOURNAL_dyn-soak.jsonl" <<'PYEOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty journal"
+for line in lines:
+    beat = json.loads(line)
+assert beat["done"] is True, beat
+assert beat["completed"] == beat["trials"], beat
+PYEOF
+  echo "   dyn-soak: journal heartbeats parse line by line, final beat done"
+else
+  echo "   dyn-soak: journal written (python3 unavailable, line check skipped)"
+fi
+(cd "$tdir" && "$OLDPWD/$repro" trace dyn-churn --quick --seed "$seed" --threads 2 \
+   --chrome > /dev/null)
+if [ ! -s "$tdir/TRACE_dyn-churn.chrome.json" ]; then
+  echo "FAIL: --chrome produced no TRACE_dyn-churn.chrome.json" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tdir/TRACE_dyn-churn.chrome.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert any(e.get("pid") == 1 and e.get("ph") == "X" for e in events), "no worker lanes"
+assert any(e.get("pid") == 2 and e.get("ph") == "i" for e in events), "no sim events"
+PYEOF
+  echo "   dyn-churn: chrome trace loads as trace_event JSON (lanes + sim events)"
+else
+  echo "   dyn-churn: chrome trace written (python3 unavailable, load check skipped)"
+fi
+rm -rf "$tdir"
+
 echo "== quarantine smoke: injected panic must not abort the run =="
 qdir="$(mktemp -d)"
 # `resilience` panics one trial by design; the sweep must quarantine it
@@ -139,7 +188,9 @@ else
   echo "== recorder-overhead bench gate =="
   # The committed BENCH_phy.json median is the pre-observability baseline;
   # `uplink_trial` now runs through the instrumented path with a disabled
-  # recorder, so a regression here means instrumentation is not free.
+  # recorder — and the run-telemetry layer (journal/watchdog/lanes) is
+  # compiled in but off — so a regression here means observability is not
+  # free when unused.
   gate_pct="${ARACHNET_BENCH_GATE_PCT:-2}"
   baseline="$(sed -nE 's/.*"name": "phy\/full_uplink_trial",.*"ns_median": ([0-9.]+).*/\1/p' BENCH_phy.json | head -1)"
   if [ -z "$baseline" ]; then
