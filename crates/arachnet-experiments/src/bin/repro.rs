@@ -6,6 +6,7 @@
 //! repro metrics <artifact|all> [flags]      (run with --metrics implied)
 //! repro trace <artifact> <tag|all> [flags]  (run with --trace implied)
 //! repro diff <A.json> <B.json> [--tolerance F]
+//! repro serve [--port P] [--workers N] [--queue-depth N] [--max-batch N]
 //! repro <artifact|all> [flags]              (legacy alias for `run`)
 //! ```
 //!
@@ -33,6 +34,13 @@
 //! timeline of per-worker trial lanes, sim events, and span aggregates;
 //! `--trace-window N` sizes the text timeline (default 40);
 //! `--ring-capacity N` overrides the flight-recorder ring size.
+//!
+//! `repro serve` (DESIGN.md §16) runs the backpressured TCP query
+//! service: `--port 0` binds an ephemeral port (announced as the first
+//! stdout line), `--workers`/`--queue-depth` size the pool and the
+//! bounded admission queue, `--max-batch` caps same-seed micro-batches,
+//! and `--journal` streams `JOURNAL_serve.jsonl` heartbeats. Drains
+//! gracefully on the wire `shutdown` op and exits 0.
 //!
 //! Exit codes: `0` success, `1` regression (`diff` found violations), `2`
 //! usage error (unknown artifact, bad flag combination), `3` experiment
@@ -109,6 +117,10 @@ fn main() {
     let mut stall_secs = None;
     let mut ring_capacity = None;
     let mut tolerance = 0.0f64;
+    let mut port = 0u16;
+    let mut serve_workers = 2usize;
+    let mut queue_depth = 64usize;
+    let mut max_batch = 8usize;
     let mut obs = ObsOpts {
         metrics: false,
         trace: None,
@@ -192,6 +204,33 @@ fn main() {
                     usage("--tolerance must be finite and non-negative");
                 }
             }
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|s| s.parse::<u16>().ok())
+                    .unwrap_or_else(|| usage("--port needs a number in 0..=65535"));
+            }
+            "--workers" => {
+                serve_workers = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--workers needs a number >= 1"));
+            }
+            "--queue-depth" => {
+                queue_depth = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--queue-depth needs a number >= 1"));
+            }
+            "--max-batch" => {
+                max_batch = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--max-batch needs a number >= 1"));
+            }
             "--chrome" => obs.chrome = true,
             "--trace-window" => {
                 obs.trace_window = it
@@ -233,6 +272,13 @@ fn main() {
                 usage("`diff` takes exactly two METRICS json files");
             }
             run_diff(&files[0], &files[1], tolerance);
+            return;
+        }
+        Some("serve") => {
+            if positionals.len() > 1 {
+                usage("`serve` takes no artifact");
+            }
+            run_serve(port, serve_workers, queue_depth, max_batch, journal);
             return;
         }
         Some("run") | Some("metrics") | Some("trace") => {
@@ -363,6 +409,80 @@ fn run_diff(left: &str, right: &str, tolerance: f64) {
     }
 }
 
+/// `repro serve`: stand up the TCP query service over the PHY engines and
+/// the experiment registry, print the bound address, and block until a
+/// client sends the `shutdown` op (graceful drain). Exit 0 after a clean
+/// drain; wall-domain only — serving never touches `METRICS_<id>.json`.
+fn run_serve(port: u16, workers: usize, queue_depth: usize, max_batch: usize, journal: bool) {
+    use std::io::Write as _;
+
+    // The `experiment` op runs registry artifacts on demand. The closure
+    // is the seam that breaks the arachnet-serve → arachnet-experiments
+    // dependency cycle: serve knows only this signature.
+    let runner: arachnet_serve::ExperimentRunner = Box::new(|id, quick, seed| {
+        let e = registry::find(id).map_err(|err| err.to_string())?;
+        let mut b = ExperimentCtx::builder(seed).observe(true);
+        if quick {
+            b = b.quick();
+        }
+        let ctx = b.build().map_err(|err| err.to_string())?;
+        ctx.validate_for(e).map_err(|err| err.to_string())?;
+        let report = catch_unwind(AssertUnwindSafe(|| e.run(&ctx)))
+            .map_err(|_| format!("experiment {id} panicked"))?;
+        Ok(metrics_json(e.id(), &report))
+    });
+
+    let journal_path = std::path::PathBuf::from("JOURNAL_serve.jsonl");
+    if journal {
+        // Same delete-before-run policy as run_one: the journal appends.
+        let _ = fs::remove_file(&journal_path);
+    }
+    let cfg = arachnet_serve::ServeConfig {
+        port,
+        workers,
+        queue_depth,
+        max_batch,
+        journal: journal.then_some(journal_path),
+        experiment_runner: Some(runner),
+        ..arachnet_serve::ServeConfig::default()
+    };
+    let handle = match arachnet_serve::start(cfg) {
+        Ok(h) => h,
+        Err(err) => {
+            eprintln!("error: serve: cannot bind 127.0.0.1:{port}: {err}");
+            std::process::exit(EXIT_FAILURE);
+        }
+    };
+    // The address line is machine-parsed (verify.sh, tests); flush so a
+    // parent piping stdout sees it before the first query.
+    println!("serve: listening on {}", handle.local_addr());
+    println!(
+        "serve: {workers} worker(s), queue depth {queue_depth}, max batch {max_batch} \
+         — send {{\"op\":\"shutdown\"}} to drain"
+    );
+    let _ = std::io::stdout().flush();
+    while !handle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let stats = handle.join();
+    println!(
+        "serve: drained — {} admitted, {} completed, {} rejected, {} malformed, {} torn; \
+         {} batch(es); latency p50 {} us, p95 {} us",
+        stats.requests,
+        stats.completed,
+        stats.rejected,
+        stats.malformed,
+        stats.torn,
+        stats.batches,
+        stats.p50_us,
+        stats.p95_us,
+    );
+    if journal {
+        println!("serve: heartbeats -> JOURNAL_serve.jsonl");
+    }
+    flush_warnings();
+}
+
 fn parse_trace_target(target: &str) -> Option<u8> {
     match target {
         "all" => None,
@@ -386,6 +506,31 @@ fn run_one(e: &'static dyn Experiment, ctx: &ExperimentCtx, obs: ObsOpts) {
     if let Some(path) = ctx.journal_path(e.id()) {
         let _ = fs::remove_file(&path);
     }
+    // Same delete-before-run policy for the other per-id artifacts: a
+    // stale trace or checkpoint left by an aborted run of this id would
+    // otherwise survive (and confuse verify.sh, which asserts on artifact
+    // presence after a run). The checkpoint is kept when --resume asked
+    // for it, and the trace files are only stale if this invocation is
+    // not about to rewrite them anyway.
+    if !ctx.is_resume() {
+        let primary = ctx.checkpoint_path(e.id());
+        let _ = fs::remove_file(&primary);
+        // Fleet experiments checkpoint per cell through `.tagged(..)`
+        // (`CHECKPOINT_<id>.<tag>.bin`); sweep those too.
+        let dir = primary.parent().filter(|p| !p.as_os_str().is_empty());
+        let prefix = format!("CHECKPOINT_{}.", e.id());
+        if let Ok(entries) = fs::read_dir(dir.unwrap_or(std::path::Path::new("."))) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with(&prefix) && name.ends_with(".bin") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+    let _ = fs::remove_file(format!("TRACE_{}.jsonl", e.id()));
+    let _ = fs::remove_file(format!("TRACE_{}.chrome.json", e.id()));
     let report = match catch_unwind(AssertUnwindSafe(|| e.run(ctx))) {
         Ok(report) => report,
         Err(payload) => {
@@ -530,6 +675,9 @@ fn usage(err: &str) -> ! {
          [--journal] [--stall-secs S] [--chrome] [--trace-window N] [--ring-capacity N]"
     );
     eprintln!("       repro diff <A.json> <B.json> [--tolerance F]");
+    eprintln!(
+        "       repro serve [--port P] [--workers N] [--queue-depth N] [--max-batch N] [--journal]"
+    );
     eprintln!("       repro <artifact|all>   (alias for `repro run`)");
     eprintln!(
         "artifacts: {}",

@@ -154,7 +154,16 @@ fn flatten(value: &JsonValue, prefix: &str, out: &mut BTreeMap<String, JsonValue
 }
 
 /// Relative difference `|a-b| / max(|a|,|b|)`, 0 when both are zero.
+///
+/// A NaN on either side is `INFINITY` — never within tolerance. The
+/// previous formulation fell into `f64::max`'s NaN-ignoring semantics:
+/// `f64::max(NaN, 0.0)` is `0.0`, so `NaN` vs `0.0` scored a relative
+/// difference of exactly 0 and compared as *identical* (the same trap the
+/// PR 4 `total_cmp` fix closed in the quantile sort).
 fn rel_diff(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return f64::INFINITY;
+    }
     let scale = a.abs().max(b.abs());
     if scale == 0.0 {
         0.0
@@ -264,6 +273,33 @@ mod tests {
         let rendered = r.render("a.json", "b.json");
         assert!(rendered.contains("VIOLATION metrics.label"), "{rendered}");
         assert!(rendered.contains("1 violations"), "{rendered}");
+    }
+
+    #[test]
+    fn nan_is_always_a_violation_in_every_ordering() {
+        // `parse_json` refuses NaN literals, so exercise the library
+        // contract directly: every NaN pairing — crucially NaN-vs-0.0,
+        // where `f64::max(NaN, 0.0) == 0.0` used to zero the scale and
+        // score the pair identical — must land outside any tolerance.
+        for (a, b) in [
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+            (f64::NAN, 12.5),
+            (12.5, f64::NAN),
+            (f64::NAN, f64::NAN),
+        ] {
+            assert_eq!(rel_diff(a, b), f64::INFINITY, "{a} vs {b}");
+        }
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        // On-disk, a NaN metric exports as `null` (`json_f64`); against a
+        // number that is a ValueMismatch violation, not a silent pass.
+        let nulled = A.replace("12.5", "null");
+        let r = diff_metrics(A, &nulled, 1.0).unwrap();
+        assert!(!r.is_ok());
+        assert!(matches!(
+            r.entries["metrics.snr"],
+            DiffEntry::ValueMismatch { .. }
+        ));
     }
 
     #[test]

@@ -393,12 +393,7 @@ impl ExperimentCtx {
             cfg = cfg.with_halt_after(jobs);
         }
         if self.resume || self.checkpoint_every.is_some() {
-            let file = format!("CHECKPOINT_{id}.bin");
-            let path = match &self.checkpoint_dir {
-                Some(dir) => dir.join(file),
-                None => std::path::PathBuf::from(file),
-            };
-            let spec = CheckpointSpec::new(path)
+            let spec = CheckpointSpec::new(self.checkpoint_path(id))
                 .with_every(self.checkpoint_every.unwrap_or(8))
                 .with_resume(self.resume);
             cfg = cfg.with_checkpoint(spec);
@@ -430,6 +425,19 @@ impl ExperimentCtx {
             Some(dir) => dir.join(file),
             None => std::path::PathBuf::from(file),
         })
+    }
+
+    /// Where this context's sweeps would checkpoint experiment `id`
+    /// (`CHECKPOINT_<id>.bin`, in the checkpoint dir when one is set).
+    /// This names the location regardless of whether checkpointing is
+    /// enabled — the `repro` binary uses it to delete a stale file from an
+    /// aborted earlier run before a fresh (non-`--resume`) run.
+    pub fn checkpoint_path(&self, id: &str) -> std::path::PathBuf {
+        let file = format!("CHECKPOINT_{id}.bin");
+        match &self.checkpoint_dir {
+            Some(dir) => dir.join(file),
+            None => std::path::PathBuf::from(file),
+        }
     }
 
     /// Checks this context against a specific experiment: fleet options on

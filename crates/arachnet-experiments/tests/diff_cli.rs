@@ -63,3 +63,29 @@ fn diff_exit_codes_cover_identical_tolerable_and_violating() {
 
     let _ = fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn diff_flags_nan_exports_even_at_huge_tolerance() {
+    // A NaN metric exports to disk as `null` (`json_f64`); comparing that
+    // export against a numeric baseline must be a violation at ANY
+    // tolerance — the old NaN-vs-0.0 path scored rel 0.0 and passed.
+    let dir = std::env::temp_dir().join(format!("arachnet_diff_nan_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    fs::write(&a, A).unwrap();
+    fs::write(&b, A.replace("0.01", "null")).unwrap();
+    let out = repro(&[
+        "diff",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--tolerance",
+        "1e9",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("VIOLATION metrics.loss"), "{stdout}");
+    assert!(stdout.contains("null"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}

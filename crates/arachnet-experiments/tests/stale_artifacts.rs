@@ -1,0 +1,78 @@
+//! Stale-artifact cleanup through the real `repro` binary (ISSUE 9): an
+//! aborted run can leave `TRACE_<id>.jsonl`, `TRACE_<id>.chrome.json`, and
+//! `CHECKPOINT_<id>.bin` behind; a fresh run of the same id must delete
+//! them (the policy the journal already followed), while `--resume` keeps
+//! the checkpoint it was asked to resume from.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "arachnet_stale_{label}_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn repro_in(dir: &PathBuf, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn fresh_run_deletes_stale_traces_and_checkpoints() {
+    let dir = scratch("fresh");
+    // Debris from an "aborted" earlier run of the same id, including a
+    // tagged per-cell checkpoint from a fleet sweep.
+    let stale = [
+        "TRACE_table1.jsonl",
+        "TRACE_table1.chrome.json",
+        "CHECKPOINT_table1.bin",
+        "CHECKPOINT_table1.k2.bin",
+    ];
+    for f in &stale {
+        fs::write(dir.join(f), b"stale garbage").unwrap();
+    }
+    // Debris belonging to a DIFFERENT id must survive a table1 run.
+    fs::write(dir.join("CHECKPOINT_fig14b.bin"), b"other id").unwrap();
+
+    let out = repro_in(&dir, &["run", "table1", "--quick"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    for f in &stale {
+        assert!(
+            !dir.join(f).exists(),
+            "{f} must be deleted before a fresh run"
+        );
+    }
+    assert!(
+        dir.join("CHECKPOINT_fig14b.bin").exists(),
+        "cleanup must be scoped to the id being run"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_keeps_the_checkpoint_it_was_asked_to_resume_from() {
+    let dir = scratch("resume");
+    // table1 is analytic (no sweep), so nothing else touches this file:
+    // whether it survives is decided purely by the cleanup policy.
+    fs::write(dir.join("CHECKPOINT_table1.bin"), b"precious").unwrap();
+    let out = repro_in(&dir, &["run", "table1", "--quick", "--resume"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        dir.join("CHECKPOINT_table1.bin").exists(),
+        "--resume must not delete the checkpoint pre-run"
+    );
+    // The same run without --resume clears it.
+    let out = repro_in(&dir, &["run", "table1", "--quick"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(!dir.join("CHECKPOINT_table1.bin").exists());
+    let _ = fs::remove_dir_all(&dir);
+}

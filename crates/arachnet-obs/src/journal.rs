@@ -98,7 +98,14 @@ impl Heartbeat {
             inflight: u("inflight")? as u32,
             workers: u("workers")? as u32,
             stalled: u("stalled")?,
-            tps: v.get("tps")?.as_f64()?,
+            // Journals written before the rate-math clamp could carry
+            // `"tps":null` (a non-finite rate through `json_f64`); read
+            // those back as 0.0 instead of flagging the file corrupt.
+            tps: match v.get("tps") {
+                Some(JsonValue::Num(x)) => *x,
+                Some(JsonValue::Null) => 0.0,
+                _ => return None,
+            },
             eta_secs: opt("eta_secs")?,
             budget_secs_left: opt("budget_secs_left")?,
             done: v.get("done")?.as_bool()?,
@@ -170,8 +177,16 @@ impl Journal {
     /// Append one heartbeat line; flushes so the tail is observable while
     /// the run is still going.
     pub fn append(&mut self, beat: &Heartbeat) {
+        self.append_line(&beat.to_json());
+    }
+
+    /// Append one raw pre-encoded JSON line (the serve tier journals its
+    /// own beat shape through the same writer). `line` must be a single
+    /// JSON object without the trailing newline; the same flush-per-line
+    /// and warn-once-then-disable contract as [`Journal::append`] applies.
+    pub fn append_line(&mut self, line: &str) {
         let Some(f) = self.file.as_mut() else { return };
-        let line = beat.to_json() + "\n";
+        let line = format!("{line}\n");
         if let Err(e) = f.write_all(line.as_bytes()).and_then(|()| f.flush()) {
             warn_str(&format!(
                 "journal: write to {} failed, disabling: {e}",
@@ -180,6 +195,28 @@ impl Journal {
             self.file = None;
         }
     }
+}
+
+/// Clamped throughput/ETA math shared by every heartbeat emitter.
+///
+/// Returns `(rate_per_sec, eta_secs)` for `completed` units over
+/// `elapsed_secs` of wall clock with `remaining` units to go. The wall
+/// delta can legitimately be ~zero — the first beat after a checkpoint
+/// resume fires before the clock has advanced — and naive division there
+/// produces `inf`/`NaN`, which [`json_f64`] serializes as `null` in the
+/// *numeric* `tps` field and breaks [`Heartbeat::parse`] on readback. So:
+/// a window under 1 ms reports a rate of `0.0`, and the ETA is `None`
+/// whenever the rate is zero or either input is non-finite.
+pub fn progress_rates(completed: u64, elapsed_secs: f64, remaining: u64) -> (f64, Option<f64>) {
+    if !elapsed_secs.is_finite() || elapsed_secs < 1e-3 {
+        return (0.0, None);
+    }
+    let rate = completed as f64 / elapsed_secs;
+    if !rate.is_finite() || rate <= 0.0 {
+        return (0.0, None);
+    }
+    let eta = remaining as f64 / rate;
+    (rate, eta.is_finite().then_some(eta))
 }
 
 /// Read a journal back, tolerating a torn tail.
@@ -292,6 +329,123 @@ mod tests {
         std::fs::write(&path, bad).unwrap();
         assert!(read_journal(&path).is_err());
 
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn progress_rates_clamp_zero_and_nonfinite_windows() {
+        // Zero (and sub-millisecond) wall deltas — the first beat after a
+        // checkpoint resume — must not divide through to inf/NaN.
+        assert_eq!(progress_rates(40, 0.0, 56), (0.0, None));
+        assert_eq!(progress_rates(40, 1e-9, 56), (0.0, None));
+        assert_eq!(progress_rates(40, f64::NAN, 56), (0.0, None));
+        assert_eq!(progress_rates(0, 10.0, 56), (0.0, None));
+        // A healthy window reports plain division.
+        let (tps, eta) = progress_rates(40, 4.0, 20);
+        assert_eq!(tps, 10.0);
+        assert_eq!(eta, Some(2.0));
+        // Whatever comes out must survive the JSON roundtrip as numbers.
+        assert!(json_f64(tps) != "null");
+    }
+
+    #[test]
+    fn torn_tail_resume_roundtrip_keeps_rates_parseable() {
+        let dir =
+            std::env::temp_dir().join(format!("arachnet-journal-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("JOURNAL_resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        // Run 1 crashes mid-append: one good beat plus a torn tail.
+        let mut j = Journal::open(&path);
+        j.append(&beat(100, 10, false));
+        drop(j);
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"t_ms\":200,\"tri").unwrap();
+        }
+
+        // Run 2 resumes: the first beat fires before the wall clock moves,
+        // so its rates go through the clamp — tps 0.0, ETA null.
+        let (tps, eta) = progress_rates(10, 0.0, 86);
+        let mut j = Journal::open(&path);
+        j.append(&Heartbeat {
+            tps,
+            eta_secs: eta,
+            ..beat(1, 10, false)
+        });
+        j.append(&beat(900, 96, true));
+        drop(j);
+
+        // Readback: the torn tail from run 1 sits mid-file now, but each
+        // *line* is still parsed independently — it fails parse and is not
+        // at the tail, so the file reads as corrupt... unless the torn
+        // bytes were never newline-terminated, in which case run 2's first
+        // append glued onto them. Either way the reader must not panic and
+        // the final done beat must be reachable after a repair pass.
+        match read_journal(&path) {
+            Ok(beats) => {
+                assert!(beats.iter().any(|b| b.done));
+                assert!(beats.iter().all(|b| b.tps.is_finite()));
+            }
+            Err(_) => {
+                // The glued line is corruption mid-file; a resuming writer
+                // that wants clean readback should truncate the torn tail
+                // first. What must NOT happen is inf/NaN in run 2's beats.
+            }
+        }
+
+        // The clean-resume path: truncate the torn tail, then resume.
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path);
+        j.append(&beat(100, 10, false));
+        drop(j);
+        let mut j = Journal::open(&path);
+        let (tps, eta) = progress_rates(10, 0.0, 86);
+        assert_eq!((tps, eta), (0.0, None));
+        j.append(&Heartbeat {
+            tps,
+            eta_secs: eta,
+            ..beat(1, 10, false)
+        });
+        j.append(&beat(900, 96, true));
+        drop(j);
+        let beats = read_journal(&path).unwrap();
+        assert_eq!(beats.len(), 3);
+        assert_eq!(beats[1].tps, 0.0);
+        assert_eq!(beats[1].eta_secs, None);
+        assert!(beats[2].done);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_null_tps_lines_parse_as_zero() {
+        // Journals written before the clamp could serialize a non-finite
+        // rate as `"tps":null`; those files must still read back.
+        let line = beat(100, 10, false)
+            .to_json()
+            .replace("\"tps\":12.5", "\"tps\":null");
+        let b = Heartbeat::parse(&line).expect("null tps must parse");
+        assert_eq!(b.tps, 0.0);
+    }
+
+    #[test]
+    fn append_line_matches_append_on_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("arachnet-journal-raw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("JOURNAL_raw.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let b = beat(100, 10, false);
+        let mut j = Journal::open(&path);
+        j.append(&b);
+        j.append_line(&b.to_json());
+        drop(j);
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = raw.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], lines[1]);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -56,7 +56,7 @@ pub use counter::Counter;
 pub use event::{DecodeFailReason, Event, EventKind, MigrateReason, KIND_COUNT, NO_TAG};
 pub use global::{global_counter_add, global_histo_record, take_global_stats, GlobalStats};
 pub use histo::Histo;
-pub use journal::{read_journal, Heartbeat, Journal};
+pub use journal::{progress_rates, read_journal, Heartbeat, Journal};
 pub use jsonval::{parse_json, JsonError, JsonValue};
 pub use metrics::{MetricSet, MetricValue};
 pub use recorder::{

@@ -1,0 +1,86 @@
+//! A minimal blocking client for the serve wire protocol.
+//!
+//! One connection, one request in flight (the protocol is closed-loop per
+//! connection); used by the load generator, the bench serve suite, and the
+//! integration tests. Not a production SDK — just enough to drive the
+//! server over a real socket.
+
+use arachnet_obs::{parse_json, JsonValue};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A connected client.
+pub struct ServeClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connect to a server, with `timeout` applied to connect, reads, and
+    /// writes.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Requests are single small lines; without this, Nagle + delayed
+        // ACK turns every loopback round-trip into ~40 ms.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient { stream, reader })
+    }
+
+    /// Send one raw line (newline appended) and read one reply line.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.read_line()
+    }
+
+    /// Send one raw line without waiting for the reply.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        // One write per request: two small writes would let Nagle hold the
+        // trailing newline until the peer's (delayed) ACK.
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.stream.write_all(&buf)?;
+        self.stream.flush()
+    }
+
+    /// Read one reply line (without its newline). EOF is an error of kind
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Send and parse: the reply as a [`JsonValue`], or the io/parse error
+    /// as a string.
+    pub fn query(&mut self, line: &str) -> Result<JsonValue, String> {
+        let reply = self.roundtrip(line).map_err(|e| e.to_string())?;
+        parse_json(&reply).map_err(|e| format!("unparseable reply `{reply}`: {e}"))
+    }
+
+    /// The underlying stream (tests use this to shut the socket down
+    /// mid-line).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+/// Convenience: `true` if a parsed reply line is `{"ok":true,...}`.
+pub fn is_ok(v: &JsonValue) -> bool {
+    v.get("ok").and_then(JsonValue::as_bool) == Some(true)
+}
+
+/// Convenience: the `error` code of a parsed rejection line, if any.
+pub fn error_code(v: &JsonValue) -> Option<&str> {
+    v.get("error").and_then(JsonValue::as_str)
+}

@@ -1,0 +1,410 @@
+//! The `arachnet-serve` wire protocol: line-delimited JSON over TCP.
+//!
+//! One request is one `\n`-terminated JSON object; the server answers with
+//! exactly one JSON line per request, in order, per connection (no
+//! pipelining — the load model is closed-loop). Requests are parsed with
+//! the repo's own [`arachnet_obs::parse_json`] (std-only rule), and every
+//! failure mode maps to a *structured* error line
+//! `{"error":"<code>","detail":"..."}` rather than a dropped connection:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | `malformed` | the line is not valid JSON / not an object with `"op"` |
+//! | `bad_request` | known op, but a field is missing or out of range |
+//! | `oversized` | request line longer than [`MAX_LINE_BYTES`] (connection closes — the stream cannot be resynchronized) |
+//! | `overloaded` | admission control refused the job (queue full / too many connections) |
+//! | `draining` | the server is shutting down and admits no new work |
+//! | `unsupported` | op needs a capability this server was not started with |
+//! | `internal` | the worker panicked serving the request (quarantined) |
+//!
+//! Ops: `ping`, `stats`, `shutdown` (answered inline by the connection
+//! handler — health and control must work even when the queue is full),
+//! and the queued work ops `decode` (micro-batchable uplink-decode trial),
+//! `experiment` (registry artifact, when the embedder installed a runner)
+//! and `sleep` (a diagnostic that holds a worker; used by the overload and
+//! drain tests, capped at [`MAX_SLEEP_MS`]).
+
+use arachnet_obs::{json_escape, json_f64, parse_json, JsonValue};
+
+/// Longest accepted request line, terminator included. Anything longer is
+/// rejected with `{"error":"oversized"}` and the connection closes.
+pub const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// Most packets one `decode` request may ask for (a request is a unit of
+/// admission control, not a batch job — big sweeps belong to `repro`).
+pub const MAX_PACKETS: u64 = 4096;
+
+/// Longest `sleep` op, milliseconds (diagnostic op; keeps a hostile client
+/// from parking a worker forever).
+pub const MAX_SLEEP_MS: u64 = 10_000;
+
+/// Highest valid tag id in the paper deployment (12 tags, 0..=11).
+pub const MAX_TAG: u64 = 11;
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Health probe; answered inline, never queued.
+    Ping,
+    /// Server telemetry snapshot; answered inline.
+    Stats,
+    /// Begin graceful drain; answered inline, then the connection closes.
+    Shutdown,
+    /// Diagnostic: hold a worker for `ms` milliseconds.
+    Sleep {
+        /// How long the worker sleeps.
+        ms: u64,
+    },
+    /// Uplink-decode trial: `packets` seeded packets from `tag` at
+    /// `ul_bps` through the block-processed PHY path. Requests sharing
+    /// `seed` are compatible and may be micro-batched onto one `WaveSim`.
+    Decode {
+        /// Tag id (0..=[`MAX_TAG`]).
+        tag: u8,
+        /// Uplink bit rate in bits/s.
+        ul_bps: f64,
+        /// Packets to send (1..=[`MAX_PACKETS`]).
+        packets: u64,
+        /// Channel/trial seed; the batching compatibility key.
+        seed: u64,
+    },
+    /// Run a registry experiment and return its deterministic metrics
+    /// document. Served only when the embedder installed a runner.
+    Experiment {
+        /// Registry id (`repro list`).
+        id: String,
+        /// Quick mode (reduced trial counts; the default).
+        quick: bool,
+        /// Experiment seed.
+        seed: u64,
+    },
+}
+
+/// A structured rejection: the error `code` plus a human detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// Stable machine-readable code (see the module table).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Reject {
+    /// A rejection with the given code and detail.
+    pub fn new(code: &'static str, detail: impl Into<String>) -> Self {
+        Reject {
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// The JSON error line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        error_line(self.code, &self.detail)
+    }
+}
+
+/// Renders `{"error":"<code>","detail":"..."}` (no trailing newline).
+pub fn error_line(code: &str, detail: &str) -> String {
+    format!(
+        "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+        json_escape(code),
+        json_escape(detail)
+    )
+}
+
+/// Non-negative integer field: accepts only integral JSON numbers that
+/// fit the `u64` range the repo's emitters use (≤ 2^53).
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, Reject> {
+    let n = v
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| Reject::new("bad_request", format!("missing numeric field `{key}`")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+        return Err(Reject::new(
+            "bad_request",
+            format!("field `{key}` must be a non-negative integer"),
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn u64_field_or(v: &JsonValue, key: &str, default: u64) -> Result<u64, Reject> {
+    if v.get(key).is_none() {
+        return Ok(default);
+    }
+    u64_field(v, key)
+}
+
+impl Request {
+    /// Parses and validates one request line.
+    pub fn parse(line: &str) -> Result<Request, Reject> {
+        let v = parse_json(line.trim())
+            .map_err(|e| Reject::new("malformed", e.to_string()))?;
+        let op = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| Reject::new("malformed", "request object needs a string `op`"))?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "sleep" => {
+                let ms = u64_field(&v, "ms")?;
+                if ms > MAX_SLEEP_MS {
+                    return Err(Reject::new(
+                        "bad_request",
+                        format!("sleep ms exceeds the {MAX_SLEEP_MS} ms cap"),
+                    ));
+                }
+                Ok(Request::Sleep { ms })
+            }
+            "decode" => {
+                let tag = u64_field(&v, "tag")?;
+                if tag > MAX_TAG {
+                    return Err(Reject::new(
+                        "bad_request",
+                        format!("tag must be in 0..={MAX_TAG}"),
+                    ));
+                }
+                let ul_bps = v
+                    .get("ul_bps")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| Reject::new("bad_request", "missing numeric field `ul_bps`"))?;
+                if !(ul_bps.is_finite() && ul_bps > 0.0 && ul_bps <= 1e6) {
+                    return Err(Reject::new(
+                        "bad_request",
+                        "ul_bps must be finite, positive, and at most 1e6",
+                    ));
+                }
+                let packets = u64_field(&v, "packets")?;
+                if packets == 0 || packets > MAX_PACKETS {
+                    return Err(Reject::new(
+                        "bad_request",
+                        format!("packets must be in 1..={MAX_PACKETS}"),
+                    ));
+                }
+                let seed = u64_field_or(&v, "seed", 1)?;
+                Ok(Request::Decode {
+                    tag: tag as u8,
+                    ul_bps,
+                    packets,
+                    seed,
+                })
+            }
+            "experiment" => {
+                let id = v
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| Reject::new("bad_request", "missing string field `id`"))?;
+                let quick = v
+                    .get("quick")
+                    .map(|q| {
+                        q.as_bool()
+                            .ok_or_else(|| Reject::new("bad_request", "`quick` must be a bool"))
+                    })
+                    .transpose()?
+                    .unwrap_or(true);
+                let seed = u64_field_or(&v, "seed", 1)?;
+                Ok(Request::Experiment {
+                    id: id.to_string(),
+                    quick,
+                    seed,
+                })
+            }
+            other => Err(Reject::new(
+                "bad_request",
+                format!("unknown op `{other}`"),
+            )),
+        }
+    }
+
+    /// The micro-batching compatibility key: `Some(seed)` for decode
+    /// requests (they share a `WaveSim`), `None` for everything else.
+    pub fn batch_key(&self) -> Option<u64> {
+        match self {
+            Request::Decode { seed, .. } => Some(*seed),
+            _ => None,
+        }
+    }
+}
+
+/// The successful `decode` reply line (no trailing newline). `batched` is
+/// how many requests shared this request's micro-batch (1 = unbatched).
+pub fn decode_line(tag: u8, ul_bps: f64, sent: u64, lost: u64, snr_db: f64, batched: usize) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"decode\",\"tag\":{tag},\"ul_bps\":{},\"sent\":{sent},\"lost\":{lost},\"snr_db\":{},\"batched\":{batched}}}",
+        json_f64(ul_bps),
+        json_f64(snr_db),
+    )
+}
+
+/// One wall-domain heartbeat of a running server, journaled as JSONL
+/// (`JOURNAL_serve.jsonl`) exactly like the sweep engine's
+/// [`arachnet_obs::Heartbeat`] — and like it, strictly diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeBeat {
+    /// Milliseconds since the server started.
+    pub t_ms: u64,
+    /// Requests admitted to the queue so far (work ops only).
+    pub requests: u64,
+    /// Requests completed (responses sent back to a handler).
+    pub completed: u64,
+    /// Requests rejected by admission control (`overloaded`).
+    pub rejected: u64,
+    /// Malformed / oversized / bad-request lines seen.
+    pub malformed: u64,
+    /// Jobs queued right now.
+    pub queue_depth: u64,
+    /// Jobs being processed by workers right now.
+    pub inflight: u64,
+    /// Worker threads.
+    pub workers: u32,
+    /// Observed completion throughput, requests per second.
+    pub rps: f64,
+    /// Request latency p50 (enqueue → response), microseconds.
+    pub p50_us: u64,
+    /// Request latency p95, microseconds.
+    pub p95_us: u64,
+    /// True on the final beat written when the drain completes.
+    pub done: bool,
+}
+
+impl ServeBeat {
+    /// One JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_ms\":{},\"requests\":{},\"completed\":{},\"rejected\":{},\"malformed\":{},\"queue_depth\":{},\"inflight\":{},\"workers\":{},\"rps\":{},\"p50_us\":{},\"p95_us\":{},\"done\":{}}}",
+            self.t_ms,
+            self.requests,
+            self.completed,
+            self.rejected,
+            self.malformed,
+            self.queue_depth,
+            self.inflight,
+            self.workers,
+            json_f64(self.rps),
+            self.p50_us,
+            self.p95_us,
+            self.done,
+        )
+    }
+
+    /// Decode one journal line (`None` for torn or foreign lines).
+    pub fn parse(line: &str) -> Option<ServeBeat> {
+        let v = parse_json(line.trim_end()).ok()?;
+        let u = |k: &str| v.get(k)?.as_f64().map(|x| x.max(0.0) as u64);
+        Some(ServeBeat {
+            t_ms: u("t_ms")?,
+            requests: u("requests")?,
+            completed: u("completed")?,
+            rejected: u("rejected")?,
+            malformed: u("malformed")?,
+            queue_depth: u("queue_depth")?,
+            inflight: u("inflight")?,
+            workers: u("workers")? as u32,
+            rps: v.get("rps")?.as_f64().unwrap_or(0.0),
+            p50_us: u("p50_us")?,
+            p95_us: u("p95_us")?,
+            done: v.get("done")?.as_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op_with_defaults() {
+        assert_eq!(Request::parse(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(Request::parse(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(Request::parse(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        assert_eq!(
+            Request::parse(r#"{"op":"sleep","ms":50}"#),
+            Ok(Request::Sleep { ms: 50 })
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"decode","tag":8,"ul_bps":2000,"packets":4}"#),
+            Ok(Request::Decode {
+                tag: 8,
+                ul_bps: 2000.0,
+                packets: 4,
+                seed: 1
+            })
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"experiment","id":"fig14b","seed":7}"#),
+            Ok(Request::Experiment {
+                id: "fig14b".into(),
+                quick: true,
+                seed: 7
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_and_out_of_range_requests_are_structured_rejects() {
+        assert_eq!(Request::parse("{nope").unwrap_err().code, "malformed");
+        assert_eq!(Request::parse("[1,2]").unwrap_err().code, "malformed");
+        assert_eq!(
+            Request::parse(r#"{"op":"teleport"}"#).unwrap_err().code,
+            "bad_request"
+        );
+        for bad in [
+            r#"{"op":"decode","tag":12,"ul_bps":2000,"packets":4}"#,
+            r#"{"op":"decode","tag":3,"ul_bps":-5,"packets":4}"#,
+            r#"{"op":"decode","tag":3,"ul_bps":2000,"packets":0}"#,
+            r#"{"op":"decode","tag":3,"ul_bps":2000,"packets":99999}"#,
+            r#"{"op":"decode","tag":3.5,"ul_bps":2000,"packets":4}"#,
+            r#"{"op":"sleep","ms":99999}"#,
+            r#"{"op":"experiment"}"#,
+        ] {
+            assert_eq!(Request::parse(bad).unwrap_err().code, "bad_request", "{bad}");
+        }
+        // Error lines are themselves valid single-line JSON.
+        let line = Request::parse("{nope").unwrap_err().to_line();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("malformed"));
+    }
+
+    #[test]
+    fn max_tag_matches_the_paper_deployment() {
+        let deploy = biw_channel::geometry::Deployment::paper();
+        assert_eq!(MAX_TAG as usize, deploy.len() - 1);
+    }
+
+    #[test]
+    fn batch_key_groups_decodes_by_seed() {
+        let a = Request::parse(r#"{"op":"decode","tag":8,"ul_bps":2000,"packets":4,"seed":9}"#)
+            .unwrap();
+        let b = Request::parse(r#"{"op":"decode","tag":4,"ul_bps":500,"packets":2,"seed":9}"#)
+            .unwrap();
+        assert_eq!(a.batch_key(), Some(9));
+        assert_eq!(a.batch_key(), b.batch_key());
+        assert_eq!(Request::Ping.batch_key(), None);
+    }
+
+    #[test]
+    fn serve_beat_roundtrips_and_decode_line_is_json() {
+        let beat = ServeBeat {
+            t_ms: 1234,
+            requests: 100,
+            completed: 90,
+            rejected: 5,
+            malformed: 2,
+            queue_depth: 3,
+            inflight: 2,
+            workers: 4,
+            rps: 123.5,
+            p50_us: 800,
+            p95_us: 2100,
+            done: false,
+        };
+        assert_eq!(ServeBeat::parse(&beat.to_json()), Some(beat));
+        let line = decode_line(8, 2000.0, 20, 1, 12.25, 3);
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("batched").unwrap().as_f64(), Some(3.0));
+    }
+}

@@ -62,8 +62,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use arachnet_obs::{
-    flush_thread_spans, global_counter_add, global_histo_record, span, Event, EventKind,
-    Heartbeat, Journal, TrialLane, Watchdog, NO_TAG,
+    flush_thread_spans, global_counter_add, global_histo_record, progress_rates, span, Event,
+    EventKind, Heartbeat, Journal, TrialLane, Watchdog, NO_TAG,
 };
 
 use crate::codec::TrialCodec;
@@ -775,23 +775,21 @@ impl TeleRt {
         let finished = self.finished_live.load(Ordering::Relaxed);
         let quarantined = self.quarantined_live.load(Ordering::Relaxed);
         let completed = restored + finished.saturating_sub(quarantined);
-        let tps = if elapsed > 0.0 {
-            finished as f64 / elapsed
-        } else {
-            0.0
-        };
         let remaining = trials
             .saturating_sub(restored)
             .saturating_sub(finished)
             .saturating_sub(skipped);
+        // Clamped rate math (`progress_rates`): the first beat after a
+        // checkpoint resume can fire on a ~zero wall delta, and a naive
+        // division would serialize `inf` tps / eta into the journal,
+        // breaking readback. Zero-rate windows report 0.0 and a null ETA.
+        let (tps, eta) = progress_rates(finished, elapsed, remaining);
         let eta_secs = if done {
             None
         } else if remaining == 0 {
             Some(0.0)
-        } else if tps > 0.0 {
-            Some(remaining as f64 / tps)
         } else {
-            None
+            eta
         };
         let budget_secs_left = deadline
             .map(|d| d.saturating_duration_since(Instant::now()).as_secs_f64())
@@ -849,8 +847,29 @@ where
         let mut append_at = None;
         if spec.resume {
             if let Some((records, valid)) = load_checkpoint(&spec.path, cfg.base_seed, trials) {
+                let mut dup_warned = false;
                 for rec in records {
                     let i = rec.trial as usize;
+                    if slots[i].is_some() {
+                        // Duplicate record for an already-restored trial
+                        // (a crash between append and fsync can replay a
+                        // record on the next run). Policy: FIRST wins —
+                        // the earliest record is the one whose bytes the
+                        // original run committed; a later duplicate may be
+                        // a retry from a torn rewrite. Warn once per file,
+                        // keep `restored` consistent (the trial was
+                        // already counted).
+                        if !dup_warned {
+                            arachnet_obs::warn!(
+                                "checkpoint '{}': duplicate record for trial {} \
+                                 (keeping the first occurrence)",
+                                spec.path.display(),
+                                rec.trial
+                            );
+                            dup_warned = true;
+                        }
+                        continue;
+                    }
                     let slot = if rec.ok {
                         let mut input = rec.payload.as_slice();
                         match (vt.decode)(&mut input) {
@@ -871,9 +890,7 @@ where
                             attempts: rec.attempts,
                         })
                     };
-                    if slots[i].is_none() {
-                        restored += 1;
-                    }
+                    restored += 1;
                     slots[i] = Some(slot);
                     attempts_of[i] = rec.attempts;
                 }
@@ -1677,6 +1694,50 @@ mod tests {
         };
         assert_eq!(resumed.results, fresh.results);
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn duplicate_checkpoint_records_keep_the_first_and_warn_once() {
+        let path = temp_ckpt("dup");
+        // Craft a checkpoint by hand: header for (seed 77, 4 trials), a
+        // record for trial 0, a record for trial 1, then TWO duplicates of
+        // trial 0 with different payloads — the replay pattern a crash
+        // between append and fsync leaves behind.
+        let first: (u64, u64) = (123_456, 999);
+        let dup: (u64, u64) = (42, 43);
+        let tr1: (u64, u64) = (1, trial_seed(77, 1));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CKPT_MAGIC);
+        bytes.extend_from_slice(&77u64.to_le_bytes());
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        let mut payload = Vec::new();
+        for (trial, val) in [(0u64, first), (1, tr1), (0, dup), (0, dup)] {
+            payload.clear();
+            val.encode(&mut payload);
+            encode_record(trial, 0, 1, &payload, &mut bytes);
+        }
+        fs::write(&path, &bytes).unwrap();
+
+        let (run, warnings) = arachnet_obs::capture(|| {
+            let cfg = SweepConfig::new(77).with_threads(2).with_checkpoint(
+                CheckpointSpec::new(&path).with_every(1).with_resume(true),
+            );
+            run_sweep(&cfg, 4, |i, seed| (i, seed))
+        });
+        // First-wins: trial 0 keeps the earliest record's payload, and the
+        // duplicates neither inflate `restored` nor shadow it.
+        assert_eq!(run.results[0].as_ref().unwrap(), &first);
+        assert_eq!(run.results[1].as_ref().unwrap(), &tr1);
+        assert_eq!(run.stats.restored, 2);
+        assert_eq!(run.stats.completed, 4);
+        assert!(!run.stats.partial);
+        let dup_warns: Vec<_> = warnings
+            .iter()
+            .filter(|w| w.contains("duplicate record"))
+            .collect();
+        assert_eq!(dup_warns.len(), 1, "warn once per file: {warnings:?}");
+        assert!(dup_warns[0].contains("trial 0"), "{dup_warns:?}");
+        assert!(!path.exists(), "completed run cleans up");
     }
 
     #[test]

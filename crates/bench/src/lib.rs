@@ -188,6 +188,28 @@ impl Suite {
         self.results.push(result);
     }
 
+    /// Records an externally measured result next to the `bench` entries —
+    /// for workloads the closure harness cannot time from outside, like a
+    /// closed-loop load run whose per-request latency lives in a server-side
+    /// histogram. The caller supplies the per-event [`Stats`] (nanoseconds)
+    /// and how many events backed them.
+    pub fn record(&mut self, name: &str, samples: u64, stats: Stats) {
+        let result = BenchResult {
+            name: name.to_string(),
+            iters_per_sample: 1,
+            samples,
+            stats,
+        };
+        println!(
+            "{:<44} median {:>12}  p95 {:>12}  ({} events, recorded)",
+            result.name,
+            fmt_ns(stats.ns_median),
+            fmt_ns(stats.ns_p95),
+            samples
+        );
+        self.results.push(result);
+    }
+
     /// Prints the summary and writes `BENCH_<suite>.json`. Returns the path
     /// written.
     pub fn finish(self) -> std::path::PathBuf {

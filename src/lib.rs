@@ -12,7 +12,9 @@
 //! * [`tag`] (`arachnet-tag`) — tag firmware and timing models;
 //! * [`reader`] (`arachnet-reader`) — the reader's TX/RX chains;
 //! * [`sim`] (`arachnet-sim`) — slot-level and waveform-level simulators;
-//! * [`sensors`] (`arachnet-sensors`) — the strain-measurement case study.
+//! * [`sensors`] (`arachnet-sensors`) — the strain-measurement case study;
+//! * [`serve`] (`arachnet-serve`) — the backpressured TCP query service
+//!   over the PHY/fleet engines (`repro serve`).
 //!
 //! The runnable entry points live in `examples/` (start with
 //! `quickstart`), the evaluation regenerators in the `repro` binary of
@@ -31,6 +33,7 @@ pub use arachnet_energy as energy;
 pub use arachnet_experiments as experiments;
 pub use arachnet_reader as reader;
 pub use arachnet_sensors as sensors;
+pub use arachnet_serve as serve;
 pub use arachnet_sim as sim;
 pub use arachnet_tag as tag;
 pub use biw_channel as channel;
