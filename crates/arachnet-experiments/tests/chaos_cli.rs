@@ -1,0 +1,77 @@
+//! `repro chaos` and the serve resilience flags through the real binary
+//! (ISSUE 10): the fault-injection self-test must exit 0 with its summary
+//! line, replay deterministically, and reject malformed `--fault-plan`
+//! specs as usage errors.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arachnet_chaos_{label}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn repro_in(dir: &PathBuf, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn chaos_self_test_exits_zero_with_respawn_and_identical_passes() {
+    let dir = scratch("selftest");
+    let out = repro_in(&dir, &["chaos", "--seed", "7"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("chaos: OK"), "{stdout}");
+    assert!(stdout.contains("respawned = 1"), "{stdout}");
+    assert!(stdout.contains("brownout shed ="), "{stdout}");
+    // Every injected fault kind fired at least once.
+    for counter in [
+        "injected_panics = 1",
+        "injected_stalls = 1",
+        "injected_torn = 1",
+    ] {
+        assert!(stdout.contains(counter), "missing `{counter}` in:\n{stdout}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_schedule_output_is_deterministic_across_runs() {
+    let dir = scratch("replay");
+    let sched = |out: &std::process::Output| -> Vec<String> {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("chaos:   req ") || l.starts_with("chaos:   conn "))
+            .map(str::to_string)
+            .collect()
+    };
+    let a = repro_in(&dir, &["chaos", "--seed", "11"]);
+    let b = repro_in(&dir, &["chaos", "--seed", "11"]);
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(b.status.code(), Some(0));
+    let (sa, sb) = (sched(&a), sched(&b));
+    assert!(!sa.is_empty(), "schedule lines must be printed");
+    assert_eq!(sa, sb, "same seed must replay the same fault schedule");
+    let c = repro_in(&dir, &["chaos", "--seed", "12"]);
+    assert_eq!(c.status.code(), Some(0));
+    assert_ne!(sa, sched(&c), "a different seed must move the rate draws");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_fault_plan_spec_is_a_usage_error() {
+    let dir = scratch("badplan");
+    let out = repro_in(&dir, &["serve", "--port", "0", "--fault-plan", "explode@req-one"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--fault-plan"), "{stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,108 @@
+//! `--checkpoint-dir` through the real binary (ISSUE 10 satellite): a
+//! not-yet-existing (nested) directory is created and receives the
+//! checkpoint + journal artifacts, `--resume` picks them up from there,
+//! and a directory that cannot be created is a clear exit-3 error — never
+//! a panic.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arachnet_ckptdir_{label}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn repro_in(dir: &PathBuf, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn missing_checkpoint_dir_is_created_and_resume_works_from_it() {
+    let dir = scratch("create");
+    // `state/ckpts` does not exist yet — two levels deep on purpose.
+    let halted = repro_in(
+        &dir,
+        &[
+            "metrics",
+            "dyn-churn",
+            "--quick",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--checkpoint-every",
+            "1",
+            "--halt-after",
+            "3",
+            "--journal",
+            "--checkpoint-dir",
+            "state/ckpts",
+        ],
+    );
+    assert_eq!(halted.status.code(), Some(0), "{halted:?}");
+    let ckpt = dir.join("state/ckpts/CHECKPOINT_dyn-churn.bin");
+    assert!(ckpt.exists(), "checkpoint must land in the created dir");
+    assert!(
+        dir.join("state/ckpts/JOURNAL_dyn-churn.jsonl").exists(),
+        "journal must follow the checkpoint dir"
+    );
+    assert!(
+        !dir.join("CHECKPOINT_dyn-churn.bin").exists(),
+        "nothing may leak into the working directory"
+    );
+    let resumed = repro_in(
+        &dir,
+        &[
+            "metrics",
+            "dyn-churn",
+            "--quick",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--resume",
+            "--checkpoint-dir",
+            "state/ckpts",
+        ],
+    );
+    assert_eq!(resumed.status.code(), Some(0), "{resumed:?}");
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("resumed:"), "{stdout}");
+    assert!(!ckpt.exists(), "a completed resume deletes the checkpoint");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uncreatable_checkpoint_dir_is_a_clean_exit_3_not_a_panic() {
+    let dir = scratch("blocked");
+    // A regular file where the directory path needs to go: create_dir_all
+    // cannot succeed through it.
+    fs::write(dir.join("blocker"), b"i am a file").unwrap();
+    let out = repro_in(
+        &dir,
+        &[
+            "run",
+            "dyn-churn",
+            "--quick",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint-dir",
+            "blocker/sub",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create --checkpoint-dir"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "must be an error, not a panic: {stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}

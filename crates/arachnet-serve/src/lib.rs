@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod loadgen;
 pub mod proto;
@@ -39,7 +40,10 @@ pub mod queue;
 pub mod server;
 
 pub use arachnet_obs::{parse_json, JsonValue};
-pub use client::{error_code, is_ok, ServeClient};
+pub use chaos::{Fault, FaultPlan};
+pub use client::{
+    error_code, is_ok, CircuitBreaker, RetryClient, RetryPolicy, RetryStats, ServeClient,
+};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use proto::{Reject, Request, ServeBeat, MAX_LINE_BYTES, MAX_PACKETS, MAX_SLEEP_MS, MAX_TAG};
 pub use queue::{Bounded, PushError};

@@ -16,6 +16,8 @@
 //! | `draining` | the server is shutting down and admits no new work |
 //! | `unsupported` | op needs a capability this server was not started with |
 //! | `internal` | the worker panicked serving the request (quarantined) |
+//! | `deadline_exceeded` | the request outlived its per-request deadline (admitted, but the reply is this structured error — never a hung client) |
+//! | `brownout` | low-priority work shed while queue-wait EWMA is past the brownout threshold (retry later; decode stays admitted) |
 //!
 //! Ops: `ping`, `stats`, `shutdown` (answered inline by the connection
 //! handler — health and control must work even when the queue is full),
@@ -227,6 +229,13 @@ impl Request {
             _ => None,
         }
     }
+
+    /// Brownout shedding priority: `sleep` and `experiment` are
+    /// low-priority (shed first under overload); `decode` — the paper
+    /// workload — is not. Inline ops never reach admission control.
+    pub fn is_low_priority(&self) -> bool {
+        matches!(self, Request::Sleep { .. } | Request::Experiment { .. })
+    }
 }
 
 /// The successful `decode` reply line (no trailing newline). `batched` is
@@ -266,6 +275,14 @@ pub struct ServeBeat {
     pub p50_us: u64,
     /// Request latency p95, microseconds.
     pub p95_us: u64,
+    /// Requests answered with `deadline_exceeded`.
+    pub deadlines: u64,
+    /// Low-priority requests shed with `brownout`.
+    pub shed: u64,
+    /// Panicked workers replaced by the supervisor.
+    pub respawned: u64,
+    /// Is the server in brownout mode right now?
+    pub brownout: bool,
     /// True on the final beat written when the drain completes.
     pub done: bool,
 }
@@ -274,7 +291,7 @@ impl ServeBeat {
     /// One JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"t_ms\":{},\"requests\":{},\"completed\":{},\"rejected\":{},\"malformed\":{},\"queue_depth\":{},\"inflight\":{},\"workers\":{},\"rps\":{},\"p50_us\":{},\"p95_us\":{},\"done\":{}}}",
+            "{{\"t_ms\":{},\"requests\":{},\"completed\":{},\"rejected\":{},\"malformed\":{},\"queue_depth\":{},\"inflight\":{},\"workers\":{},\"rps\":{},\"p50_us\":{},\"p95_us\":{},\"deadlines\":{},\"shed\":{},\"respawned\":{},\"brownout\":{},\"done\":{}}}",
             self.t_ms,
             self.requests,
             self.completed,
@@ -286,6 +303,10 @@ impl ServeBeat {
             json_f64(self.rps),
             self.p50_us,
             self.p95_us,
+            self.deadlines,
+            self.shed,
+            self.respawned,
+            self.brownout,
             self.done,
         )
     }
@@ -306,6 +327,10 @@ impl ServeBeat {
             rps: v.get("rps")?.as_f64().unwrap_or(0.0),
             p50_us: u("p50_us")?,
             p95_us: u("p95_us")?,
+            deadlines: u("deadlines")?,
+            shed: u("shed")?,
+            respawned: u("respawned")?,
+            brownout: v.get("brownout")?.as_bool()?,
             done: v.get("done")?.as_bool()?,
         })
     }
@@ -386,6 +411,20 @@ mod tests {
     }
 
     #[test]
+    fn brownout_priority_sheds_diagnostics_before_decodes() {
+        assert!(Request::Sleep { ms: 5 }.is_low_priority());
+        assert!(Request::Experiment {
+            id: "table3".into(),
+            quick: true,
+            seed: 1
+        }
+        .is_low_priority());
+        let decode =
+            Request::parse(r#"{"op":"decode","tag":8,"ul_bps":2000,"packets":4}"#).unwrap();
+        assert!(!decode.is_low_priority());
+    }
+
+    #[test]
     fn serve_beat_roundtrips_and_decode_line_is_json() {
         let beat = ServeBeat {
             t_ms: 1234,
@@ -399,6 +438,10 @@ mod tests {
             rps: 123.5,
             p50_us: 800,
             p95_us: 2100,
+            deadlines: 4,
+            shed: 6,
+            respawned: 1,
+            brownout: true,
             done: false,
         };
         assert_eq!(ServeBeat::parse(&beat.to_json()), Some(beat));

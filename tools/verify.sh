@@ -5,8 +5,9 @@
 # threads, gated by `repro diff --tolerance 0`), the run-telemetry smoke
 # (journal heartbeats parse, chrome trace loads), the serve smoke
 # (admission control, structured errors, graceful drain over a real
-# socket), hygiene (no tracked target/ artifacts), and the
-# recorder-overhead bench gate.
+# socket), the chaos self-test (`repro chaos`: seeded fault injection,
+# worker respawn, deterministic replay), hygiene (no tracked target/
+# artifacts), and the recorder-overhead + serve bench gates.
 #
 # Usage: tools/verify.sh [seed]     (default seed 7)
 #
@@ -252,6 +253,33 @@ fi
 echo "   serve: decode ok, malformed/overloaded structured, drained with exit 0"
 rm -rf "$sdir"
 
+echo "== chaos self-test: seeded fault injection + self-healing serve tier =="
+# `repro chaos` stands up a single-worker server under a fault plan that
+# injects one of every fault kind (worker panic, queue stall, torn write,
+# decode delay, slow read), drives it with the retrying client, and exits
+# 0 only when every admitted request was answered or structurally
+# rejected, the panicked worker respawned within budget, and two
+# identically-seeded passes produced identical fault schedules and
+# counters. The binary enforces the invariants; the grep is a belt.
+cdir="$(mktemp -d)"
+if ! (cd "$cdir" && "$OLDPWD/$repro" chaos --seed "$seed" > chaos.txt 2> chaos.err); then
+  echo "FAIL: repro chaos --seed $seed exited non-zero" >&2
+  tail -10 "$cdir/chaos.err" "$cdir/chaos.txt" >&2
+  exit 1
+fi
+if ! grep -q '^chaos: OK' "$cdir/chaos.txt"; then
+  echo "FAIL: repro chaos did not print its OK summary" >&2
+  cat "$cdir/chaos.txt" >&2
+  exit 1
+fi
+if ! grep -q 'respawned = 1' "$cdir/chaos.txt"; then
+  echo "FAIL: chaos self-test reported no worker respawn" >&2
+  cat "$cdir/chaos.txt" >&2
+  exit 1
+fi
+echo "   chaos: exit 0, worker respawned, seeded passes identical"
+rm -rf "$cdir"
+
 if [ "${ARACHNET_SKIP_BENCH_GATE:-0}" = "1" ]; then
   echo "== recorder-overhead bench gate: SKIPPED (ARACHNET_SKIP_BENCH_GATE=1) =="
 else
@@ -303,6 +331,41 @@ else
   else
     echo "FAIL: bench gate failed on all 3 attempts — last full_uplink_trial median $current ns vs baseline $baseline ns, timevarying $tv ns (gate: +$gate_pct%)" >&2
     echo "      (recorder-off instrumentation and epoch selection must be free; raise ARACHNET_BENCH_GATE_PCT on noisy hosts)" >&2
+    exit 1
+  fi
+
+  echo "== serve bench gate: disabled chaos hooks must be free =="
+  # Every request now flows through the fault-injection seams (index
+  # draws, deadline arming, queue-wait EWMA) with no FaultPlan installed;
+  # the committed BENCH_serve.json median is the gate that those hooks
+  # stay off the request hot path. Same best-of-3 / one-sided-noise logic
+  # as the PHY gate above.
+  serve_baseline="$(sed -nE 's/.*"name": "serve\/roundtrip_decode_1pkt",.*"ns_median": ([0-9.]+).*/\1/p' BENCH_serve.json | head -1)"
+  if [ -z "$serve_baseline" ]; then
+    echo "FAIL: no serve/roundtrip_decode_1pkt entry in BENCH_serve.json" >&2
+    exit 1
+  fi
+  serve_bin="$(ls -t target/release/deps/serve-* 2>/dev/null | grep -v '\.d$' | head -1)"
+  serve_gate_ok=0
+  for attempt in 1 2 3; do
+    ARACHNET_BENCH_DIR="$tmp1" ARACHNET_BENCH_SAMPLES="${ARACHNET_BENCH_SAMPLES:-15}" "$serve_bin" > "$tmp1/serve_bench.txt"
+    serve_current="$(sed -nE 's/.*"name": "serve\/roundtrip_decode_1pkt",.*"ns_median": ([0-9.]+).*/\1/p' "$tmp1/BENCH_serve.json" | head -1)"
+    if [ -z "$serve_current" ]; then
+      echo "FAIL: fresh serve bench run is missing serve/roundtrip_decode_1pkt" >&2
+      exit 1
+    fi
+    if awk -v cur="$serve_current" -v base="$serve_baseline" -v pct="$gate_pct" \
+         'BEGIN { exit !(cur <= base * (1 + pct / 100)) }'; then
+      serve_gate_ok=1
+      break
+    fi
+    echo "   attempt $attempt: roundtrip_decode_1pkt $serve_current ns (baseline $serve_baseline ns) — retrying"
+  done
+  if [ "$serve_gate_ok" = "1" ]; then
+    echo "   serve/roundtrip_decode_1pkt: $serve_current ns vs baseline $serve_baseline ns (gate: +$gate_pct%) — OK"
+  else
+    echo "FAIL: serve bench gate failed on all 3 attempts — last roundtrip_decode_1pkt median $serve_current ns vs baseline $serve_baseline ns (gate: +$gate_pct%)" >&2
+    echo "      (chaos hooks with no FaultPlan must not cost the request path; raise ARACHNET_BENCH_GATE_PCT on noisy hosts)" >&2
     exit 1
   fi
 fi
